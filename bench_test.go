@@ -1,0 +1,266 @@
+// Benchmarks regenerating the paper's evaluation with testing.B — one
+// benchmark per table/figure, plus micro-benchmarks for the hot paths.
+// cmd/xmorphbench runs the same experiments as parameter sweeps with
+// printed series.
+package xmorph_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmorph/internal/bench"
+	"xmorph/internal/closest"
+	"xmorph/internal/core"
+	"xmorph/internal/gen/dblp"
+	"xmorph/internal/gen/nasa"
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/shape"
+	"xmorph/internal/store"
+	"xmorph/internal/xmltree"
+)
+
+// prepared caches one shredded store per benchmark binary run.
+type prepared struct {
+	path string
+	name string
+}
+
+func prepare(b *testing.B, name string, doc *xmltree.Document) prepared {
+	b.Helper()
+	dir := b.TempDir()
+	path := filepath.Join(dir, name+".db")
+	st, err := store.Open(path, &kvstore.Options{CachePages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Shred(name, strings.NewReader(doc.XML(false))); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return prepared{path: path, name: name}
+}
+
+func (p prepared) open(b *testing.B) *store.Store {
+	b.Helper()
+	st, err := store.Open(p.path, &kvstore.Options{CachePages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// transform runs one stored transformation, discarding the output XML.
+func (p prepared) transform(b *testing.B, guard string) {
+	b.Helper()
+	st := p.open(b)
+	defer st.Close()
+	res, err := core.TransformStored(guard, st, p.name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := res.Output.WriteXML(io.Discard, false); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig10 measures the Figure 10 series: MUTATE site on XMark at
+// increasing factors (render), the compile-only cost, and the
+// eXist-equivalent dump baseline.
+func BenchmarkFig10(b *testing.B) {
+	for _, factor := range []float64{0.005, 0.01, 0.02} {
+		doc := xmark.Generate(xmark.Config{Factor: factor, Seed: 42})
+		p := prepare(b, fmt.Sprintf("xmark%g", factor), doc)
+
+		b.Run(fmt.Sprintf("render/factor=%g", factor), func(b *testing.B) {
+			b.ReportMetric(float64(doc.Size()), "nodes")
+			for i := 0; i < b.N; i++ {
+				p.transform(b, bench.Fig10Guard)
+			}
+		})
+		b.Run(fmt.Sprintf("compile/factor=%g", factor), func(b *testing.B) {
+			st := p.open(b)
+			sh, err := st.Shape(p.name)
+			st.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Check(bench.Fig10Guard, sh); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("baseline-dump/factor=%g", factor), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := p.open(b)
+				d, err := st.Doc(p.name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				re, err := d.Reconstruct()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := re.WriteXML(io.Discard, false); err != nil {
+					b.Fatal(err)
+				}
+				st.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkFig11to13 measures the instrumented run behind Figs. 11-13:
+// the same transformation with the resource monitor attached (its
+// overhead is part of what the paper's vmstat methodology tolerates).
+func BenchmarkFig11to13(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	cfg.XMarkFactors = []float64{0.01}
+	cfg.WorkDir = b.TempDir()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14 measures the three DBLP transformation sizes against the
+// dump baseline.
+func BenchmarkFig14(b *testing.B) {
+	doc := dblp.Generate(dblp.Config{Publications: 2000, Seed: 42})
+	p := prepare(b, "dblp", doc)
+	for _, g := range bench.Fig14Guards {
+		b.Run(g.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.transform(b, g.Guard)
+			}
+		})
+	}
+	b.Run("baseline-dump", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st := p.open(b)
+			d, err := st.Doc(p.name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			re, err := d.Reconstruct()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := re.WriteXML(io.Discard, false); err != nil {
+				b.Fatal(err)
+			}
+			st.Close()
+		}
+	})
+}
+
+// BenchmarkFig15 measures target-shape sensitivity: deep vs bushy, small
+// vs large targets over the three datasets; the per-op metric is output
+// elements per second.
+func BenchmarkFig15(b *testing.B) {
+	type ds struct {
+		name   string
+		doc    *xmltree.Document
+		shapes map[string]string
+	}
+	datasets := []ds{
+		{"nasa", nasa.Generate(nasa.Config{Datasets: 200, Seed: 42}), map[string]string{
+			"deep-small":  "CAST MORPH dataset [ title [ abstract [ para ] ] ]",
+			"bushy-small": "CAST MORPH dataset [ title altname identifier ]",
+			"bushy-large": "CAST MORPH dataset [ title altname identifier abstract [ para ] date [ year month day ] instrument [ name observatory ] ]",
+		}},
+		{"dblp", dblp.Generate(dblp.Config{Publications: 1500, Seed: 42}), map[string]string{
+			"deep-small":  "CAST MORPH author [ title [ year [ pages ] ] ]",
+			"bushy-small": "CAST MORPH article [ author title year ]",
+			"bushy-large": "CAST MORPH dblp [ article [ author title year pages url volume journal ] inproceedings [ booktitle crossref ] ]",
+		}},
+		{"xmark", xmark.Generate(xmark.Config{Factor: 0.01, Seed: 42}), map[string]string{
+			"deep-small":  "CAST MORPH open_auctions [ open_auction [ bidder [ date ] ] ]",
+			"bushy-small": "CAST MORPH open_auction [ initial current quantity ]",
+			"bushy-large": "CAST MORPH open_auction [ initial reserve current quantity type seller itemref interval [ start end ] ]",
+		}},
+	}
+	for _, d := range datasets {
+		p := prepare(b, d.name, d.doc)
+		for shapeName, guard := range d.shapes {
+			b.Run(d.name+"/"+shapeName, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.transform(b, guard)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig16 measures each XMorph operation composed with one fixed
+// MORPH: the costs should be flat because operations compile into the
+// target shape and the data is rendered once.
+func BenchmarkFig16(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.01, Seed: 42})
+	p := prepare(b, "xmark16", doc)
+	for _, op := range bench.Fig16Ops {
+		b.Run(op.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.transform(b, op.Guard)
+			}
+		})
+	}
+}
+
+// BenchmarkTable1 measures the path-cardinality computation behind Table I
+// (and behind every information-loss check).
+func BenchmarkTable1(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.005, Seed: 42})
+	sh := shape.FromDocument(doc)
+	types := sh.Types()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := types[i%len(types)]
+		to := types[(i*7+3)%len(types)]
+		sh.PathCard(from, to)
+	}
+}
+
+// BenchmarkClosestJoin measures the Section VII sort-merge closest join on
+// its own: pairing bidders with their auctions.
+func BenchmarkClosestJoin(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.02, Seed: 42})
+	auctions := doc.NodesOfType("site.open_auctions.open_auction")
+	bidders := doc.NodesOfType("site.open_auctions.open_auction.bidder")
+	b.ReportMetric(float64(len(auctions)), "auctions")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		closest.Join(auctions, bidders)
+	}
+}
+
+// BenchmarkShred measures the streaming shredder (the paper reports shred
+// cost separately from transformation cost).
+func BenchmarkShred(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.005, Seed: 42})
+	xml := doc.XML(false)
+	dir := b.TempDir()
+	b.SetBytes(int64(len(xml)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.db", i))
+		st, err := store.Open(path, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Shred("d", strings.NewReader(xml)); err != nil {
+			b.Fatal(err)
+		}
+		st.Close()
+		os.Remove(path)
+	}
+}

@@ -1,0 +1,303 @@
+// Command xmorph is the stand-alone XMorph 2.0 query-guard tool (the
+// paper's architecture #1): it shreds XML documents into a store, runs
+// query guards against them, and prints the transformed XML together with
+// the label-to-type and information-loss reports of Section VIII.
+//
+// Usage:
+//
+//	xmorph -store data.db shred name doc.xml
+//	xmorph -store data.db docs
+//	xmorph -store data.db run name 'MORPH author [ name book [ title ] ]'
+//	xmorph -store data.db check name 'MUTATE name [ author ]'
+//	xmorph -store data.db shape name
+//	xmorph run-file doc.xml 'MORPH author [ name ]'
+//	xmorph explain 'MORPH author [ name publisher [ name ] ]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmorph/internal/algebra"
+	"xmorph/internal/core"
+	"xmorph/internal/guard"
+	"xmorph/internal/infer"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/logical"
+	"xmorph/internal/store"
+	"xmorph/internal/xmltree"
+)
+
+func main() {
+	storePath := flag.String("store", "xmorph.db", "store file for shredded documents")
+	cache := flag.Int("cache", 256, "buffer pool size in pages")
+	indent := flag.Bool("indent", true, "pretty-print output XML")
+	quiet := flag.Bool("quiet", false, "suppress the reports, print only XML")
+	verify := flag.Bool("verify", false, "run-file: empirically compare closest graphs and quantify loss")
+	stream := flag.Bool("stream", false, "run: stream output without materializing the result tree")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := dispatch(options{store: *storePath, cache: *cache, indent: *indent, quiet: *quiet, verify: *verify, stream: *stream}, args); err != nil {
+		fmt.Fprintln(os.Stderr, "xmorph:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `xmorph - shape-polymorphic XML transformation (XMorph 2.0)
+
+commands:
+  shred <name> <file.xml>   shred a document into the store
+  docs                      list shredded documents
+  shape <name>              print a document's adorned shape
+  run <name> <guard>        run a query guard against a stored document
+  drop <name>               remove a shredded document
+  check <name> <guard>      type-check a guard without rendering
+  run-file <file.xml> <guard>   one-shot: parse, transform, print
+  explain <guard>           print the guard's algebra tree
+  infer <query>             infer the MORPH guard an XQuery query needs
+  query <name> <guard> <xquery>   guarded query over a stored document
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+// options carries the CLI flags into dispatch (kept testable).
+type options struct {
+	store  string
+	cache  int
+	indent bool
+	quiet  bool
+	verify bool
+	stream bool
+}
+
+func dispatch(o options, args []string) error {
+	storePath, cache, indent, quiet := o.store, o.cache, o.indent, o.quiet
+	open := func() (*store.Store, error) {
+		return store.Open(storePath, &kvstore.Options{CachePages: cache})
+	}
+	switch args[0] {
+	case "shred":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: shred <name> <file.xml>")
+		}
+		f, err := os.Open(args[2])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		st, err := open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		info, err := st.Shred(args[1], f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shredded %q: %d nodes, %d types\n", info.Name, info.Nodes, info.Types)
+		return nil
+
+	case "docs":
+		st, err := open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		names, err := st.Documents()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+
+	case "shape":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: shape <name>")
+		}
+		st, err := open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		sh, err := st.Shape(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(sh.String())
+		return nil
+
+	case "run":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: run <name> <guard>")
+		}
+		st, err := open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if o.stream {
+			sh, err := st.Shape(args[1])
+			if err != nil {
+				return err
+			}
+			checked, err := core.Check(args[2], sh)
+			if err != nil {
+				return err
+			}
+			doc, err := st.Doc(args[1])
+			if err != nil {
+				return err
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "-- information-loss report --\n%s\n", checked.Loss)
+			}
+			n, err := checked.Stream(doc, os.Stdout)
+			if err != nil {
+				return err
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "\n-- streamed %d nodes --\n", n)
+			}
+			return nil
+		}
+		res, err := core.TransformStored(args[2], st, args[1])
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "-- label-to-type report --\n%s", res.LabelReport())
+			fmt.Fprintf(os.Stderr, "-- information-loss report --\n%s\n", res.Loss)
+			fmt.Fprintf(os.Stderr, "-- compile %v, render %v --\n", res.CompileTime, res.RenderTime)
+		}
+		return res.Output.WriteXML(os.Stdout, indent)
+
+	case "drop":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: drop <name>")
+		}
+		st, err := open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if err := st.Drop(args[1]); err != nil {
+			return err
+		}
+		fmt.Printf("dropped %q\n", args[1])
+		return nil
+
+	case "check":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: check <name> <guard>")
+		}
+		st, err := open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		sh, err := st.Shape(args[1])
+		if err != nil {
+			return err
+		}
+		checked, err := core.Check(args[2], sh)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- label-to-type report --\n%s", checked.LabelReport())
+		fmt.Printf("-- information-loss report --\n%s\n", checked.Loss)
+		fmt.Printf("-- target shape --\n%s", checked.Plan.ComposedTarget())
+		return nil
+
+	case "run-file":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: run-file <file.xml> <guard>")
+		}
+		f, err := os.Open(args[1])
+		if err != nil {
+			return err
+		}
+		doc, err := xmltree.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		res, err := core.Transform(args[2], doc)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "-- information-loss report --\n%s\n", res.Loss)
+		}
+		if o.verify {
+			r := core.Verify(doc, res.Output)
+			fmt.Fprintf(os.Stderr, "-- empirical verification --\n")
+			fmt.Fprintf(os.Stderr, "source: %d vertices, %d closest edges\n", r.SrcVertices, r.SrcEdges)
+			fmt.Fprintf(os.Stderr, "lost: %d vertices, %d edges (%.1f%% of the source)\n", r.LostVertices, r.LostEdges, r.LossPct())
+			fmt.Fprintf(os.Stderr, "created: %d vertices, %d edges (%.1f%% of the output is new)\n", r.CreatedVertices, r.CreatedEdges, r.CreatedPct())
+		}
+		return res.Output.WriteXML(os.Stdout, indent)
+
+	case "query":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: query <name> <guard> <xquery>")
+		}
+		st, err := open()
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		sh, err := st.Shape(args[1])
+		if err != nil {
+			return err
+		}
+		doc, err := st.Doc(args[1])
+		if err != nil {
+			return err
+		}
+		res, err := logical.EvaluateSource(args[3], args[2], args[1], sh, doc)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "-- projection: %d of %d target types, %d rendered nodes --\n",
+				res.KeptTypes, res.TotalTypes, res.RenderedNodes)
+		}
+		fmt.Println(res.Answer)
+		return nil
+
+	case "infer":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: infer <query>")
+		}
+		g, err := infer.FromQuery(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(g)
+		return nil
+
+	case "explain":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: explain <guard>")
+		}
+		prog, err := guard.Parse(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Print(algebra.FromProgram(prog).String())
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (run with no arguments for usage)", args[0])
+}

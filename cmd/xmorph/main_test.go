@@ -1,0 +1,200 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `<data>
+  <book><title>X</title><author><name>V</name></author></book>
+  <book><title>Y</title><author><name>U</name></author></book>
+</data>`
+
+func tempXML(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "d.xml")
+	if err := os.WriteFile(p, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func opts(t *testing.T) options {
+	return options{
+		store:  filepath.Join(t.TempDir(), "t.db"),
+		cache:  64,
+		indent: false,
+		quiet:  true,
+	}
+}
+
+// capture redirects stdout during fn.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), ferr
+}
+
+func TestDispatchShredRunPipeline(t *testing.T) {
+	o := opts(t)
+	xml := tempXML(t)
+
+	out, err := capture(t, func() error { return dispatch(o, []string{"shred", "books", xml}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shredded \"books\"") {
+		t.Errorf("shred output: %s", out)
+	}
+
+	out, err = capture(t, func() error { return dispatch(o, []string{"docs"}) })
+	if err != nil || strings.TrimSpace(out) != "books" {
+		t.Errorf("docs = %q, err %v", out, err)
+	}
+
+	out, err = capture(t, func() error { return dispatch(o, []string{"shape", "books"}) })
+	if err != nil || !strings.Contains(out, "data.book.author 1..1") {
+		t.Errorf("shape = %q, err %v", out, err)
+	}
+
+	out, err = capture(t, func() error {
+		return dispatch(o, []string{"run", "books", "MORPH author [ name title ]"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<author><name>V</name><title>X</title></author>") {
+		t.Errorf("run output: %s", out)
+	}
+}
+
+func TestDispatchCheck(t *testing.T) {
+	o := opts(t)
+	xml := tempXML(t)
+	if _, err := capture(t, func() error { return dispatch(o, []string{"shred", "books", xml}) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return dispatch(o, []string{"check", "books", "MORPH author [ name ]"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "information-loss report") || !strings.Contains(out, "strongly-typed") {
+		t.Errorf("check output: %s", out)
+	}
+}
+
+func TestDispatchRunFileWithVerify(t *testing.T) {
+	o := opts(t)
+	o.verify = true
+	xml := tempXML(t)
+	out, err := capture(t, func() error {
+		return dispatch(o, []string{"run-file", xml, "MORPH title"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<title>X</title>") {
+		t.Errorf("run-file output: %s", out)
+	}
+}
+
+func TestDispatchInferAndExplain(t *testing.T) {
+	o := opts(t)
+	out, err := capture(t, func() error {
+		return dispatch(o, []string{"infer", `for $a in doc("x")/author return $a/name`})
+	})
+	if err != nil || strings.TrimSpace(out) != "MORPH author [ name ]" {
+		t.Errorf("infer = %q, err %v", out, err)
+	}
+	out, err = capture(t, func() error {
+		return dispatch(o, []string{"explain", "MORPH author [ name ]"})
+	})
+	if err != nil || !strings.Contains(out, "closest") {
+		t.Errorf("explain = %q, err %v", out, err)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	o := opts(t)
+	bad := [][]string{
+		{"bogus"},
+		{"shred", "onlyname"},
+		{"shred", "x", "/no/such/file.xml"},
+		{"run", "missing", "MORPH a"},
+		{"shape", "missing"},
+		{"run-file", "/no/such.xml", "MORPH a"},
+		{"infer", "%%%"},
+		{"explain", "MORPH ["},
+		{"check", "x"},
+	}
+	for _, args := range bad {
+		if _, err := capture(t, func() error { return dispatch(o, args) }); err == nil {
+			t.Errorf("dispatch(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestDispatchStreamAndDrop(t *testing.T) {
+	o := opts(t)
+	xml := tempXML(t)
+	if _, err := capture(t, func() error { return dispatch(o, []string{"shred", "books", xml}) }); err != nil {
+		t.Fatal(err)
+	}
+	so := o
+	so.stream = true
+	out, err := capture(t, func() error {
+		return dispatch(so, []string{"run", "books", "MORPH title"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<title>X</title>\n<title>Y</title>") {
+		t.Errorf("streamed run: %q", out)
+	}
+	out, err = capture(t, func() error { return dispatch(o, []string{"drop", "books"}) })
+	if err != nil || !strings.Contains(out, "dropped") {
+		t.Errorf("drop = %q, err %v", out, err)
+	}
+	if _, err := capture(t, func() error { return dispatch(o, []string{"run", "books", "MORPH title"}) }); err == nil {
+		t.Error("run after drop should fail")
+	}
+}
+
+func TestDispatchQuery(t *testing.T) {
+	o := opts(t)
+	xml := tempXML(t)
+	if _, err := capture(t, func() error { return dispatch(o, []string{"shred", "books", xml}) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return dispatch(o, []string{"query", "books",
+			"MORPH author [ name title ]",
+			`for $a in doc("books")//author where $a/title = "X" return string($a/name)`})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "V" {
+		t.Errorf("guarded query = %q, want V", out)
+	}
+	if _, err := capture(t, func() error {
+		return dispatch(o, []string{"query", "books", "MORPH ["})
+	}); err == nil {
+		t.Error("bad query usage accepted")
+	}
+}

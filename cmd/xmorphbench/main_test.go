@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestParseFloats(t *testing.T) {
+	fs, err := parseFloats("0.1, 0.2,0.5")
+	if err != nil || len(fs) != 3 || fs[2] != 0.5 {
+		t.Errorf("parseFloats = %v, %v", fs, err)
+	}
+	if _, err := parseFloats("a,b"); err == nil {
+		t.Error("bad floats accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	ns, err := parseInts("100, 200")
+	if err != nil || len(ns) != 2 || ns[1] != 200 {
+		t.Errorf("parseInts = %v, %v", ns, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad ints accepted")
+	}
+}

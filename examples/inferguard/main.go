@@ -1,0 +1,68 @@
+// Inferguard: deriving the query guard from the query itself — the guard
+// inference the paper's Section X lists as an open problem. The label
+// paths an XQuery query traverses become the MORPH pattern it needs; the
+// inferred guard is then type-checked and run like a hand-written one,
+// closing the loop: write the query once, run it on any shape.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmorph/internal/core"
+	"xmorph/internal/infer"
+	"xmorph/internal/xmltree"
+	"xmorph/internal/xq"
+)
+
+// Three arrangements of the same facts (Figure 1 of the paper).
+var shapes = []struct {
+	name string
+	xml  string
+}{
+	{"titles on top", `<data>
+	  <book><title>X</title><author><name>V</name></author></book>
+	  <book><title>Y</title><author><name>U</name></author></book>
+	</data>`},
+	{"publisher on top", `<data>
+	  <publisher><name>W</name>
+	    <book><title>X</title><author><name>V</name></author></book>
+	    <book><title>Y</title><author><name>U</name></author></book>
+	  </publisher>
+	</data>`},
+	{"authors on top", `<data>
+	  <author><name>V</name><book><title>X</title></book></author>
+	  <author><name>U</name><book><title>Y</title></book></author>
+	</data>`},
+}
+
+const query = `for $a in doc("d.xml")//author
+where $a/book/title = "X"
+return string($a/name)`
+
+func main() {
+	g, err := infer.FromQuery(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query:\n%s\n\ninferred guard: %s\n\n", query, g)
+
+	for _, s := range shapes {
+		doc := xmltree.MustParse(s.xml)
+		res, err := core.Transform("CAST "+g, doc)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		wrapped := xmltree.MustParse("<w>" + res.Output.XML(false) + "</w>")
+		e := xq.New()
+		e.Bind("d.xml", wrapped)
+		out, err := e.QueryXML(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s -> verdict %-14s -> query answer: %q\n",
+			s.name, res.Loss.Verdict, out)
+	}
+
+	fmt.Println("\nOne query, one inferred guard, three shapes, one answer.")
+}

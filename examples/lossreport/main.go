@@ -1,0 +1,78 @@
+// Lossreport: the information-loss feedback workflow of Section V-B.
+//
+// The library data has authors whose <name> is optional (the author->name
+// edge has cardinality 0..1). The guard MUTATE name [ author ] makes every
+// author a child of a name — so authors without names would silently
+// vanish. XMorph detects this from the shapes alone, reports exactly which
+// path is responsible, and refuses to run without a cast. The fixed guard
+// MUTATE data [ name author ] keeps both types at the top and passes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmorph/internal/core"
+	"xmorph/internal/loss"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+const data = `<data>
+  <book><author><title>An Anonymous Work</title></author></book>
+  <book><author><name>V</name><title>A Signed Work</title></author></book>
+</data>`
+
+func main() {
+	doc := xmltree.MustParse(data)
+	sh := shape.FromDocument(doc)
+	fmt.Println("adorned shape of the data (note author -> name is 0..1):")
+	fmt.Println(sh)
+
+	// 1) The lossy guard is detected statically: no data is read.
+	// core.Analyze reports without enforcing; core.Check would reject.
+	lossy := "MUTATE name [ author ]"
+	checked, err := core.Analyze(lossy, sh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guard: %s\n%s\n", lossy, checked.Loss)
+	if checked.Loss.Verdict == loss.StronglyTyped {
+		log.Fatal("expected a lossy verdict")
+	}
+	if _, err := core.Check(lossy, sh); err == nil {
+		log.Fatal("strict mode should reject the guard")
+	} else {
+		fmt.Printf("strict mode rejects it:\n  %v\n\n", err)
+	}
+
+	// 2) Rendering it anyway (CAST) shows the loss the report predicted.
+	res, err := core.TransformString("CAST "+lossy, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	authors := 0
+	for _, n := range res.Output.Nodes() {
+		if n.Name == "author" {
+			authors++
+		}
+	}
+	fmt.Printf("forced with CAST: %d of 2 authors survive:\n%s\n\n", authors, res.Output.XML(true))
+
+	// 3) The paper's fix: hang both types below data. This is INCLUSIVE —
+	// no author or name is dropped — though still widening (a name hoisted
+	// to the top is now closest to every book), so it runs under
+	// CAST-WIDENING: the programmer accepts created relationships but
+	// rules out losing data.
+	fixed := "CAST-WIDENING MUTATE data [ name author ]"
+	resFixed, err := core.TransformString(fixed, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guard: %s\n%s", fixed, resFixed.Loss)
+	if !resFixed.Loss.Inclusive {
+		log.Fatal("the fix must be inclusive")
+	}
+	fmt.Println("inclusive: no data can be lost")
+	fmt.Println(resFixed.Output.XML(true))
+}

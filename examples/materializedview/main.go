@@ -1,0 +1,63 @@
+// Materializedview: keeping a transformed document consistent with its
+// source — the mitigation Section VIII sketches for the cost of physical
+// transformation ("materializing the transformation and mapping XUpdate
+// operations to updates of the transformation").
+//
+// A catalog shaped like Figure 1(b) is materialized as an author-centric
+// view. A price correction (a value update) lands in every rendered copy
+// without re-rendering; adding a book (a structural update) stales the
+// view, which re-type-checks and re-renders lazily on the next access.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmorph/internal/view"
+	"xmorph/internal/xmltree"
+)
+
+const catalog = `<data>
+  <publisher><name>W</name>
+    <book><title>X</title><price>30</price><author><name>V</name></author></book>
+    <book><title>Y</title><price>10</price><author><name>U</name></author></book>
+  </publisher>
+</data>`
+
+func main() {
+	v, err := view.Materialize("CAST MORPH author [ name book [ title price ] ]",
+		xmltree.MustParse(catalog))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := v.Output()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("materialized view:")
+	fmt.Println(out.XML(true))
+
+	// XUpdate case 1: a text update. 1.1.2.2 is the first book's price
+	// (data 1 -> publisher 1.1 -> book 1.1.2 -> price 1.1.2.2).
+	at, _ := xmltree.ParseDewey("1.1.2.2")
+	if err := v.UpdateValue(at, "25"); err != nil {
+		log.Fatal(err)
+	}
+	out, _ = v.Output()
+	fmt.Printf("after price correction (renders so far: %d):\n", v.Renders())
+	fmt.Println(out.XML(true))
+
+	// XUpdate case 2: a structural insert under the publisher (1.1).
+	pub, _ := xmltree.ParseDewey("1.1")
+	if err := v.InsertSubtree(pub,
+		`<book><title>Z</title><price>40</price><author><name>T</name></author></book>`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after inserting a book the view is stale: %v\n", v.Stale())
+	out, err = v.Output()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-rendered lazily (renders so far: %d):\n", v.Renders())
+	fmt.Println(out.XML(true))
+}

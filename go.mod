@@ -1,0 +1,3 @@
+module xmorph
+
+go 1.22

@@ -1,0 +1,315 @@
+// Package algebra implements the operator algebra of Section VIII: XMorph
+// programs translate to a tree of algebraic operators (Figure 9), which a
+// two-phase type analysis then annotates — candidate type sets flow up the
+// tree, closest operators keep only minimal-distance pairs, and the chosen
+// sets are pushed back down to prune the leaves.
+//
+// The interpreter proper (internal/semantics) performs the same selection
+// while building target shapes; this package exposes the algebra as an
+// inspectable artifact: cmd/xmorph -explain prints it, and the analysis
+// doubles as documentation of how labels were resolved.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"xmorph/internal/guard"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+// OpKind enumerates the algebra operators of Section VIII.
+type OpKind int
+
+const (
+	OpCompose OpKind = iota
+	OpMorph
+	OpMutate
+	OpTranslate
+	OpType
+	OpDrop
+	OpClosest
+	OpClone
+	OpNew
+	OpRestrict
+	OpChildren
+	OpDescendants
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCompose:
+		return "compose"
+	case OpMorph:
+		return "morph"
+	case OpMutate:
+		return "mutate"
+	case OpTranslate:
+		return "translate"
+	case OpType:
+		return "type"
+	case OpDrop:
+		return "drop"
+	case OpClosest:
+		return "closest"
+	case OpClone:
+		return "clone"
+	case OpNew:
+		return "new"
+	case OpRestrict:
+		return "restrict"
+	case OpChildren:
+		return "children"
+	case OpDescendants:
+		return "descendants"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Op is one algebra operator. Leaves are type(label) selections; closest
+// operators pair a parent expression with a child expression.
+type Op struct {
+	Kind    OpKind
+	Label   string         // type/new/drop label
+	Renames []guard.Rename // translate dictionary
+	Args    []*Op
+	// Types is filled by Analyze: the inferred source types after both
+	// analysis phases.
+	Types []string
+}
+
+// FromProgram translates a parsed guard into the algebra. Composition
+// becomes a left-leaning compose chain.
+func FromProgram(p *guard.Program) *Op {
+	var root *Op
+	for _, st := range p.Stages {
+		op := fromStage(st)
+		if root == nil {
+			root = op
+		} else {
+			root = &Op{Kind: OpCompose, Args: []*Op{root, op}}
+		}
+	}
+	return root
+}
+
+func fromStage(st *guard.Stage) *Op {
+	switch st.Kind {
+	case guard.StageTranslate:
+		return &Op{Kind: OpTranslate, Renames: st.Renames}
+	case guard.StageMutate:
+		return &Op{Kind: OpMutate, Args: fromTerms(st.Patterns)}
+	default:
+		return &Op{Kind: OpMorph, Args: fromTerms(st.Patterns)}
+	}
+}
+
+func fromTerms(terms []*guard.Term) []*Op {
+	ops := make([]*Op, 0, len(terms))
+	for _, t := range terms {
+		ops = append(ops, fromTerm(t))
+	}
+	return ops
+}
+
+// fromTerm folds a pattern term into closest operators: each bracketed
+// child adds one closest(acc, child) layer (Figure 9's shape).
+func fromTerm(t *guard.Term) *Op {
+	var acc *Op
+	switch t.Kind {
+	case guard.TermLabel:
+		acc = &Op{Kind: OpType, Label: t.Label}
+	case guard.TermNew:
+		acc = &Op{Kind: OpNew, Label: t.Label}
+	case guard.TermDrop:
+		acc = &Op{Kind: OpDrop, Args: []*Op{fromTerm(t.Operand)}}
+	case guard.TermClone:
+		acc = &Op{Kind: OpClone, Args: []*Op{fromTerm(t.Operand)}}
+	case guard.TermRestrict:
+		acc = &Op{Kind: OpRestrict, Args: []*Op{fromTerm(t.Operand)}}
+	case guard.TermChildren:
+		return &Op{Kind: OpChildren}
+	case guard.TermDescendants:
+		return &Op{Kind: OpDescendants}
+	}
+	for _, kid := range t.Kids {
+		acc = &Op{Kind: OpClosest, Args: []*Op{acc, fromTerm(kid)}}
+	}
+	return acc
+}
+
+// String renders the operator tree with indentation (the Figure 9 view).
+func (o *Op) String() string {
+	var b strings.Builder
+	o.write(&b, 0)
+	return b.String()
+}
+
+func (o *Op) write(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(o.Kind.String())
+	switch o.Kind {
+	case OpType, OpNew, OpDrop:
+		if o.Label != "" {
+			fmt.Fprintf(b, "(%s)", o.Label)
+		}
+	case OpTranslate:
+		parts := make([]string, len(o.Renames))
+		for i, r := range o.Renames {
+			parts[i] = r.From + " -> " + r.To
+		}
+		fmt.Fprintf(b, "(%s)", strings.Join(parts, ", "))
+	}
+	if len(o.Types) > 0 {
+		fmt.Fprintf(b, " :: %v", o.Types)
+	}
+	b.WriteString("\n")
+	for _, a := range o.Args {
+		a.write(b, depth+1)
+	}
+}
+
+// Analyze runs the two-phase type analysis against an input shape,
+// annotating every operator's Types in place. Phase one flows candidate
+// sets up; each closest operator keeps only type pairs at minimal type
+// distance. Phase two pushes the surviving sets down to the leaves so no
+// operator generates data for types unused above it.
+func Analyze(o *Op, in *shape.Shape) {
+	up(o, in)
+	down(o, o.Types)
+}
+
+// up flows candidate sets toward the root and returns the op's set.
+func up(o *Op, in *shape.Shape) []string {
+	switch o.Kind {
+	case OpType:
+		for _, t := range in.Types() {
+			if matchesLabel(o.Label, t) {
+				o.Types = append(o.Types, t)
+			}
+		}
+	case OpClosest:
+		parents := up(o.Args[0], in)
+		children := up(o.Args[1], in)
+		o.Types = closestParents(parents, children)
+	case OpCompose, OpMorph, OpMutate, OpDrop, OpClone, OpRestrict:
+		for _, a := range o.Args {
+			o.Types = append(o.Types, up(a, in)...)
+		}
+	case OpNew, OpTranslate, OpChildren, OpDescendants:
+		// No source types of their own.
+	}
+	return o.Types
+}
+
+// down prunes each operator's set to those consistent with its parent.
+func down(o *Op, keep []string) {
+	if o.Kind == OpType || o.Kind == OpClosest {
+		o.Types = intersect(o.Types, keep)
+	}
+	switch o.Kind {
+	case OpClosest:
+		// The parent arm keeps the closest-op's own (parent) set; the
+		// child arm keeps types at minimal distance to a kept parent.
+		down(o.Args[0], o.Types)
+		down(o.Args[1], closestChildren(o.Types, o.Args[1].Types))
+	default:
+		for _, a := range o.Args {
+			down(a, keep)
+		}
+	}
+}
+
+// closestParents keeps the parent types participating in minimal-distance
+// pairs (the up phase of the closest operator).
+func closestParents(parents, children []string) []string {
+	if len(parents) == 0 {
+		return nil
+	}
+	if len(children) == 0 {
+		return parents // child arm is NEW/children/etc: no pruning
+	}
+	min := -1
+	for _, p := range parents {
+		for _, c := range children {
+			if d := xmltree.TypeDistance(p, c); min < 0 || d < min {
+				min = d
+			}
+		}
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range parents {
+		for _, c := range children {
+			if xmltree.TypeDistance(p, c) == min && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// closestChildren keeps the child types at minimal distance to any kept
+// parent (the down phase).
+func closestChildren(parents, children []string) []string {
+	if len(parents) == 0 || len(children) == 0 {
+		return children
+	}
+	min := -1
+	for _, p := range parents {
+		for _, c := range children {
+			if d := xmltree.TypeDistance(p, c); min < 0 || d < min {
+				min = d
+			}
+		}
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range children {
+		for _, p := range parents {
+			if xmltree.TypeDistance(p, c) == min && !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func intersect(a, keep []string) []string {
+	if keep == nil {
+		return a
+	}
+	set := map[string]bool{}
+	for _, k := range keep {
+		set[k] = true
+	}
+	var out []string
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// matchesLabel mirrors the semantics package's label matching: plain
+// labels match the last path component case-insensitively, dotted labels
+// match dotted suffixes.
+func matchesLabel(label, typePath string) bool {
+	l := strings.ToLower(label)
+	p := strings.ToLower(typePath)
+	if !strings.Contains(l, xmltree.TypeSep) {
+		last := p
+		if i := strings.LastIndex(p, xmltree.TypeSep); i >= 0 {
+			last = p[i+1:]
+		}
+		if !strings.HasPrefix(l, "@") {
+			last = strings.TrimPrefix(last, "@")
+		}
+		return l == last
+	}
+	return p == l || strings.HasSuffix(p, xmltree.TypeSep+l)
+}

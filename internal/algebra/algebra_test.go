@@ -1,0 +1,145 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"xmorph/internal/guard"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+// TestFig9Translation reproduces Figure 9: the example query translates to
+// a morph over nested closest operators with type leaves.
+func TestFig9Translation(t *testing.T) {
+	p := guard.MustParse("MORPH author [name publisher [name book [title price]]]")
+	op := FromProgram(p)
+	s := op.String()
+	for _, want := range []string{"morph", "closest", "type(author)", "type(name)", "type(publisher)", "type(book)", "type(title)", "type(price)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("algebra missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Count(s, "closest") != 6 {
+		t.Errorf("expected 6 closest operators (one per bracketed child):\n%s", s)
+	}
+	if op.Kind != OpMorph {
+		t.Errorf("root = %v", op.Kind)
+	}
+}
+
+func TestComposeChain(t *testing.T) {
+	p := guard.MustParse("MORPH a | MUTATE b | TRANSLATE a -> c")
+	op := FromProgram(p)
+	if op.Kind != OpCompose {
+		t.Fatalf("root = %v", op.Kind)
+	}
+	if op.Args[1].Kind != OpTranslate {
+		t.Errorf("right arm = %v", op.Args[1].Kind)
+	}
+	if op.Args[0].Kind != OpCompose {
+		t.Errorf("left arm = %v (compose chains left)", op.Args[0].Kind)
+	}
+	if !strings.Contains(op.String(), "translate(a -> c)") {
+		t.Errorf("translate missing dictionary:\n%s", op)
+	}
+}
+
+func TestWrapperOperators(t *testing.T) {
+	p := guard.MustParse("MUTATE (NEW scribe) [ author ] (DROP title) x [ CLONE y (RESTRICT z [ w ]) ]")
+	s := FromProgram(p).String()
+	for _, want := range []string{"new(scribe)", "drop", "clone", "restrict"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestAnalyzeResolvesAmbiguity(t *testing.T) {
+	doc := xmltree.MustParse(`<data>
+	  <book>
+	    <author><name>V</name></author>
+	    <publisher><name>W</name></publisher>
+	  </book>
+	</data>`)
+	in := shape.FromDocument(doc)
+	op := FromProgram(guard.MustParse("MORPH author [ name ]"))
+	Analyze(op, in)
+	// The closest op's child arm must resolve name to the author's name.
+	cl := op.Args[0]
+	if cl.Kind != OpClosest {
+		t.Fatalf("arg = %v", cl.Kind)
+	}
+	child := cl.Args[1]
+	if len(child.Types) != 1 || child.Types[0] != "data.book.author.name" {
+		t.Errorf("name resolved to %v, want author name", child.Types)
+	}
+	if len(cl.Types) != 1 || cl.Types[0] != "data.book.author" {
+		t.Errorf("closest parent types = %v", cl.Types)
+	}
+}
+
+func TestAnalyzePushdownPrunesParents(t *testing.T) {
+	// Two author types; only book.author is closest to isbn.
+	doc := xmltree.MustParse(`<lib>
+	  <book><author>A</author><isbn>1</isbn></book>
+	  <journal><author>B</author></journal>
+	</lib>`)
+	in := shape.FromDocument(doc)
+	op := FromProgram(guard.MustParse("MORPH author [ isbn ]"))
+	Analyze(op, in)
+	cl := op.Args[0]
+	if len(cl.Types) != 1 || cl.Types[0] != "lib.book.author" {
+		t.Errorf("parent pruning failed: %v", cl.Types)
+	}
+}
+
+func TestAnalyzeTypeLeafAnnotation(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b/><c><b/></c></a>`)
+	op := FromProgram(guard.MustParse("MORPH b"))
+	Analyze(op, shape.FromDocument(doc))
+	leaf := op.Args[0]
+	if len(leaf.Types) != 2 {
+		t.Errorf("b should match both types: %v", leaf.Types)
+	}
+	if !strings.Contains(op.String(), ":: [") {
+		t.Errorf("analysis annotation missing:\n%s", op)
+	}
+}
+
+func TestAnalyzeComposePipesTypes(t *testing.T) {
+	doc := xmltree.MustParse(`<data><a><b>1</b></a></data>`)
+	in := shape.FromDocument(doc)
+	op := FromProgram(guard.MustParse("MORPH a [ b ] | MUTATE (DROP b)"))
+	Analyze(op, in)
+	if op.Kind != OpCompose {
+		t.Fatalf("root = %v", op.Kind)
+	}
+	// The left (MORPH) arm resolved a and b against the source shape.
+	left := op.Args[0]
+	if len(left.Types) == 0 {
+		t.Errorf("compose left arm has no types:\n%s", op)
+	}
+}
+
+func TestAnalyzeStarOperators(t *testing.T) {
+	doc := xmltree.MustParse(`<data><a><b/><c/></a></data>`)
+	op := FromProgram(guard.MustParse("MORPH a [ * ]"))
+	Analyze(op, shape.FromDocument(doc))
+	s := op.String()
+	if !strings.Contains(s, "children") {
+		t.Errorf("children op missing:\n%s", s)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := []OpKind{OpCompose, OpMorph, OpMutate, OpTranslate, OpType, OpDrop, OpClosest, OpClone, OpNew, OpRestrict, OpChildren, OpDescendants}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d has bad/duplicate string %q", int(k), s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/store"
+	"xmorph/internal/sysmon"
+)
+
+// Fig10Row is one XMark factor's measurements: the three plotted series
+// (XMorph render, XMorph compile, eXist-equivalent dump) plus the shred
+// cost the paper reports in prose.
+type Fig10Row struct {
+	Factor     float64
+	XMLBytes   int
+	Nodes      int
+	Types      int
+	ShredMS    float64
+	CompileMS  float64
+	RenderMS   float64
+	BaselineMS float64
+	// Samples is the sysmon timeline of the render run (Figs. 11-13).
+	Samples []sysmon.Sample
+}
+
+// Fig10Guard is the transformation the paper evaluates: mutate the entire
+// document (all types).
+const Fig10Guard = "CAST MUTATE site"
+
+// RunFig10 measures transformation cost versus data size on XMark
+// documents, also collecting the resource timelines behind Figs. 11-13.
+func RunFig10(cfg Config) ([]Fig10Row, error) {
+	dir, cleanup, err := cfg.workdir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	var rows []Fig10Row
+	for _, f := range cfg.XMarkFactors {
+		doc := xmark.Generate(xmark.Config{Factor: f, Seed: cfg.Seed})
+		name := fmt.Sprintf("xmark-%g", f)
+		path, shred, bytes, err := prepareStore(dir, name, doc, cfg.CachePages)
+		if err != nil {
+			return nil, err
+		}
+
+		// Monitored run: reopen cold, attach sysmon, transform.
+		st, err := coldOpen(path, cfg.CachePages)
+		if err != nil {
+			return nil, err
+		}
+		mon := sysmon.Start(cfg.MonitorInterval, st.Stats)
+		compile, renderT, _, err := runStoredOn(st, name, Fig10Guard)
+		samples := mon.Stop()
+		st.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		baseline, err := runBaseline(path, name, cfg.CachePages)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{
+			Factor:     f,
+			XMLBytes:   bytes,
+			Nodes:      doc.Size(),
+			Types:      len(doc.Types()),
+			ShredMS:    ms(shred),
+			CompileMS:  ms(compile),
+			RenderMS:   ms(renderT),
+			BaselineMS: ms(baseline),
+			Samples:    samples,
+		})
+	}
+	return rows, nil
+}
+
+// runStoredOn is runStored against an already-open store (so a monitor can
+// watch its counters).
+func runStoredOn(st *store.Store, name, guard string) (compile, renderT time.Duration, outNodes int, err error) {
+	res, err := transformStoredDiscard(st, name, guard)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.compile, res.render, res.nodes, nil
+}
+
+// Fig10Table renders the Figure 10 series.
+func Fig10Table(rows []Fig10Row) *Table {
+	t := &Table{
+		Title:   "Fig 10: transformation cost vs data size (XMark, MUTATE site)",
+		Columns: []string{"factor", "xml-MB", "nodes", "types", "shred-ms", "compile-ms", "render-ms", "baseline-ms"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", r.Factor),
+			f2(float64(r.XMLBytes) / (1 << 20)),
+			fmt.Sprint(r.Nodes),
+			fmt.Sprint(r.Types),
+			f1(r.ShredMS),
+			f2(r.CompileMS),
+			f1(r.RenderMS),
+			f1(r.BaselineMS),
+		})
+	}
+	return t
+}
+
+// Fig11Table renders cumulative block I/O over each run's timeline.
+func Fig11Table(rows []Fig10Row) *Table {
+	t := &Table{
+		Title:   "Fig 11: cumulative block I/O during the transformation",
+		Columns: []string{"factor", "elapsed-ms", "blocks-in", "blocks-out", "cumulative"},
+	}
+	for _, r := range rows {
+		for _, s := range r.Samples {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", r.Factor),
+				fmt.Sprint(s.Elapsed.Milliseconds()),
+				fmt.Sprint(s.BlocksRead),
+				fmt.Sprint(s.BlocksWritten),
+				fmt.Sprint(s.CumulativeBlocks()),
+			})
+		}
+	}
+	return t
+}
+
+// Fig12Table renders the I/O wait percentage timeline.
+func Fig12Table(rows []Fig10Row) *Table {
+	t := &Table{
+		Title:   "Fig 12: CPU wait percentage (time inside block I/O)",
+		Columns: []string{"factor", "elapsed-ms", "wait-pct"},
+	}
+	for _, r := range rows {
+		for _, s := range r.Samples {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", r.Factor),
+				fmt.Sprint(s.Elapsed.Milliseconds()),
+				f1(s.WaitPct),
+			})
+		}
+	}
+	return t
+}
+
+// Fig13Table renders the memory timeline.
+func Fig13Table(rows []Fig10Row) *Table {
+	t := &Table{
+		Title:   "Fig 13: memory during the transformation",
+		Columns: []string{"factor", "elapsed-ms", "heap-alloc-MB", "heap-sys-MB"},
+	}
+	for _, r := range rows {
+		for _, s := range r.Samples {
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%g", r.Factor),
+				fmt.Sprint(s.Elapsed.Milliseconds()),
+				f1(float64(s.HeapAlloc) / (1 << 20)),
+				f1(float64(s.HeapSys) / (1 << 20)),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,154 @@
+// Package closest implements the closest relation of Definition 2, the
+// closest graph of Definition 1, and the Dewey-number closest join of
+// Section VII.
+//
+// Two vertices are closest when their tree distance equals the type
+// distance of their types (the minimum distance between any two vertices of
+// those types). With rooted type paths this has a purely structural
+// characterization: v and w are closest if and only if their Dewey numbers
+// share a prefix exactly as long as the common label prefix of their type
+// paths — which is what lets the join run as a merge over two
+// document-ordered node sequences.
+package closest
+
+import (
+	"strings"
+
+	"xmorph/internal/xmltree"
+)
+
+// TypeLCP returns the number of leading path components shared by the two
+// rooted type paths. The least common ancestor of a closest pair sits at
+// exactly this Dewey depth.
+func TypeLCP(t1, t2 string) int {
+	p1 := strings.Split(t1, xmltree.TypeSep)
+	p2 := strings.Split(t2, xmltree.TypeSep)
+	n := len(p1)
+	if len(p2) < n {
+		n = len(p2)
+	}
+	l := 0
+	for l < n && p1[l] == p2[l] {
+		l++
+	}
+	return l
+}
+
+// IsClosest reports whether v and w are closest (Definition 2): their tree
+// distance equals the type distance of their types.
+func IsClosest(v, w *xmltree.Node) bool {
+	return v.Distance(w) == xmltree.TypeDistance(v.Type, w.Type)
+}
+
+// Pair is one closest pair produced by a join. V is from the left (parent)
+// sequence and W from the right (child) sequence.
+type Pair struct {
+	V *xmltree.Node
+	W *xmltree.Node
+}
+
+// Join performs the closest join of Section VII between two node sequences
+// in document order. Every node in vs must have the same type, likewise ws
+// (the sequences come from the TypeToSequence table). It returns the
+// closest pairs ordered by (V, W) document order.
+//
+// The join predicate is structural: a pair is closest when the Dewey
+// numbers share a prefix of exactly TypeLCP(typeof vs, typeof ws)
+// components, so the join is a single merge over the two sorted sequences
+// with a cross product inside each shared-prefix group — O(input + output).
+func Join(vs, ws []*xmltree.Node) []Pair {
+	if len(vs) == 0 || len(ws) == 0 {
+		return nil
+	}
+	l := TypeLCP(vs[0].Type, ws[0].Type)
+	if vs[0].Type == ws[0].Type {
+		// Same type: only reflexive pairs are closest (distance 0).
+		// The sequences enumerate the same nodes.
+		out := make([]Pair, 0, len(vs))
+		for _, v := range vs {
+			out = append(out, Pair{V: v, W: v})
+		}
+		return out
+	}
+	var out []Pair
+	i, j := 0, 0
+	for i < len(vs) && j < len(ws) {
+		ki := prefixKey(vs[i].Dewey, l)
+		kj := prefixKey(ws[j].Dewey, l)
+		c := ki.Compare(kj)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			// Collect the group of vs and ws sharing this prefix and
+			// emit the cross product.
+			i2 := i
+			for i2 < len(vs) && prefixKey(vs[i2].Dewey, l).Equal(ki) {
+				i2++
+			}
+			j2 := j
+			for j2 < len(ws) && prefixKey(ws[j2].Dewey, l).Equal(ki) {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					out = append(out, Pair{V: vs[a], W: ws[b]})
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return out
+}
+
+// JoinWith streams the closest join, invoking fn for each pair grouped by
+// V in document order. It allocates no pair slice; the renderer uses it to
+// pipeline joins (Section VII's streaming evaluation).
+func JoinWith(vs, ws []*xmltree.Node, fn func(v, w *xmltree.Node)) {
+	if len(vs) == 0 || len(ws) == 0 {
+		return
+	}
+	if vs[0].Type == ws[0].Type {
+		for _, v := range vs {
+			fn(v, v)
+		}
+		return
+	}
+	l := TypeLCP(vs[0].Type, ws[0].Type)
+	i, j := 0, 0
+	for i < len(vs) && j < len(ws) {
+		ki := prefixKey(vs[i].Dewey, l)
+		kj := prefixKey(ws[j].Dewey, l)
+		c := ki.Compare(kj)
+		switch {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			i2 := i
+			for i2 < len(vs) && prefixKey(vs[i2].Dewey, l).Equal(ki) {
+				i2++
+			}
+			j2 := j
+			for j2 < len(ws) && prefixKey(ws[j2].Dewey, l).Equal(ki) {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					fn(vs[a], ws[b])
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+}
+
+func prefixKey(d xmltree.Dewey, l int) xmltree.Dewey {
+	if l > len(d) {
+		l = len(d)
+	}
+	return d[:l]
+}

@@ -1,0 +1,210 @@
+package closest
+
+import (
+	"xmorph/internal/xmltree"
+)
+
+// Graph is a materialized closest graph (Definition 1): one vertex per
+// element/attribute of a document and an undirected edge for every closest
+// pair. Materialization is O(n^2) in the worst case; it exists for the
+// analysis API and for tests — the renderer never materializes it and
+// computes closest pairs on demand with Join (Section VII).
+type Graph struct {
+	vertices []*xmltree.Node
+	// edges holds each undirected edge once, keyed by ordered Ord pair.
+	edges map[[2]int]bool
+}
+
+// Build materializes the closest graph of a document by joining every pair
+// of type sequences. Reflexive pairs (a vertex is closest to itself) are
+// not stored as edges.
+func Build(d *xmltree.Document) *Graph {
+	return BuildTypes(d, d.Types())
+}
+
+// BuildTypes materializes the closest graph restricted to the given types
+// — the sub-graph a type-subset transformation (Definition 8 relative to
+// the retained types) is compared against.
+func BuildTypes(d *xmltree.Document, types []string) *Graph {
+	g := &Graph{edges: make(map[[2]int]bool)}
+	for _, t := range types {
+		g.vertices = append(g.vertices, d.NodesOfType(t)...)
+	}
+	for i, t1 := range types {
+		for _, t2 := range types[i+1:] {
+			for _, p := range Join(d.NodesOfType(t1), d.NodesOfType(t2)) {
+				g.addEdge(p.V, p.W)
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(v, w *xmltree.Node) {
+	if v == w {
+		return
+	}
+	a, b := v.Ord, w.Ord
+	if a > b {
+		a, b = b, a
+	}
+	g.edges[[2]int{a, b}] = true
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the number of undirected closest edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Closest reports whether v and w are joined by a closest edge (or are the
+// same vertex).
+func (g *Graph) Closest(v, w *xmltree.Node) bool {
+	if v == w {
+		return true
+	}
+	a, b := v.Ord, w.Ord
+	if a > b {
+		a, b = b, a
+	}
+	return g.edges[[2]int{a, b}]
+}
+
+// Result classifies a transformation empirically, per Section V-A: let G be
+// the source closest graph and H the closest graph of the transformed
+// instance, with output vertices identified with the source vertices they
+// were rendered from. The transform is non-additive when H ⊆ G, inclusive
+// when G ⊆ H, and reversible when both hold.
+//
+// The counters quantify the loss — the refinement the paper's Section X
+// asks for ("the transformation manufactures 30% new information"): how
+// many source vertices and closest edges were dropped, and how many
+// vertices and edges the output manufactures.
+type Result struct {
+	NonAdditive bool
+	Inclusive   bool
+
+	// SrcVertices / SrcEdges size the source closest graph.
+	SrcVertices int
+	SrcEdges    int
+	// LostVertices / LostEdges count source entities with no counterpart
+	// in the output.
+	LostVertices int
+	LostEdges    int
+	// CreatedVertices / CreatedEdges count output entities with no
+	// counterpart in the source (manufactured elements and new closest
+	// relationships).
+	CreatedVertices int
+	CreatedEdges    int
+}
+
+// LossPct is the share (0-100) of source information dropped: lost
+// vertices and edges over source vertices and edges.
+func (r Result) LossPct() float64 {
+	total := r.SrcVertices + r.SrcEdges
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.LostVertices+r.LostEdges) / float64(total)
+}
+
+// CreatedPct is the share (0-100) of the output's information that is new
+// relative to the source.
+func (r Result) CreatedPct() float64 {
+	total := r.SrcVertices + r.SrcEdges + r.CreatedVertices + r.CreatedEdges
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.CreatedVertices+r.CreatedEdges) / float64(total)
+}
+
+// Reversible reports H ⊆ G ∧ G ⊆ H.
+func (r Result) Reversible() bool { return r.NonAdditive && r.Inclusive }
+
+// Compare relates the closest graph of a source document to the closest
+// graph of a transformed instance rendered from it (Definition 5 with
+// vertices identified through Node.Origin). Output vertices without an
+// origin — manufactured by NEW — count as additions. Duplicated renderings
+// of the same source vertex collapse.
+func Compare(src, out *Graph) Result {
+	r := Result{NonAdditive: true, Inclusive: true}
+
+	srcV := make(map[int]bool, len(src.vertices))
+	srcNodes := make(map[*xmltree.Node]bool, len(src.vertices))
+	for _, v := range src.vertices {
+		srcV[v.Ord] = true
+		srcNodes[v] = true
+	}
+
+	r.SrcVertices = len(src.vertices)
+	r.SrcEdges = len(src.edges)
+
+	// Project the output graph onto source vertices. A vertex whose origin
+	// chain does not land on a source vertex was manufactured (NEW).
+	outV := make(map[int]bool, len(out.vertices))
+	manufacturedSet := map[*xmltree.Node]bool{}
+	for _, v := range out.vertices {
+		o := v.Origin()
+		if !srcNodes[o] {
+			manufacturedSet[v] = true
+			continue
+		}
+		outV[o.Ord] = true
+	}
+	if len(manufacturedSet) > 0 {
+		r.NonAdditive = false
+		r.CreatedVertices = len(manufacturedSet)
+	}
+
+	outE := make(map[[2]int]bool, len(out.edges))
+	byOrd := make(map[int]*xmltree.Node, len(out.vertices))
+	for _, v := range out.vertices {
+		byOrd[v.Ord] = v
+	}
+	for e := range out.edges {
+		v, w := byOrd[e[0]].Origin(), byOrd[e[1]].Origin()
+		if !srcNodes[v] || !srcNodes[w] {
+			// Edge touches a manufactured vertex: an addition.
+			r.NonAdditive = false
+			r.CreatedEdges++
+			continue
+		}
+		a, b := v.Ord, w.Ord
+		if a == b {
+			continue // duplicates of one source vertex joined to each other
+		}
+		if a > b {
+			a, b = b, a
+		}
+		outE[[2]int{a, b}] = true
+	}
+
+	// H ⊆ G: projected output vertices and edges all exist in the source.
+	for o := range outV {
+		if !srcV[o] {
+			r.NonAdditive = false
+			r.CreatedVertices++
+		}
+	}
+	for e := range outE {
+		if !src.edges[e] {
+			r.NonAdditive = false
+			r.CreatedEdges++
+		}
+	}
+
+	// G ⊆ H: every source vertex and closest edge survives.
+	for o := range srcV {
+		if !outV[o] {
+			r.Inclusive = false
+			r.LostVertices++
+		}
+	}
+	for e := range src.edges {
+		if !outE[e] {
+			r.Inclusive = false
+			r.LostEdges++
+		}
+	}
+	return r
+}

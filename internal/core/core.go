@@ -1,0 +1,170 @@
+// Package core is the XMorph 2.0 interpreter — the paper's primary
+// contribution assembled into one pipeline (Figure 8):
+//
+//	parse guard -> compile against the adorned shape (type analysis,
+//	label-to-type report) -> potential-information-loss check (CAST
+//	enforcement) -> shape generation -> render to XML.
+//
+// The compile phase never touches the data, only the adorned shape; the
+// render phase streams over the touched type sequences (Section VII). The
+// two phases are timed separately because Figure 10 plots them separately.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xmorph/internal/closest"
+	"xmorph/internal/guard"
+	"xmorph/internal/loss"
+	"xmorph/internal/render"
+	"xmorph/internal/semantics"
+	"xmorph/internal/shape"
+	"xmorph/internal/store"
+	"xmorph/internal/xmltree"
+)
+
+// Checked is a compiled and loss-checked guard, ready to render.
+type Checked struct {
+	Program *guard.Program
+	Plan    *semantics.Plan
+	Loss    *loss.Report
+	// CompileTime covers parsing, shape compilation, and the loss check.
+	CompileTime time.Duration
+}
+
+// Analyze compiles guardSrc against an input shape and runs the
+// information-loss analysis WITHOUT enforcing the guard's CAST mode — for
+// inspecting why a guard would be rejected. No data is read.
+func Analyze(guardSrc string, sh *shape.Shape) (*Checked, error) {
+	start := time.Now()
+	prog, err := guard.Parse(guardSrc)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := semantics.Compile(prog, sh)
+	if err != nil {
+		return nil, err
+	}
+	return &Checked{
+		Program:     prog,
+		Plan:        plan,
+		Loss:        loss.Analyze(plan),
+		CompileTime: time.Since(start),
+	}, nil
+}
+
+// Check is Analyze plus type enforcement: by default only strongly-typed
+// guards pass; CAST modifiers widen what is admitted (Section III). This
+// is the whole "compile" cost of Figure 10.
+func Check(guardSrc string, sh *shape.Shape) (*Checked, error) {
+	checked, err := Analyze(guardSrc, sh)
+	if err != nil {
+		return nil, err
+	}
+	if err := loss.Enforce(checked.Program.Cast, checked.Loss); err != nil {
+		return nil, err
+	}
+	return checked, nil
+}
+
+// Result is a completed transformation.
+type Result struct {
+	*Checked
+	Output *xmltree.Document
+	// RenderTime covers the single-pass render of the composed target.
+	RenderTime time.Duration
+}
+
+// LabelReport renders the label-to-type report (Section VIII).
+func (c *Checked) LabelReport() string {
+	if len(c.Plan.Labels) == 0 {
+		return "no labels resolved\n"
+	}
+	out := ""
+	for _, l := range c.Plan.Labels {
+		switch {
+		case l.Filled:
+			out += fmt.Sprintf("label %q: no matching type; TYPE-FILL manufactured <%s>\n", l.Label, l.Label)
+		case len(l.Candidates) > 1:
+			out += fmt.Sprintf("label %q: ambiguous over %v; resolved to %v\n", l.Label, l.Candidates, l.Types)
+		default:
+			out += fmt.Sprintf("label %q: %v\n", l.Label, l.Types)
+		}
+	}
+	return out
+}
+
+// Render runs the checked guard over a source in a single pass: composed
+// stages were already folded into one target shape at compile time
+// (Section VI's Ψ[P](G, S) = render(G, ξ[P](S))), so the data is read
+// once regardless of how many operations the guard composes — the property
+// Figure 16 measures.
+func (c *Checked) Render(src render.Source) (*Result, error) {
+	start := time.Now()
+	out, err := render.Render(src, c.Plan.ComposedTarget())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Checked:    c,
+		Output:     out,
+		RenderTime: time.Since(start),
+	}, nil
+}
+
+// Transform compiles and runs a guard over an in-memory document.
+func Transform(guardSrc string, doc *xmltree.Document) (*Result, error) {
+	checked, err := Check(guardSrc, shape.FromDocument(doc))
+	if err != nil {
+		return nil, err
+	}
+	return checked.Render(doc)
+}
+
+// TransformString parses an XML string and transforms it; convenience for
+// examples and tests.
+func TransformString(guardSrc, xmlSrc string) (*Result, error) {
+	doc, err := xmltree.ParseString(xmlSrc)
+	if err != nil {
+		return nil, err
+	}
+	return Transform(guardSrc, doc)
+}
+
+// TransformStored compiles a guard against the stored adorned shape of a
+// shredded document (the shape record is tiny relative to the data) and
+// renders from the store's lazy type sequences.
+func TransformStored(guardSrc string, st *store.Store, docName string) (*Result, error) {
+	sh, err := st.Shape(docName)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := Check(guardSrc, sh)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := st.Doc(docName)
+	if err != nil {
+		return nil, err
+	}
+	return checked.Render(doc)
+}
+
+// Verify empirically compares the closest graphs of a source document and
+// a rendered output (Definition 5, run literally over the instances) and
+// quantifies the loss — the "30% new information" refinement the paper's
+// Section X asks for. It materializes both closest graphs, so use it on
+// documents, not whole corpora; the static Loss report is the scalable
+// check.
+func Verify(src, out *xmltree.Document) closest.Result {
+	return closest.Compare(closest.Build(src), closest.Build(out))
+}
+
+// Stream renders the checked guard directly to w without materializing
+// the output tree (Section VII's streaming evaluation); it returns the
+// number of elements and attributes written.
+func (c *Checked) Stream(src render.Source, w io.Writer) (int, error) {
+	return render.Stream(src, c.Plan.ComposedTarget(), w)
+}

@@ -1,0 +1,105 @@
+// Package dblp generates DBLP-like bibliography documents: the paper's
+// second experiment runs over slices of DBLP.xml, whose shape roughly
+// matches Figure 1 — a flat sequence of publications, each carrying
+// author/title/year/pages/url children. The generator is deterministic in
+// (publications, seed); slices of the paper's 134-518 MB files are
+// replaced by publication-count-parameterised synthetic documents.
+package dblp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmorph/internal/xmltree"
+)
+
+var lastNames = []string{
+	"Dyreson", "Bhowmick", "Codd", "Stonebraker", "Gray", "Widom",
+	"Abiteboul", "Ullman", "Garcia-Molina", "DeWitt", "Bernstein",
+	"Chaudhuri", "Naughton", "Suciu", "Halevy", "Florescu",
+}
+var firstInitials = []string{"A.", "B.", "C.", "D.", "E.", "F.", "G.", "H.", "J.", "K.", "L.", "M.", "N.", "P.", "R.", "S."}
+
+var titleWords = []string{
+	"Querying", "XML", "Data", "Shapes", "Streams", "Joins", "Indexing",
+	"Optimization", "Semantics", "Transactions", "Views", "Schema",
+	"Evolution", "Incremental", "Distributed", "Adaptive", "Efficient",
+	"Scalable", "Temporal", "Probabilistic",
+}
+
+var journals = []string{"TODS", "VLDB J.", "SIGMOD Record", "TKDE", "Inf. Syst."}
+var conferences = []string{"ICDE", "SIGMOD Conference", "VLDB", "EDBT", "CIKM"}
+
+// Config scales the generated bibliography.
+type Config struct {
+	// Publications is the number of article/inproceedings entries.
+	Publications int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// Generate builds the document in memory.
+func Generate(cfg Config) *xmltree.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := xmltree.NewBuilder().Elem("dblp")
+	for i := 0; i < cfg.Publications; i++ {
+		if rng.Intn(2) == 0 {
+			article(b, rng, i)
+		} else {
+			inproceedings(b, rng, i)
+		}
+	}
+	return b.End().MustDocument()
+}
+
+func title(rng *rand.Rand) string {
+	n := 3 + rng.Intn(5)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += titleWords[rng.Intn(len(titleWords))]
+	}
+	return out + "."
+}
+
+func author(rng *rand.Rand) string {
+	return firstInitials[rng.Intn(len(firstInitials))] + " " + lastNames[rng.Intn(len(lastNames))]
+}
+
+func pages(rng *rand.Rand) string {
+	start := 1 + rng.Intn(800)
+	return fmt.Sprintf("%d-%d", start, start+4+rng.Intn(20))
+}
+
+func article(b *xmltree.Builder, rng *rand.Rand, i int) {
+	year := 1990 + rng.Intn(22)
+	b.Elem("article").Attr("key", fmt.Sprintf("journals/x/entry%d", i))
+	for a := 0; a <= rng.Intn(3); a++ {
+		b.Leaf("author", author(rng))
+	}
+	b.Leaf("title", title(rng))
+	b.Leaf("pages", pages(rng))
+	b.Leaf("year", fmt.Sprint(year))
+	b.Leaf("volume", fmt.Sprint(1+rng.Intn(40)))
+	b.Leaf("journal", journals[rng.Intn(len(journals))])
+	b.Leaf("url", fmt.Sprintf("db/journals/x/x%d.html#entry%d", year, i))
+	b.End()
+}
+
+func inproceedings(b *xmltree.Builder, rng *rand.Rand, i int) {
+	year := 1990 + rng.Intn(22)
+	conf := conferences[rng.Intn(len(conferences))]
+	b.Elem("inproceedings").Attr("key", fmt.Sprintf("conf/x/entry%d", i))
+	for a := 0; a <= rng.Intn(4); a++ {
+		b.Leaf("author", author(rng))
+	}
+	b.Leaf("title", title(rng))
+	b.Leaf("pages", pages(rng))
+	b.Leaf("year", fmt.Sprint(year))
+	b.Leaf("booktitle", conf)
+	b.Leaf("url", fmt.Sprintf("db/conf/x/x%d.html#entry%d", year, i))
+	b.Leaf("crossref", fmt.Sprintf("conf/x/%d", year))
+	b.End()
+}

@@ -1,0 +1,57 @@
+package dblp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryPublicationHasRequiredFields(t *testing.T) {
+	d := Generate(Config{Publications: 200, Seed: 3})
+	for _, kind := range []string{"article", "inproceedings"} {
+		for _, p := range d.NodesOfType("dblp." + kind) {
+			var hasAuthor, hasTitle, hasYear, hasKey bool
+			for _, c := range p.Children {
+				switch c.Name {
+				case "author":
+					hasAuthor = true
+				case "title":
+					hasTitle = true
+				case "year":
+					hasYear = true
+				case "@key":
+					hasKey = true
+				}
+			}
+			if !hasAuthor || !hasTitle || !hasYear || !hasKey {
+				t.Fatalf("%s at %s missing required field", kind, p.Dewey)
+			}
+		}
+	}
+}
+
+func TestKeysAreUnique(t *testing.T) {
+	d := Generate(Config{Publications: 300, Seed: 5})
+	seen := map[string]bool{}
+	for _, ty := range []string{"dblp.article.@key", "dblp.inproceedings.@key"} {
+		for _, k := range d.NodesOfType(ty) {
+			if seen[k.Value] {
+				t.Fatalf("duplicate key %s", k.Value)
+			}
+			seen[k.Value] = true
+		}
+	}
+	if len(seen) != 300 {
+		t.Errorf("keys = %d, want 300", len(seen))
+	}
+}
+
+func TestPagesFormat(t *testing.T) {
+	d := Generate(Config{Publications: 50, Seed: 7})
+	for _, ty := range []string{"dblp.article.pages", "dblp.inproceedings.pages"} {
+		for _, p := range d.NodesOfType(ty) {
+			if !strings.Contains(p.Value, "-") {
+				t.Errorf("pages %q not a range", p.Value)
+			}
+		}
+	}
+}

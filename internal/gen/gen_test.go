@@ -1,0 +1,186 @@
+// Package gen_test exercises the three dataset generators together:
+// determinism, scaling, vocabulary, and fitness for transformation.
+package gen_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmorph/internal/closest"
+	"xmorph/internal/core"
+	"xmorph/internal/gen/dblp"
+	"xmorph/internal/gen/nasa"
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+func TestXMarkDeterministic(t *testing.T) {
+	a := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 1})
+	b := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 1})
+	if a.XML(false) != b.XML(false) {
+		t.Error("same (factor, seed) must generate identical documents")
+	}
+	c := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 2})
+	if a.XML(false) == c.XML(false) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestXMarkScalesWithFactor(t *testing.T) {
+	small := xmark.Generate(xmark.Config{Factor: 0.001, Seed: 1})
+	large := xmark.Generate(xmark.Config{Factor: 0.004, Seed: 1})
+	if large.Size() < 2*small.Size() {
+		t.Errorf("factor x4 should grow the document: %d -> %d nodes", small.Size(), large.Size())
+	}
+}
+
+func TestXMarkVocabulary(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Factor: 0.002, Seed: 7})
+	if d.Root().Name != "site" {
+		t.Fatalf("root = %s", d.Root().Name)
+	}
+	types := d.Types()
+	// Rooted-path typing over the regions/people/auctions vocabulary
+	// yields a large type count (the paper reports 471 for real XMark).
+	if len(types) < 100 {
+		t.Errorf("xmark types = %d, want a rich vocabulary (>= 100)", len(types))
+	}
+	for _, want := range []string{
+		"site.regions.africa.item",
+		"site.regions.asia.item.description.parlist.listitem.text",
+		"site.people.person.profile.interest.@category",
+		"site.open_auctions.open_auction.bidder.personref.@person",
+		"site.closed_auctions.closed_auction.price",
+		"site.catgraph.edge.@from",
+	} {
+		if !d.HasType(want) {
+			t.Errorf("missing type %s", want)
+		}
+	}
+}
+
+// TestXMarkMutateSite is the Figure 10 workload in miniature: MUTATE site
+// must reproduce the document up to sibling-type order (the shape is
+// unordered, so optional children may regroup): same vertex count, and a
+// reversible closest graph.
+func TestXMarkMutateSite(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Factor: 0.001, Seed: 3})
+	res, err := core.Transform("MUTATE site", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Size() != d.Size() {
+		t.Fatalf("MUTATE site node count %d, want %d", res.Output.Size(), d.Size())
+	}
+	cmp := closest.Compare(closest.Build(d), closest.Build(res.Output))
+	if !cmp.Reversible() {
+		t.Errorf("MUTATE site should be reversible: %+v", cmp)
+	}
+}
+
+func TestDBLPDeterministicAndShaped(t *testing.T) {
+	a := dblp.Generate(dblp.Config{Publications: 50, Seed: 1})
+	b := dblp.Generate(dblp.Config{Publications: 50, Seed: 1})
+	if a.XML(false) != b.XML(false) {
+		t.Error("dblp generation must be deterministic")
+	}
+	if a.Root().Name != "dblp" {
+		t.Fatalf("root = %s", a.Root().Name)
+	}
+	arts := len(a.NodesOfType("dblp.article"))
+	inps := len(a.NodesOfType("dblp.inproceedings"))
+	if arts+inps != 50 {
+		t.Errorf("publications = %d, want 50", arts+inps)
+	}
+	for _, want := range []string{"dblp.article.author", "dblp.article.title", "dblp.article.year", "dblp.inproceedings.booktitle"} {
+		if !a.HasType(want) {
+			t.Errorf("missing type %s", want)
+		}
+	}
+}
+
+// TestDBLPMorphWorkloads runs the paper's Figure 14 guards (small, medium,
+// large) over a generated slice.
+func TestDBLPMorphWorkloads(t *testing.T) {
+	d := dblp.Generate(dblp.Config{Publications: 120, Seed: 5})
+	for _, g := range []string{
+		"CAST MORPH author",
+		"CAST MORPH author [title [year]]",
+		"CAST MORPH dblp [author [title [year [pages] url]]]",
+	} {
+		res, err := core.Transform(g, d)
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		if res.Output.Size() == 0 {
+			t.Errorf("%s produced empty output", g)
+		}
+	}
+}
+
+func TestNASALongContent(t *testing.T) {
+	d := nasa.Generate(nasa.Config{Datasets: 20, Seed: 1})
+	if d.Root().Name != "datasets" {
+		t.Fatalf("root = %s", d.Root().Name)
+	}
+	paras := d.NodesOfType("datasets.dataset.abstract.para")
+	if len(paras) == 0 {
+		t.Fatal("no abstract paragraphs")
+	}
+	total := 0
+	for _, p := range paras {
+		total += len(p.Value)
+	}
+	avg := total / len(paras)
+	if avg < 200 {
+		t.Errorf("average paragraph size = %d bytes; NASA content should be long", avg)
+	}
+	// Determinism.
+	if d.XML(false) != nasa.Generate(nasa.Config{Datasets: 20, Seed: 1}).XML(false) {
+		t.Error("nasa generation must be deterministic")
+	}
+}
+
+// TestGeneratedShapesValidate: the adorned shape extraction must accept
+// all three generators' output.
+func TestGeneratedShapesValidate(t *testing.T) {
+	docs := map[string]*xmltree.Document{
+		"xmark": xmark.Generate(xmark.Config{Factor: 0.001, Seed: 1}),
+		"dblp":  dblp.Generate(dblp.Config{Publications: 40, Seed: 1}),
+		"nasa":  nasa.Generate(nasa.Config{Datasets: 10, Seed: 1}),
+	}
+	for name, d := range docs {
+		sh := shape.FromDocument(d)
+		if err := sh.Validate(); err != nil {
+			t.Errorf("%s shape invalid: %v", name, err)
+		}
+		if sh.NumTypes() != len(d.Types()) {
+			t.Errorf("%s shape types = %d, document types = %d", name, sh.NumTypes(), len(d.Types()))
+		}
+	}
+}
+
+func TestGeneratedXMLReparses(t *testing.T) {
+	d := xmark.Generate(xmark.Config{Factor: 0.001, Seed: 9})
+	if _, err := xmltree.ParseString(d.XML(false)); err != nil {
+		t.Errorf("generated xmark does not reparse: %v", err)
+	}
+	n := nasa.Generate(nasa.Config{Datasets: 5, Seed: 9})
+	if _, err := xmltree.ParseString(n.XML(true)); err != nil {
+		t.Errorf("generated nasa does not reparse: %v", err)
+	}
+}
+
+func TestDBLPFig1Scenario(t *testing.T) {
+	// The paper's running example guard must work on DBLP-shaped data.
+	d := dblp.Generate(dblp.Config{Publications: 30, Seed: 2})
+	res, err := core.Transform("CAST MORPH author [ title ]", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output.XML(false)
+	if !strings.Contains(out, "<author>") || !strings.Contains(out, "<title>") {
+		t.Errorf("morph output missing structure: %.200s", out)
+	}
+}

@@ -1,0 +1,124 @@
+// Package nasa generates astronomy-dataset documents shaped like the NASA
+// ADC XML repository the paper's Figure 15 experiment uses. Its
+// distinguishing property there is element content size: abstracts and
+// descriptions are long paragraphs, so per-element text is much larger
+// than in DBLP or XMark ("larger text content leads to slower times").
+// Deterministic in (datasets, seed).
+package nasa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xmorph/internal/xmltree"
+)
+
+var sentences = []string{
+	"The survey catalogs positions and proper motions of stars brighter than the ninth magnitude.",
+	"Photometric measurements were reduced to the standard system using nightly extinction coefficients.",
+	"Spectral classifications follow the revised MK system with luminosity classes where determinable.",
+	"Coordinates are given for equinox and epoch J2000 on the FK5 reference frame.",
+	"The observations span twelve years of plates taken with the double astrograph.",
+	"Radial velocities were obtained from objective prism plates calibrated against standard stars.",
+	"Parallaxes include corrections for the systematic zero point error of the photographic series.",
+	"Magnitudes in the catalog are photographic and photovisual, transformed to Johnson B and V.",
+}
+
+var instruments = []string{"astrograph", "meridian circle", "Schmidt telescope", "photometer", "spectrograph"}
+var observatories = []string{"Lick", "Yerkes", "Palomar", "La Silla", "Kitt Peak"}
+
+// Config scales the generated repository.
+type Config struct {
+	// Datasets is the number of <dataset> entries.
+	Datasets int
+	// Seed makes generation reproducible.
+	Seed int64
+	// AbstractSentences scales per-dataset text volume; default 6.
+	AbstractSentences int
+}
+
+// Generate builds the document in memory.
+func Generate(cfg Config) *xmltree.Document {
+	if cfg.AbstractSentences <= 0 {
+		cfg.AbstractSentences = 6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := xmltree.NewBuilder().Elem("datasets")
+	for i := 0; i < cfg.Datasets; i++ {
+		dataset(b, rng, i, cfg.AbstractSentences)
+	}
+	return b.End().MustDocument()
+}
+
+func paragraph(rng *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = sentences[rng.Intn(len(sentences))]
+	}
+	return strings.Join(parts, " ")
+}
+
+func dataset(b *xmltree.Builder, rng *rand.Rand, i, abstractLen int) {
+	b.Elem("dataset").Attr("subject", "astronomy")
+	b.Leaf("title", fmt.Sprintf("Catalog of %s observations %d", observatories[rng.Intn(len(observatories))], i))
+	b.Leaf("altname", fmt.Sprintf("ADC A%04d", i))
+	b.Elem("abstract")
+	for p := 0; p <= rng.Intn(2); p++ {
+		b.Leaf("para", paragraph(rng, abstractLen))
+	}
+	b.End()
+
+	for a := 0; a <= rng.Intn(3); a++ {
+		b.Elem("author")
+		b.Leaf("initial", string(rune('A'+rng.Intn(26))))
+		b.Leaf("lastname", observatories[rng.Intn(len(observatories))]+"son")
+		b.End()
+	}
+
+	b.Elem("date")
+	b.Leaf("year", fmt.Sprint(1950+rng.Intn(50)))
+	b.Leaf("month", fmt.Sprint(1+rng.Intn(12)))
+	b.Leaf("day", fmt.Sprint(1+rng.Intn(28)))
+	b.End()
+
+	b.Leaf("identifier", fmt.Sprintf("I_%d", 100+i))
+
+	b.Elem("instrument")
+	b.Leaf("name", instruments[rng.Intn(len(instruments))])
+	b.Leaf("observatory", observatories[rng.Intn(len(observatories))])
+	b.End()
+
+	if rng.Intn(2) == 0 {
+		b.Elem("reference")
+		b.Elem("source")
+		b.Elem("journal")
+		b.Leaf("name", "Astronomical Journal")
+		b.Leaf("volume", fmt.Sprint(1+rng.Intn(120)))
+		b.Leaf("pages", fmt.Sprint(1+rng.Intn(900)))
+		b.End()
+		b.End()
+		b.End()
+	}
+
+	b.Elem("history")
+	b.Leaf("creator", "ADC")
+	for r := 0; r <= rng.Intn(2); r++ {
+		b.Elem("revision")
+		b.Leaf("date", fmt.Sprintf("%d-%02d", 1990+rng.Intn(12), 1+rng.Intn(12)))
+		b.Leaf("comment", paragraph(rng, 2))
+		b.End()
+	}
+	b.End()
+
+	b.Elem("tableHead")
+	for f := 0; f <= 2+rng.Intn(4); f++ {
+		b.Elem("field")
+		b.Leaf("name", fmt.Sprintf("col%d", f))
+		b.Leaf("units", []string{"mag", "deg", "arcsec", "km/s"}[rng.Intn(4)])
+		b.End()
+	}
+	b.End()
+
+	b.End()
+}

@@ -1,0 +1,37 @@
+package nasa
+
+import "testing"
+
+func TestDatasetStructure(t *testing.T) {
+	d := Generate(Config{Datasets: 30, Seed: 2})
+	ds := d.NodesOfType("datasets.dataset")
+	if len(ds) != 30 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	// Every dataset carries the core catalog fields.
+	for _, ty := range []string{
+		"datasets.dataset.title",
+		"datasets.dataset.abstract.para",
+		"datasets.dataset.identifier",
+		"datasets.dataset.tableHead.field.units",
+		"datasets.dataset.history.revision.comment",
+	} {
+		if !d.HasType(ty) {
+			t.Errorf("missing type %s", ty)
+		}
+	}
+}
+
+func TestAbstractSentencesKnob(t *testing.T) {
+	paraBytes := func(sentences int) int {
+		d := Generate(Config{Datasets: 10, Seed: 2, AbstractSentences: sentences})
+		total := 0
+		for _, n := range d.NodesOfType("datasets.dataset.abstract.para") {
+			total += len(n.Value)
+		}
+		return total
+	}
+	if long, short := paraBytes(20), paraBytes(1); long <= short {
+		t.Errorf("AbstractSentences knob ineffective: %d vs %d", short, long)
+	}
+}

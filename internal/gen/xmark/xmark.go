@@ -1,0 +1,311 @@
+// Package xmark generates XMark-like auction-site documents. The real
+// XMark generator (xmlgen) is replaced by a deterministic synthetic
+// equivalent with the same vocabulary — site/regions/items, people,
+// open and closed auctions, categories, catgraph — and XMark's entity
+// proportions (factor 1.0: 25500 persons, 21750 items, 12000 open
+// auctions, 9750 closed auctions, 1000 categories). Rooted-path typing
+// gives the documents several hundred distinct types, matching the
+// paper's note that XMark documents carry 471 types.
+//
+// Everything is seeded: the same (factor, seed) always produces the same
+// document.
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmorph/internal/xmltree"
+)
+
+// Proportions at factor 1.0, from the XMark benchmark specification.
+const (
+	personsAtScale1 = 25500
+	itemsAtScale1   = 21750
+	openAtScale1    = 12000
+	closedAtScale1  = 9750
+	catsAtScale1    = 1000
+)
+
+var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var words = []string{
+	"auction", "bid", "vintage", "rare", "mint", "condition", "shipping",
+	"collector", "estate", "antique", "original", "limited", "edition",
+	"signed", "certificate", "authentic", "restored", "working", "boxed",
+	"complete", "premium", "quality", "handmade", "imported", "classic",
+}
+
+var firstNames = []string{"Ada", "Bela", "Chen", "Dmitri", "Elena", "Farid", "Grace", "Hugo", "Ines", "Jorge", "Kira", "Liam", "Mona", "Nils", "Olga", "Pavel"}
+var lastNames = []string{"Anders", "Baker", "Chandra", "Dyre", "Engel", "Fischer", "Garcia", "Huang", "Ivanov", "Jensen", "Kumar", "Lopez", "Moreau", "Novak"}
+
+// Config scales the generated document.
+type Config struct {
+	// Factor is the XMark benchmark factor; 0.1 matches the paper's
+	// smallest experiment document (scaled to this generator's output).
+	Factor float64
+	// Seed makes generation reproducible.
+	Seed int64
+	// TextWords scales free-text length (description/mail bodies);
+	// default 12.
+	TextWords int
+}
+
+// Generate builds the document in memory.
+func Generate(cfg Config) *xmltree.Document {
+	if cfg.TextWords <= 0 {
+		cfg.TextWords = 12
+	}
+	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg, b: xmltree.NewBuilder()}
+	g.site()
+	return g.b.MustDocument()
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	b   *xmltree.Builder
+}
+
+func (g *gen) scaled(atScale1 int) int {
+	n := int(float64(atScale1) * g.cfg.Factor)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *gen) word() string  { return words[g.rng.Intn(len(words))] }
+func (g *gen) fname() string { return firstNames[g.rng.Intn(len(firstNames))] }
+func (g *gen) lname() string { return lastNames[g.rng.Intn(len(lastNames))] }
+
+func (g *gen) text(n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += g.word()
+	}
+	return out
+}
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%04d", 1+g.rng.Intn(12), 1+g.rng.Intn(28), 1998+g.rng.Intn(4))
+}
+
+func (g *gen) site() {
+	persons := g.scaled(personsAtScale1)
+	items := g.scaled(itemsAtScale1)
+	open := g.scaled(openAtScale1)
+	closed := g.scaled(closedAtScale1)
+	cats := g.scaled(catsAtScale1)
+
+	g.b.Elem("site")
+	g.regions(items, cats)
+	g.categories(cats)
+	g.catgraph(cats)
+	g.people(persons, cats, open)
+	g.openAuctions(open, persons, items)
+	g.closedAuctions(closed, persons, items)
+	g.b.End()
+}
+
+func (g *gen) regions(items, cats int) {
+	g.b.Elem("regions")
+	per := items / len(regions)
+	extra := items % len(regions)
+	id := 0
+	for ri, region := range regions {
+		n := per
+		if ri < extra {
+			n++
+		}
+		g.b.Elem(region)
+		for i := 0; i < n; i++ {
+			g.item(fmt.Sprintf("item%d", id), cats)
+			id++
+		}
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) item(id string, cats int) {
+	g.b.Elem("item").Attr("id", id)
+	g.b.Leaf("location", "United States")
+	g.b.Leaf("quantity", fmt.Sprint(1+g.rng.Intn(5)))
+	g.b.Leaf("name", g.text(2))
+	g.b.Elem("payment").Text("Creditcard").End()
+	g.description()
+	g.b.Elem("shipping").Text("Will ship internationally").End()
+	g.b.Elem("incategory").Attr("category", fmt.Sprintf("category%d", g.rng.Intn(cats))).End()
+	if g.rng.Intn(3) > 0 {
+		g.b.Elem("mailbox")
+		for m := 0; m <= g.rng.Intn(3); m++ {
+			g.b.Elem("mail")
+			g.b.Leaf("from", g.fname()+" "+g.lname())
+			g.b.Leaf("to", g.fname()+" "+g.lname())
+			g.b.Leaf("date", g.date())
+			g.b.Leaf("text", g.text(g.cfg.TextWords))
+			g.b.End()
+		}
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) description() {
+	g.b.Elem("description")
+	g.b.Elem("parlist")
+	for i := 0; i <= g.rng.Intn(2); i++ {
+		g.b.Elem("listitem")
+		g.b.Elem("text")
+		g.b.Text(g.text(g.cfg.TextWords))
+		// XMark text carries inline markup: keyword/emph/bold subtrees.
+		if g.rng.Intn(2) == 0 {
+			g.b.Leaf("keyword", g.word())
+		}
+		if g.rng.Intn(3) == 0 {
+			g.b.Elem("emph").Text(g.word()).End()
+		}
+		if g.rng.Intn(4) == 0 {
+			g.b.Elem("bold").Leaf("keyword", g.word()).End()
+		}
+		g.b.End()
+		g.b.End()
+	}
+	g.b.End()
+	g.b.End()
+}
+
+func (g *gen) categories(n int) {
+	g.b.Elem("categories")
+	for i := 0; i < n; i++ {
+		g.b.Elem("category").Attr("id", fmt.Sprintf("category%d", i))
+		g.b.Leaf("name", g.text(2))
+		g.description()
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) catgraph(cats int) {
+	g.b.Elem("catgraph")
+	for i := 0; i < cats; i++ {
+		g.b.Elem("edge").
+			Attr("from", fmt.Sprintf("category%d", g.rng.Intn(cats))).
+			Attr("to", fmt.Sprintf("category%d", g.rng.Intn(cats))).
+			End()
+	}
+	g.b.End()
+}
+
+func (g *gen) people(n, cats, open int) {
+	g.b.Elem("people")
+	for i := 0; i < n; i++ {
+		g.b.Elem("person").Attr("id", fmt.Sprintf("person%d", i))
+		name := g.fname() + " " + g.lname()
+		g.b.Leaf("name", name)
+		g.b.Leaf("emailaddress", fmt.Sprintf("mailto:p%d@example.net", i))
+		if g.rng.Intn(2) == 0 {
+			g.b.Leaf("phone", fmt.Sprintf("+1 (%d) %d", 100+g.rng.Intn(900), 1000000+g.rng.Intn(9000000)))
+		}
+		if g.rng.Intn(2) == 0 {
+			g.b.Elem("address")
+			g.b.Leaf("street", fmt.Sprintf("%d %s St", 1+g.rng.Intn(99), g.lname()))
+			g.b.Leaf("city", g.lname()+"ville")
+			if g.rng.Intn(3) == 0 {
+				g.b.Leaf("province", g.lname()+" County")
+			}
+			g.b.Leaf("country", "United States")
+			g.b.Leaf("zipcode", fmt.Sprint(10000+g.rng.Intn(89999)))
+			g.b.End()
+		}
+		if g.rng.Intn(3) == 0 {
+			g.b.Leaf("homepage", fmt.Sprintf("http://example.net/~p%d", i))
+		}
+		if g.rng.Intn(3) == 0 {
+			g.b.Leaf("creditcard", fmt.Sprintf("%04d %04d %04d %04d", g.rng.Intn(10000), g.rng.Intn(10000), g.rng.Intn(10000), g.rng.Intn(10000)))
+		}
+		if g.rng.Intn(2) == 0 {
+			g.b.Elem("profile").Attr("income", fmt.Sprintf("%d.%02d", 20000+g.rng.Intn(80000), g.rng.Intn(100)))
+			for k := 0; k <= g.rng.Intn(3); k++ {
+				g.b.Elem("interest").Attr("category", fmt.Sprintf("category%d", g.rng.Intn(cats))).End()
+			}
+			g.b.Leaf("education", "Graduate School")
+			g.b.Leaf("gender", []string{"male", "female"}[g.rng.Intn(2)])
+			g.b.Leaf("business", []string{"Yes", "No"}[g.rng.Intn(2)])
+			g.b.Leaf("age", fmt.Sprint(18+g.rng.Intn(60)))
+			g.b.End()
+		}
+		if g.rng.Intn(3) == 0 {
+			g.b.Elem("watches")
+			for k := 0; k <= g.rng.Intn(2); k++ {
+				g.b.Elem("watch").Attr("open_auction", fmt.Sprintf("open_auction%d", g.rng.Intn(open))).End()
+			}
+			g.b.End()
+		}
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) openAuctions(n, persons, items int) {
+	g.b.Elem("open_auctions")
+	for i := 0; i < n; i++ {
+		g.b.Elem("open_auction").Attr("id", fmt.Sprintf("open_auction%d", i))
+		initial := 1 + g.rng.Intn(200)
+		g.b.Leaf("initial", fmt.Sprintf("%d.%02d", initial, g.rng.Intn(100)))
+		if g.rng.Intn(2) == 0 {
+			g.b.Leaf("reserve", fmt.Sprintf("%d.00", initial*2))
+		}
+		for bd := 0; bd <= g.rng.Intn(4); bd++ {
+			g.b.Elem("bidder")
+			g.b.Leaf("date", g.date())
+			g.b.Leaf("time", fmt.Sprintf("%02d:%02d:%02d", g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60)))
+			g.b.Elem("personref").Attr("person", fmt.Sprintf("person%d", g.rng.Intn(persons))).End()
+			g.b.Leaf("increase", fmt.Sprintf("%d.00", 1+g.rng.Intn(20)))
+			g.b.End()
+		}
+		g.b.Leaf("current", fmt.Sprintf("%d.00", initial+g.rng.Intn(100)))
+		g.b.Elem("itemref").Attr("item", fmt.Sprintf("item%d", g.rng.Intn(items))).End()
+		g.b.Elem("seller").Attr("person", fmt.Sprintf("person%d", g.rng.Intn(persons))).End()
+		g.annotation(persons)
+		g.b.Leaf("quantity", fmt.Sprint(1+g.rng.Intn(5)))
+		g.b.Leaf("type", "Regular")
+		g.b.Elem("interval")
+		g.b.Leaf("start", g.date())
+		g.b.Leaf("end", g.date())
+		g.b.End()
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) closedAuctions(n, persons, items int) {
+	g.b.Elem("closed_auctions")
+	for i := 0; i < n; i++ {
+		g.b.Elem("closed_auction")
+		g.b.Elem("seller").Attr("person", fmt.Sprintf("person%d", g.rng.Intn(persons))).End()
+		g.b.Elem("buyer").Attr("person", fmt.Sprintf("person%d", g.rng.Intn(persons))).End()
+		g.b.Elem("itemref").Attr("item", fmt.Sprintf("item%d", g.rng.Intn(items))).End()
+		g.b.Leaf("price", fmt.Sprintf("%d.%02d", 1+g.rng.Intn(500), g.rng.Intn(100)))
+		g.b.Leaf("date", g.date())
+		g.b.Leaf("quantity", fmt.Sprint(1+g.rng.Intn(5)))
+		g.b.Leaf("type", "Regular")
+		g.annotation(persons)
+		g.b.End()
+	}
+	g.b.End()
+}
+
+func (g *gen) annotation(persons int) {
+	g.b.Elem("annotation")
+	g.b.Elem("author").Attr("person", fmt.Sprintf("person%d", g.rng.Intn(persons))).End()
+	if g.rng.Intn(2) == 0 {
+		g.b.Leaf("happiness", fmt.Sprint(1+g.rng.Intn(10)))
+	}
+	g.description()
+	g.b.End()
+}

@@ -1,0 +1,68 @@
+package xmark
+
+import "testing"
+
+// TestProportionsFollowXMark: entity counts scale with the benchmark
+// factor according to the XMark specification's ratios.
+func TestProportionsFollowXMark(t *testing.T) {
+	const factor = 0.01
+	d := Generate(Config{Factor: factor, Seed: 1})
+	count := func(ty string) int { return len(d.NodesOfType(ty)) }
+	scaled := func(atScale1 int) int {
+		n := int(float64(atScale1) * factor)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	wants := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"persons", count("site.people.person"), scaled(personsAtScale1)},
+		{"open", count("site.open_auctions.open_auction"), scaled(openAtScale1)},
+		{"closed", count("site.closed_auctions.closed_auction"), scaled(closedAtScale1)},
+		{"categories", count("site.categories.category"), scaled(catsAtScale1)},
+	}
+	for _, w := range wants {
+		if w.got != w.want {
+			t.Errorf("%s = %d, want %d", w.name, w.got, w.want)
+		}
+	}
+	// Items are spread across the six regions.
+	items := 0
+	for _, r := range regions {
+		items += count("site.regions." + r + ".item")
+	}
+	if items != scaled(itemsAtScale1) {
+		t.Errorf("items = %d, want %d", items, scaled(itemsAtScale1))
+	}
+}
+
+func TestMinimumScale(t *testing.T) {
+	// Even a vanishing factor produces at least one of everything.
+	d := Generate(Config{Factor: 0.00001, Seed: 1})
+	for _, ty := range []string{"site.people.person", "site.categories.category"} {
+		if len(d.NodesOfType(ty)) < 1 {
+			t.Errorf("missing %s at tiny factor", ty)
+		}
+	}
+}
+
+func TestTextWordsKnob(t *testing.T) {
+	textBytes := func(words int) int {
+		d := Generate(Config{Factor: 0.005, Seed: 1, TextWords: words})
+		total := 0
+		for _, r := range regions {
+			for _, n := range d.NodesOfType("site.regions." + r + ".item.description.parlist.listitem.text") {
+				total += len(n.Value)
+			}
+		}
+		return total
+	}
+	if long, short := textBytes(40), textBytes(2); long <= short {
+		t.Errorf("TextWords knob ineffective: %d vs %d", short, long)
+	}
+}

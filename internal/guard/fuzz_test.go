@@ -1,0 +1,47 @@
+package guard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanics feeds token soup to the guard parser.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := []string{
+		"MORPH", "MUTATE", "TRANSLATE", "DROP", "CLONE", "NEW", "RESTRICT",
+		"CAST", "CAST-WIDENING", "TYPE-FILL", "COMPOSE",
+		"[", "]", "(", ")", "|", ",", "->", "*", "**", "a", "b.c", "@x", "→",
+	}
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(12)
+		src := ""
+		for j := 0; j < n; j++ {
+			src += words[rng.Intn(len(words))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestLexIdentifierEdges covers hyphen/arrow boundaries.
+func TestLexIdentifierEdges(t *testing.T) {
+	p, err := Parse("TRANSLATE a-b -> c-d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Stages[0].Renames[0]
+	if r.From != "a-b" || r.To != "c-d" {
+		t.Errorf("hyphenated labels = %+v", r)
+	}
+	// Trailing hyphen at end of input must not crash.
+	if _, err := Parse("MORPH x-"); err != nil {
+		t.Errorf("trailing hyphen label: %v", err)
+	}
+}

@@ -1,0 +1,318 @@
+package guard
+
+import "fmt"
+
+// Parse parses the concrete syntax of an XMorph 2.0 guard into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src, prog: &Program{Source: src}}
+	if err := p.parseGuard(true); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after guard", p.describe(p.cur()))
+	}
+	if len(p.prog.Stages) == 0 {
+		return nil, p.errorf("guard has no stages")
+	}
+	return p.prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks    []token
+	i       int
+	src     string
+	prog    *Program
+	castSet bool
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Pos: p.cur().pos, Message: fmt.Sprintf(format, args...), Source: p.src}
+}
+
+func (p *parser) describe(t token) string {
+	if t.kind == tokIdent || t.kind == tokKeyword {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return t.kind.String()
+}
+
+// parseGuard parses modifiers followed by a stage pipeline. At the top
+// level (top == true) the pipeline extends to EOF; inside parentheses it
+// extends to the closing paren.
+func (p *parser) parseGuard(top bool) error {
+	// Modifiers: CAST variants and TYPE-FILL, possibly wrapping the rest
+	// in parentheses.
+	for p.cur().kind == tokKeyword {
+		switch p.cur().text {
+		case "TYPE-FILL":
+			p.next()
+			p.prog.TypeFill = true
+			continue
+		case "CAST", "CAST-NARROWING", "CAST-WIDENING":
+			mode := CastWeak
+			switch p.cur().text {
+			case "CAST-NARROWING":
+				mode = CastNarrowing
+			case "CAST-WIDENING":
+				mode = CastWidening
+			}
+			if p.castSet && p.prog.Cast != mode {
+				return p.errorf("conflicting cast modifiers %s and %s", p.prog.Cast, mode)
+			}
+			p.next()
+			p.prog.Cast = mode
+			p.castSet = true
+			continue
+		}
+		break
+	}
+	// A parenthesized guard after modifiers: CAST-WIDENING (TYPE-FILL ...).
+	if p.cur().kind == tokLParen && p.peekIsGuardStart() {
+		p.next()
+		if err := p.parseGuard(false); err != nil {
+			return err
+		}
+		if p.cur().kind != tokRParen {
+			return p.errorf("expected ')' to close guard, got %s", p.describe(p.cur()))
+		}
+		p.next()
+		if top && p.cur().kind == tokPipe {
+			p.next()
+			return p.parsePipeline()
+		}
+		return nil
+	}
+	return p.parsePipeline()
+}
+
+// peekIsGuardStart reports whether the token after the current '(' starts a
+// guard (a stage or modifier keyword), distinguishing guard grouping from
+// term grouping.
+func (p *parser) peekIsGuardStart() bool {
+	t := p.toks[p.i+1]
+	if t.kind != tokKeyword {
+		return false
+	}
+	switch t.text {
+	case "MORPH", "MUTATE", "TRANSLATE", "COMPOSE", "CAST", "CAST-NARROWING", "CAST-WIDENING", "TYPE-FILL":
+		return true
+	}
+	return false
+}
+
+// parsePipeline parses stage ('|' stage)*.
+func (p *parser) parsePipeline() error {
+	for {
+		if err := p.parseStageUnit(); err != nil {
+			return err
+		}
+		if p.cur().kind == tokPipe {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseStageUnit parses one stage, a parenthesized guard, or COMPOSE g, g.
+func (p *parser) parseStageUnit() error {
+	t := p.cur()
+	if t.kind == tokLParen && p.peekIsGuardStart() {
+		p.next()
+		if err := p.parseGuard(false); err != nil {
+			return err
+		}
+		if p.cur().kind != tokRParen {
+			return p.errorf("expected ')' to close guard, got %s", p.describe(p.cur()))
+		}
+		p.next()
+		return nil
+	}
+	if t.kind != tokKeyword {
+		return p.errorf("expected MORPH, MUTATE, TRANSLATE, or COMPOSE, got %s", p.describe(t))
+	}
+	switch t.text {
+	case "COMPOSE":
+		p.next()
+		if err := p.parseStageUnit(); err != nil {
+			return err
+		}
+		for p.cur().kind == tokComma {
+			p.next()
+			if err := p.parseStageUnit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "MORPH", "MUTATE":
+		pos := t.pos
+		p.next()
+		kind := StageMorph
+		if t.text == "MUTATE" {
+			kind = StageMutate
+		}
+		var pats []*Term
+		for p.startsTerm() {
+			term, err := p.parseTerm()
+			if err != nil {
+				return err
+			}
+			pats = append(pats, term)
+		}
+		if len(pats) == 0 {
+			return p.errorf("%s requires a pattern", t.text)
+		}
+		p.prog.Stages = append(p.prog.Stages, &Stage{Kind: kind, Patterns: pats, Pos: pos})
+		return nil
+	case "TRANSLATE":
+		pos := t.pos
+		p.next()
+		var renames []Rename
+		for {
+			from := p.cur()
+			if from.kind != tokIdent {
+				return p.errorf("TRANSLATE expects a label, got %s", p.describe(from))
+			}
+			p.next()
+			if p.cur().kind != tokArrow {
+				return p.errorf("TRANSLATE expects '->' after %q, got %s", from.text, p.describe(p.cur()))
+			}
+			p.next()
+			to := p.cur()
+			if to.kind != tokIdent {
+				return p.errorf("TRANSLATE expects a new label after '->', got %s", p.describe(to))
+			}
+			p.next()
+			renames = append(renames, Rename{From: from.text, To: to.text})
+			if p.cur().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		p.prog.Stages = append(p.prog.Stages, &Stage{Kind: StageTranslate, Renames: renames, Pos: pos})
+		return nil
+	}
+	return p.errorf("expected a stage, got %s", p.describe(t))
+}
+
+// startsTerm reports whether the current token can begin a pattern term.
+func (p *parser) startsTerm() bool {
+	switch p.cur().kind {
+	case tokIdent, tokStar, tokStarStar:
+		return true
+	case tokKeyword:
+		switch p.cur().text {
+		case "DROP", "CLONE", "NEW", "RESTRICT", "CHILDREN", "DESCENDANTS":
+			return true
+		}
+	case tokLParen:
+		return !p.peekIsGuardStart()
+	}
+	return false
+}
+
+// parseTerm parses primary followed by an optional bracketed child list.
+func (p *parser) parseTerm() (*Term, error) {
+	term, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokLBracket {
+		p.next()
+		for p.cur().kind != tokRBracket {
+			if !p.startsTerm() {
+				return nil, p.errorf("expected a pattern term or ']', got %s", p.describe(p.cur()))
+			}
+			kid, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			term.Kids = append(term.Kids, kid)
+		}
+		p.next() // ']'
+	}
+	return term, nil
+}
+
+func (p *parser) parsePrimary() (*Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		return &Term{Kind: TermLabel, Label: t.text, Pos: t.pos}, nil
+	case tokStar:
+		p.next()
+		return &Term{Kind: TermChildren, Pos: t.pos}, nil
+	case tokStarStar:
+		p.next()
+		return &Term{Kind: TermDescendants, Pos: t.pos}, nil
+	case tokLParen:
+		p.next()
+		term, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errorf("expected ')', got %s", p.describe(p.cur()))
+		}
+		p.next()
+		return term, nil
+	case tokKeyword:
+		switch t.text {
+		case "NEW":
+			p.next()
+			lbl := p.cur()
+			if lbl.kind != tokIdent {
+				return nil, p.errorf("NEW expects a label, got %s", p.describe(lbl))
+			}
+			p.next()
+			return &Term{Kind: TermNew, Label: lbl.text, Pos: t.pos}, nil
+		case "DROP", "CLONE", "RESTRICT":
+			p.next()
+			op, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			kind := TermDrop
+			switch t.text {
+			case "CLONE":
+				kind = TermClone
+			case "RESTRICT":
+				kind = TermRestrict
+			}
+			return &Term{Kind: kind, Operand: op, Pos: t.pos}, nil
+		case "CHILDREN", "DESCENDANTS":
+			// CHILDREN label desugars to label [*]; DESCENDANTS label to
+			// label [**] (Section III's alternative spellings).
+			p.next()
+			op, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			mark := TermChildren
+			if t.text == "DESCENDANTS" {
+				mark = TermDescendants
+			}
+			op.Kids = append(op.Kids, &Term{Kind: mark, Pos: t.pos})
+			return op, nil
+		}
+	}
+	return nil, p.errorf("expected a pattern term, got %s", p.describe(t))
+}

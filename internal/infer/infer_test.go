@@ -1,0 +1,124 @@
+package infer
+
+import (
+	"strings"
+	"testing"
+
+	"xmorph/internal/core"
+	"xmorph/internal/xmltree"
+	"xmorph/internal/xq"
+)
+
+func TestFromQueryIntroExample(t *testing.T) {
+	// The paper's Section I query needs author -> book -> title (and the
+	// name it returns).
+	g, err := FromQuery(`for $a in doc("d.xml")/author
+	  where $a/book/title = "X"
+	  return <hit>{$a/name}</hit>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "MORPH author [ book [ title ] name ]"
+	if g != want {
+		t.Errorf("inferred %q, want %q", g, want)
+	}
+}
+
+func TestFromQueryDescendantAndAttrs(t *testing.T) {
+	g, err := FromQuery(`for $b in doc("d.xml")//book where $b/@year > 2000 return $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != "MORPH book [ @year title ]" {
+		t.Errorf("inferred %q", g)
+	}
+}
+
+func TestFromQueryLetAndNesting(t *testing.T) {
+	g, err := FromQuery(`for $s in doc("d.xml")/site/people/person
+	  let $n := $s/name
+	  return <p>{$n}{$s/emailaddress}</p>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "MORPH site [ people [ person [ emailaddress name ] ] ]"
+	if g != want {
+		t.Errorf("inferred %q, want %q", g, want)
+	}
+}
+
+func TestFromQueryNoPaths(t *testing.T) {
+	if _, err := FromQuery(`1 + 2`); err == nil {
+		t.Error("pure arithmetic should not infer a guard")
+	}
+	if _, err := FromQuery(`%%%`); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestFromQueryQuantified(t *testing.T) {
+	g, err := FromQuery(`for $b in doc("d.xml")/book
+	  where some $a in $b/author satisfies contains($a, "Ann")
+	  return $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != "MORPH book [ author title ]" {
+		t.Errorf("inferred %q", g)
+	}
+}
+
+// TestInferredGuardClosesTheLoop is the full workflow: infer the guard
+// from the query, transform wrongly-shaped data with it, and run the
+// query successfully on the result.
+func TestInferredGuardClosesTheLoop(t *testing.T) {
+	// Data shaped like Figure 1(b): the query's paths do not match.
+	const data = `<data>
+	  <publisher><name>W</name>
+	    <book><title>X</title><author><name>V</name></author></book>
+	    <book><title>Y</title><author><name>U</name></author></book>
+	  </publisher>
+	</data>`
+	const query = `for $a in doc("d.xml")/author
+	  where $a/book/title = "X"
+	  return string($a/name)`
+
+	g, err := FromQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.TransformString(g, data)
+	if err != nil {
+		t.Fatalf("inferred guard %q failed: %v", g, err)
+	}
+	wrapped := xmltree.MustParse("<w>" + res.Output.XML(false) + "</w>")
+	e := xq.New()
+	e.Bind("d.xml", wrapped)
+	out, err := e.QueryXML(strings.Replace(query, `doc("d.xml")/author`, `doc("d.xml")//author`, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "V" {
+		t.Errorf("query over inferred-guard output = %q, want V", out)
+	}
+}
+
+func TestFromQueryUnion(t *testing.T) {
+	g, err := FromQuery(`doc("d.xml")/book/title | doc("d.xml")/book/author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != "MORPH book [ author title ]" {
+		t.Errorf("inferred %q", g)
+	}
+}
+
+func TestFromQueryParentAxis(t *testing.T) {
+	g, err := FromQuery(`for $t in doc("d.xml")/book/title return $t/../author`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != "MORPH book [ author title ]" {
+		t.Errorf("inferred %q", g)
+	}
+}

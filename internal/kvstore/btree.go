@@ -1,0 +1,435 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Maximum sizes; a leaf must fit at least two entries per page.
+const (
+	MaxKeySize   = 512
+	MaxValueSize = 1536
+)
+
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+)
+
+// DB is a B+tree keyed by []byte in lexicographic order.
+type DB struct {
+	pager *pager
+	root  uint32
+	path  string
+}
+
+// Options configure Open.
+type Options struct {
+	// CachePages is the buffer-pool capacity in pages (default 256).
+	CachePages int
+}
+
+// Open opens (or creates) a store file.
+func Open(path string, opts *Options) (*DB, error) {
+	capacity := 256
+	if opts != nil && opts.CachePages > 0 {
+		capacity = opts.CachePages
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	p, err := newPager(f, capacity)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	db := &DB{pager: p, path: path}
+	if p.npages == 0 {
+		if err := db.initialize(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := db.loadHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// OpenMemory returns a purely in-memory store with the same behaviour
+// (including the buffer pool and block counters).
+func OpenMemory(opts *Options) *DB {
+	capacity := 256
+	if opts != nil && opts.CachePages > 0 {
+		capacity = opts.CachePages
+	}
+	p, _ := newPager(nil, capacity)
+	db := &DB{pager: p}
+	if err := db.initialize(); err != nil {
+		panic(err) // cannot fail in memory
+	}
+	return db
+}
+
+func (db *DB) initialize() error {
+	hdr := db.pager.alloc() // page 0: header
+	if hdr != 0 {
+		return fmt.Errorf("kvstore: header must be page 0, got %d", hdr)
+	}
+	root := db.pager.alloc()
+	db.root = root
+	if err := db.writeNode(root, &node{typ: pageLeaf}); err != nil {
+		return err
+	}
+	return db.writeHeader()
+}
+
+func (db *DB) writeHeader() error {
+	buf := make([]byte, PageSize)
+	copy(buf, magic)
+	binary.BigEndian.PutUint32(buf[8:], db.root)
+	binary.BigEndian.PutUint32(buf[12:], db.pager.npages)
+	return db.pager.write(0, buf)
+}
+
+func (db *DB) loadHeader() error {
+	buf, err := db.pager.read(0)
+	if err != nil {
+		return err
+	}
+	if string(buf[:8]) != magic {
+		return fmt.Errorf("kvstore: bad magic (corrupt or not a store file)")
+	}
+	db.root = binary.BigEndian.Uint32(buf[8:])
+	if db.root == 0 || db.root >= db.pager.npages {
+		return fmt.Errorf("kvstore: corrupt header: root page %d of %d", db.root, db.pager.npages)
+	}
+	return nil
+}
+
+// node is the in-memory form of a tree page.
+type node struct {
+	typ      byte
+	keys     [][]byte
+	vals     [][]byte // leaves only
+	children []uint32 // internal only, len(keys)+1
+}
+
+// size returns the serialized byte size.
+func (n *node) size() int {
+	sz := 3 // type + nkeys
+	for i, k := range n.keys {
+		sz += 2 + len(k)
+		if n.typ == pageLeaf {
+			sz += 2 + len(n.vals[i])
+		}
+	}
+	if n.typ == pageInternal {
+		sz += 4 * len(n.children)
+	}
+	return sz
+}
+
+func (n *node) serialize() ([]byte, error) {
+	if n.size() > PageSize {
+		return nil, fmt.Errorf("kvstore: node overflows page (%d bytes)", n.size())
+	}
+	buf := make([]byte, PageSize)
+	buf[0] = n.typ
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	off := 3
+	if n.typ == pageInternal {
+		for _, c := range n.children {
+			binary.BigEndian.PutUint32(buf[off:], c)
+			off += 4
+		}
+	}
+	for i, k := range n.keys {
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(k)))
+		off += 2
+		copy(buf[off:], k)
+		off += len(k)
+		if n.typ == pageLeaf {
+			v := n.vals[i]
+			binary.BigEndian.PutUint16(buf[off:], uint16(len(v)))
+			off += 2
+			copy(buf[off:], v)
+			off += len(v)
+		}
+	}
+	return buf, nil
+}
+
+func deserialize(buf []byte) (*node, error) {
+	n := &node{typ: buf[0]}
+	if n.typ != pageLeaf && n.typ != pageInternal {
+		return nil, fmt.Errorf("kvstore: corrupt page: type %d", n.typ)
+	}
+	nkeys := int(binary.BigEndian.Uint16(buf[1:]))
+	off := 3
+	if n.typ == pageInternal {
+		n.children = make([]uint32, nkeys+1)
+		for i := range n.children {
+			if off+4 > len(buf) {
+				return nil, fmt.Errorf("kvstore: corrupt internal page")
+			}
+			n.children[i] = binary.BigEndian.Uint32(buf[off:])
+			off += 4
+		}
+	}
+	for i := 0; i < nkeys; i++ {
+		if off+2 > len(buf) {
+			return nil, fmt.Errorf("kvstore: corrupt page: key %d", i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off:]))
+		off += 2
+		if off+kl > len(buf) {
+			return nil, fmt.Errorf("kvstore: corrupt page: key %d length", i)
+		}
+		n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+		off += kl
+		if n.typ == pageLeaf {
+			if off+2 > len(buf) {
+				return nil, fmt.Errorf("kvstore: corrupt page: value %d", i)
+			}
+			vl := int(binary.BigEndian.Uint16(buf[off:]))
+			off += 2
+			if off+vl > len(buf) {
+				return nil, fmt.Errorf("kvstore: corrupt page: value %d length", i)
+			}
+			n.vals = append(n.vals, append([]byte(nil), buf[off:off+vl]...))
+			off += vl
+		}
+	}
+	return n, nil
+}
+
+func (db *DB) readNode(id uint32) (*node, error) {
+	buf, err := db.pager.read(id)
+	if err != nil {
+		return nil, err
+	}
+	return deserialize(buf)
+}
+
+func (db *DB) writeNode(id uint32, n *node) error {
+	buf, err := n.serialize()
+	if err != nil {
+		return err
+	}
+	return db.pager.write(id, buf)
+}
+
+// Get returns the value for key, or (nil, false, nil) when absent.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	id := db.root
+	for {
+		n, err := db.readNode(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.typ == pageLeaf {
+			i, found := search(n.keys, key)
+			if !found {
+				return nil, false, nil
+			}
+			return n.vals[i], true, nil
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// Put inserts or replaces a key.
+func (db *DB) Put(key, value []byte) error {
+	if len(key) == 0 || len(key) > MaxKeySize {
+		return fmt.Errorf("kvstore: key size %d out of range [1,%d]", len(key), MaxKeySize)
+	}
+	if len(value) > MaxValueSize {
+		return fmt.Errorf("kvstore: value size %d exceeds %d", len(value), MaxValueSize)
+	}
+	promoted, right, err := db.insert(db.root, key, value)
+	if err != nil {
+		return err
+	}
+	if promoted != nil {
+		// Root split: grow the tree.
+		newRoot := db.pager.alloc()
+		n := &node{typ: pageInternal, keys: [][]byte{promoted}, children: []uint32{db.root, right}}
+		if err := db.writeNode(newRoot, n); err != nil {
+			return err
+		}
+		db.root = newRoot
+		return db.writeHeader()
+	}
+	return nil
+}
+
+// insert adds key below page id. On split it returns the promoted
+// separator key and the new right sibling's page id.
+func (db *DB) insert(id uint32, key, value []byte) ([]byte, uint32, error) {
+	n, err := db.readNode(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.typ == pageLeaf {
+		i, found := search(n.keys, key)
+		if found {
+			n.vals[i] = append([]byte(nil), value...)
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = append([]byte(nil), key...)
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = append([]byte(nil), value...)
+		}
+		return db.finishInsert(id, n)
+	}
+	ci := childIndex(n.keys, key)
+	promoted, right, err := db.insert(n.children[ci], key, value)
+	if err != nil {
+		return nil, 0, err
+	}
+	if promoted == nil {
+		return nil, 0, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = promoted
+	n.children = append(n.children, 0)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	return db.finishInsert(id, n)
+}
+
+// finishInsert writes the node back, splitting it first if it overflows.
+// The split point balances *bytes*, not entry counts: with variable-length
+// entries a count split can leave one half still overflowing.
+func (db *DB) finishInsert(id uint32, n *node) ([]byte, uint32, error) {
+	if n.size() <= PageSize {
+		return nil, 0, db.writeNode(id, n)
+	}
+	mid := n.splitPoint()
+	var promoted []byte
+	var left, rightN *node
+	if n.typ == pageLeaf {
+		// Right half starts at mid; its first key is promoted (copied).
+		left = &node{typ: pageLeaf, keys: n.keys[:mid], vals: n.vals[:mid]}
+		rightN = &node{typ: pageLeaf, keys: n.keys[mid:], vals: n.vals[mid:]}
+		promoted = append([]byte(nil), n.keys[mid]...)
+	} else {
+		// The middle key moves up.
+		promoted = n.keys[mid]
+		left = &node{typ: pageInternal, keys: n.keys[:mid], children: n.children[:mid+1]}
+		rightN = &node{typ: pageInternal, keys: n.keys[mid+1:], children: n.children[mid+1:]}
+	}
+	rightID := db.pager.alloc()
+	if err := db.writeNode(id, left); err != nil {
+		return nil, 0, err
+	}
+	if err := db.writeNode(rightID, rightN); err != nil {
+		return nil, 0, err
+	}
+	if err := db.writeHeader(); err != nil { // page count changed
+		return nil, 0, err
+	}
+	return promoted, rightID, nil
+}
+
+// splitPoint returns the index at which the serialized left half first
+// reaches half the node's bytes, clamped so both halves are non-empty. A
+// node only ever exceeds PageSize by one entry, so byte-balanced halves
+// always fit.
+func (n *node) splitPoint() int {
+	total := n.size()
+	acc := 3
+	for i, k := range n.keys {
+		entry := 2 + len(k)
+		if n.typ == pageLeaf {
+			entry += 2 + len(n.vals[i])
+		} else {
+			entry += 4
+		}
+		acc += entry
+		if acc >= total/2 {
+			if i+1 >= len(n.keys) {
+				return len(n.keys) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(n.keys) / 2
+}
+
+// Delete removes a key; deleting an absent key is a no-op. Leaves are not
+// rebalanced (space is reclaimed on compaction, which this store does not
+// implement — deletions in the XMorph workload are whole-store drops).
+func (db *DB) Delete(key []byte) error {
+	id := db.root
+	for {
+		n, err := db.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.typ == pageLeaf {
+			i, found := search(n.keys, key)
+			if !found {
+				return nil
+			}
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			return db.writeNode(id, n)
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+}
+
+// Sync flushes dirty pages and the header to stable storage.
+func (db *DB) Sync() error {
+	if err := db.writeHeader(); err != nil {
+		return err
+	}
+	return db.pager.sync()
+}
+
+// Close syncs and releases the file.
+func (db *DB) Close() error {
+	if err := db.Sync(); err != nil {
+		return err
+	}
+	if db.pager.file != nil {
+		return db.pager.file.Close()
+	}
+	return nil
+}
+
+// Stats returns cumulative block I/O counters.
+func (db *DB) Stats() Stats { return db.pager.stats() }
+
+// search finds the smallest index with keys[i] >= key, and whether it is an
+// exact match.
+func search(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], key)
+}
+
+// childIndex picks the child subtree for key in an internal node: child i
+// holds keys < keys[i]; an exact separator match descends right.
+func childIndex(keys [][]byte, key []byte) int {
+	i, found := search(keys, key)
+	if found {
+		return i + 1
+	}
+	return i
+}

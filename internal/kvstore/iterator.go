@@ -1,0 +1,138 @@
+package kvstore
+
+import "bytes"
+
+// Iterator walks keys in ascending order. It materializes its position as
+// a stack of (page, index) frames; pages are re-read through the buffer
+// pool, so iteration plays well with eviction. The frames hold decoded
+// snapshots: mutating the tree (Put/Delete) while iterating leaves the
+// iterator on a stale view — finish the scan first, as the store's
+// callers do.
+type Iterator struct {
+	db    *DB
+	stack []frame
+	err   error
+	key   []byte
+	val   []byte
+	valid bool
+}
+
+type frame struct {
+	id  uint32
+	n   *node
+	idx int
+}
+
+// Seek positions the iterator at the smallest key >= target.
+func (db *DB) Seek(target []byte) *Iterator {
+	it := &Iterator{db: db}
+	id := db.root
+	for {
+		n, err := db.readNode(id)
+		if err != nil {
+			it.err = err
+			return it
+		}
+		if n.typ == pageLeaf {
+			i, _ := search(n.keys, target)
+			it.stack = append(it.stack, frame{id: id, n: n, idx: i})
+			it.settle()
+			return it
+		}
+		ci := childIndex(n.keys, target)
+		it.stack = append(it.stack, frame{id: id, n: n, idx: ci})
+		id = n.children[ci]
+	}
+}
+
+// First positions the iterator at the smallest key.
+func (db *DB) First() *Iterator { return db.Seek(nil) }
+
+// settle loads the current entry, popping exhausted frames and descending
+// into following subtrees until it finds a leaf entry or the end.
+func (it *Iterator) settle() {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		if top.n.typ == pageLeaf {
+			if top.idx < len(top.n.keys) {
+				it.key = top.n.keys[top.idx]
+				it.val = top.n.vals[top.idx]
+				it.valid = true
+				return
+			}
+			it.stack = it.stack[:len(it.stack)-1]
+			if len(it.stack) > 0 {
+				it.stack[len(it.stack)-1].idx++
+			}
+			continue
+		}
+		if top.idx >= len(top.n.children) {
+			it.stack = it.stack[:len(it.stack)-1]
+			if len(it.stack) > 0 {
+				it.stack[len(it.stack)-1].idx++
+			}
+			continue
+		}
+		child, err := it.db.readNode(top.n.children[top.idx])
+		if err != nil {
+			it.err = err
+			it.valid = false
+			return
+		}
+		it.stack = append(it.stack, frame{id: top.n.children[top.idx], n: child, idx: 0})
+	}
+	it.valid = false
+}
+
+// Valid reports whether the iterator is positioned at an entry.
+func (it *Iterator) Valid() bool { return it.valid && it.err == nil }
+
+// Err returns the first error the iterator hit.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current key; valid until the next call to Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value; valid until the next call to Next.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Next advances to the following key.
+func (it *Iterator) Next() {
+	if !it.Valid() {
+		return
+	}
+	it.stack[len(it.stack)-1].idx++
+	it.valid = false
+	it.settle()
+}
+
+// Ascend calls fn for every key in [start, end) in order; a nil end means
+// "to the last key". fn returning false stops the scan.
+func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
+	it := db.Seek(start)
+	for it.Valid() {
+		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
+			break
+		}
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	return it.Err()
+}
+
+// AscendPrefix calls fn for every key with the given prefix, in order.
+func (db *DB) AscendPrefix(prefix []byte, fn func(k, v []byte) bool) error {
+	it := db.Seek(prefix)
+	for it.Valid() {
+		if !bytes.HasPrefix(it.Key(), prefix) {
+			break
+		}
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	return it.Err()
+}

@@ -1,0 +1,245 @@
+// Package kvstore is a single-file, page-oriented B+tree key-value store —
+// the storage substrate standing in for BerkeleyDB Java Edition in the
+// paper's architecture (Section VIII). It provides ordered iteration
+// (needed for the TypeToSequence scans of the renderer), a buffer pool
+// with LRU eviction, and block read/write counters that the benchmark
+// harness samples to regenerate the paper's vmstat figures (Figs. 11-12).
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PageSize is the fixed on-disk page size.
+const PageSize = 4096
+
+const magic = "XMKV1\x00\x00\x00"
+
+// Stats holds cumulative I/O counters. Reads and writes are whole pages
+// ("blocks" in the vmstat sense). IONanos accumulates wall time spent
+// inside file reads and writes; the benchmark harness derives the paper's
+// wait-percentage figure (Fig. 12) from it.
+type Stats struct {
+	BlocksRead    int64
+	BlocksWritten int64
+	IONanos       int64
+}
+
+// pager manages the page file and the buffer pool.
+type pager struct {
+	mu    sync.Mutex
+	file  *os.File // nil for the memory backend
+	mem   [][]byte // memory backend pages
+	cache map[uint32]*cached
+	// lru is a doubly linked list of cached pages, most recent at head.
+	head, tail *cached
+	capacity   int
+	npages     uint32
+	reads      int64
+	writes     int64
+	ioNanos    int64
+}
+
+type cached struct {
+	id         uint32
+	buf        []byte
+	dirty      bool
+	prev, next *cached
+}
+
+func newPager(f *os.File, capacity int) (*pager, error) {
+	if capacity < 8 {
+		capacity = 8
+	}
+	p := &pager{file: f, cache: map[uint32]*cached{}, capacity: capacity}
+	if f != nil {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size()%PageSize != 0 {
+			return nil, fmt.Errorf("kvstore: file size %d is not page aligned (truncated or corrupt)", fi.Size())
+		}
+		p.npages = uint32(fi.Size() / PageSize)
+	}
+	return p, nil
+}
+
+// alloc appends a fresh zeroed page and returns its id.
+func (p *pager) alloc() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.npages
+	p.npages++
+	c := &cached{id: id, buf: make([]byte, PageSize), dirty: true}
+	p.insert(c)
+	if p.file == nil {
+		p.mem = append(p.mem, nil)
+	}
+	return id
+}
+
+// read returns the page buffer; the caller must not retain it across other
+// pager calls unless it pins the cache by holding no more than capacity
+// pages (the B+tree copies what it needs).
+func (p *pager) read(id uint32) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.cache[id]; ok {
+		p.touch(c)
+		return c.buf, nil
+	}
+	if id >= p.npages {
+		return nil, fmt.Errorf("kvstore: page %d out of range (%d pages)", id, p.npages)
+	}
+	buf := make([]byte, PageSize)
+	if p.file != nil {
+		start := time.Now()
+		_, err := p.file.ReadAt(buf, int64(id)*PageSize)
+		atomic.AddInt64(&p.ioNanos, int64(time.Since(start)))
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("kvstore: read page %d: %w", id, err)
+		}
+	} else if p.mem[id] != nil {
+		copy(buf, p.mem[id])
+	}
+	atomic.AddInt64(&p.reads, 1)
+	c := &cached{id: id, buf: buf}
+	p.insert(c)
+	return c.buf, nil
+}
+
+// write replaces a page's contents and marks it dirty.
+func (p *pager) write(id uint32, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.cache[id]; ok {
+		copy(c.buf, buf)
+		c.dirty = true
+		p.touch(c)
+		return nil
+	}
+	if id >= p.npages {
+		return fmt.Errorf("kvstore: write page %d out of range", id)
+	}
+	c := &cached{id: id, buf: append(make([]byte, 0, PageSize), buf...), dirty: true}
+	p.insert(c)
+	return nil
+}
+
+// insert adds a page at the LRU head, evicting if over capacity. Callers
+// hold p.mu.
+func (p *pager) insert(c *cached) {
+	p.cache[c.id] = c
+	c.next = p.head
+	if p.head != nil {
+		p.head.prev = c
+	}
+	p.head = c
+	if p.tail == nil {
+		p.tail = c
+	}
+	for len(p.cache) > p.capacity {
+		victim := p.tail
+		if victim == nil {
+			break
+		}
+		p.unlink(victim)
+		delete(p.cache, victim.id)
+		if victim.dirty {
+			p.flushLocked(victim)
+		}
+	}
+}
+
+func (p *pager) touch(c *cached) {
+	if p.head == c {
+		return
+	}
+	p.unlink(c)
+	c.next = p.head
+	c.prev = nil
+	if p.head != nil {
+		p.head.prev = c
+	}
+	p.head = c
+	if p.tail == nil {
+		p.tail = c
+	}
+}
+
+func (p *pager) unlink(c *cached) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else if p.head == c {
+		p.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else if p.tail == c {
+		p.tail = c.prev
+	}
+	c.prev, c.next = nil, nil
+}
+
+// flushLocked writes one page back. Callers hold p.mu.
+func (p *pager) flushLocked(c *cached) {
+	if p.file != nil {
+		// Errors here surface on Sync/Close via a re-write; eviction keeps
+		// the page dirty in memory on failure.
+		start := time.Now()
+		_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
+		atomic.AddInt64(&p.ioNanos, int64(time.Since(start)))
+		if err != nil {
+			p.cache[c.id] = c // keep it so Sync can retry
+			return
+		}
+	} else {
+		p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
+	}
+	atomic.AddInt64(&p.writes, 1)
+	c.dirty = false
+}
+
+// sync flushes every dirty page.
+func (p *pager) sync() error {
+	p.mu.Lock()
+	for _, c := range p.cache {
+		if c.dirty {
+			if p.file != nil {
+				start := time.Now()
+				_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
+				atomic.AddInt64(&p.ioNanos, int64(time.Since(start)))
+				if err != nil {
+					p.mu.Unlock()
+					return fmt.Errorf("kvstore: sync page %d: %w", c.id, err)
+				}
+			} else {
+				p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
+			}
+			atomic.AddInt64(&p.writes, 1)
+			c.dirty = false
+		}
+	}
+	p.mu.Unlock()
+	if p.file != nil {
+		return p.file.Sync()
+	}
+	return nil
+}
+
+func (p *pager) stats() Stats {
+	return Stats{
+		BlocksRead:    atomic.LoadInt64(&p.reads),
+		BlocksWritten: atomic.LoadInt64(&p.writes),
+		IONanos:       atomic.LoadInt64(&p.ioNanos),
+	}
+}
+
+var _ = binary.BigEndian // used by btree.go page codecs

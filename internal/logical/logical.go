@@ -1,0 +1,172 @@
+// Package logical evaluates an XQuery query against a guard's output
+// without rendering the whole transformation — a step toward the paper's
+// architecture #3 ("logically transform the data in situ", Section VIII's
+// near-term future work).
+//
+// The full re-engineering of a query engine is out of scope there and
+// here; what this package implements is the load-bearing part: the query's
+// label paths (via xq.ExtractPaths) prune the composed target shape to the
+// types the query can possibly touch, only that projection is rendered,
+// and the query runs over the small result. Answers equal running the
+// query over the full transformation, because XQuery path semantics never
+// look at elements whose labels the query does not traverse (wildcard and
+// text() steps disable pruning below their chain, conservatively keeping
+// whole subtrees).
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"xmorph/internal/core"
+	"xmorph/internal/render"
+	"xmorph/internal/semantics"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+	"xmorph/internal/xq"
+)
+
+// Result carries the answer plus the projection statistics.
+type Result struct {
+	// Answer is the serialized query result.
+	Answer string
+	// RenderedNodes counts the nodes of the pruned rendering.
+	RenderedNodes int
+	// KeptTypes / TotalTypes count target types before and after pruning.
+	KeptTypes  int
+	TotalTypes int
+}
+
+// Evaluate type-checks the guard, prunes its target to the query's paths,
+// renders the projection, and runs the query over it bound as docName.
+func Evaluate(query, guardSrc, docName string, doc *xmltree.Document) (*Result, error) {
+	return EvaluateSource(query, guardSrc, docName, shape.FromDocument(doc), doc)
+}
+
+// EvaluateSource is Evaluate over any render source (e.g. a shredded
+// store's lazy type sequences) with its adorned shape supplied separately.
+// Only the type sequences the pruned projection mentions are read.
+func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render.Source) (*Result, error) {
+	checked, err := core.Check(guardSrc, sh)
+	if err != nil {
+		return nil, err
+	}
+	tgt := checked.Plan.ComposedTarget()
+	total := countTypes(tgt)
+
+	chains, err := xq.ExtractPaths(query)
+	if err != nil {
+		return nil, err
+	}
+	pruned := Prune(tgt, chains)
+	kept := countTypes(pruned)
+
+	out, err := render.Render(doc, pruned)
+	if err != nil {
+		return nil, err
+	}
+	// The query addresses doc(docName); results are forests, so wrap.
+	wrapped, err := xmltree.ParseString("<xmorph-result>" + out.XML(false) + "</xmorph-result>")
+	if err != nil {
+		// An empty projection still answers the query (over nothing).
+		wrapped = &xmltree.Document{}
+	}
+	eng := xq.New()
+	eng.Bind(docName, wrapped)
+	answer, err := eng.QueryXML(rebase(query, docName))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Answer:        answer,
+		RenderedNodes: out.Size(),
+		KeptTypes:     kept,
+		TotalTypes:    total,
+	}, nil
+}
+
+// rebase rewrites doc("name")/step to doc("name")//step so queries written
+// against the guard's root types keep working under the wrapper element.
+func rebase(query, docName string) string {
+	needle := fmt.Sprintf(`doc("%s")/`, docName)
+	if strings.Contains(query, needle) && !strings.Contains(query, needle+"/") {
+		return strings.ReplaceAll(query, needle, fmt.Sprintf(`doc("%s")//`, docName))
+	}
+	return query
+}
+
+func countTypes(t *semantics.Target) int {
+	n := 0
+	t.Walk(func(*semantics.TNode) { n++ })
+	return n
+}
+
+// Prune keeps only the target types the query's label chains can reach:
+// a node survives when it completes a chain (the query selects it — its
+// whole subtree stays, atomization reads descendants), or when some
+// descendant survives (ancestors stay on the path to selected nodes).
+// Because ExtractPaths does not distinguish child from descendant steps,
+// every step is treated as a descendant step — strictly conservative.
+// A nil/empty chain set keeps everything (nothing to prune with).
+func Prune(t *semantics.Target, chains [][]string) *semantics.Target {
+	if len(chains) == 0 {
+		return t
+	}
+	out := &semantics.Target{}
+	for _, r := range t.Roots {
+		if kept := pruneNode(r, chains); kept != nil {
+			out.Roots = append(out.Roots, kept)
+		}
+	}
+	if len(out.Roots) == 0 {
+		// The query's paths touch nothing in the target: keep the full
+		// target so the query returns its honest empty answer over the
+		// real shape.
+		return t
+	}
+	return out
+}
+
+// pruneNode prunes the subtree at n under the set of active chain
+// suffixes. Chains remain active at every depth (descendant semantics);
+// consuming a step narrows a copy of the chain for the nodes below.
+func pruneNode(n *semantics.TNode, active [][]string) *semantics.TNode {
+	label := nodeLabel(n)
+	var consumed [][]string
+	for _, ch := range active {
+		if len(ch) > 0 && stepLabel(ch[0]) == label {
+			if len(ch) == 1 {
+				// The query selects this node: keep its whole subtree.
+				return n.Copy()
+			}
+			consumed = append(consumed, ch[1:])
+		}
+	}
+	next := active
+	if len(consumed) > 0 {
+		// Fresh slice: appending to the caller's backing array would leak
+		// suffixes across sibling subtrees.
+		next = append(append([][]string(nil), active...), consumed...)
+	}
+	cp := n.Copy()
+	cp.Kids = nil
+	survived := false
+	for _, k := range n.Kids {
+		if kc := pruneNode(k, next); kc != nil {
+			cp.Attach(kc)
+			survived = true
+		}
+	}
+	if !survived {
+		return nil
+	}
+	return cp
+}
+
+func nodeLabel(n *semantics.TNode) string {
+	return strings.ToLower(strings.TrimPrefix(n.Name, "@"))
+}
+
+func stepLabel(s string) string {
+	return strings.ToLower(strings.TrimPrefix(s, "@"))
+}

@@ -1,0 +1,142 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"xmorph/internal/core"
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/xmltree"
+	"xmorph/internal/xq"
+)
+
+const fig1b = `<data>
+  <publisher><name>W</name>
+    <book><title>X</title><author><name>V</name></author></book>
+    <book><title>Y</title><author><name>U</name></author></book>
+  </publisher>
+</data>`
+
+func TestEvaluateAnswersMatchFullRender(t *testing.T) {
+	const guardSrc = "MORPH author [ name book [ title ] ]"
+	const query = `for $a in doc("d.xml")//author where $a/book/title = "X" return string($a/name)`
+
+	res, err := Evaluate(query, guardSrc, "d.xml", xmltree.MustParse(fig1b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != "V" {
+		t.Errorf("answer = %q, want V", res.Answer)
+	}
+
+	// Reference: full render, then query.
+	full, err := core.TransformString(guardSrc, fig1b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := xmltree.MustParse("<w>" + full.Output.XML(false) + "</w>")
+	eng := xq.New()
+	eng.Bind("d.xml", wrapped)
+	want, err := eng.QueryXML(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != want {
+		t.Errorf("logical answer %q != full-render answer %q", res.Answer, want)
+	}
+}
+
+// TestEvaluatePrunesUntouchedTypes: on XMark with a MUTATE site guard (all
+// ~200 types), a query touching three types must render a small fraction
+// of the document.
+func TestEvaluatePrunesUntouchedTypes(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.004, Seed: 2})
+	const guardSrc = "CAST MUTATE site"
+	const query = `for $p in doc("x")//person return string($p/name)`
+
+	res, err := Evaluate(query, guardSrc, "x", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer == "" {
+		t.Fatal("no answer")
+	}
+	if res.KeptTypes >= res.TotalTypes/4 {
+		t.Errorf("pruning kept %d of %d types; expected a small projection", res.KeptTypes, res.TotalTypes)
+	}
+	if res.RenderedNodes >= doc.Size()/2 {
+		t.Errorf("projection rendered %d of %d nodes; expected far fewer", res.RenderedNodes, doc.Size())
+	}
+
+	// Same answer as the full pipeline.
+	full, err := core.Transform(guardSrc, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := xq.New()
+	eng.Bind("x", full.Output)
+	want, err := eng.QueryXML(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != want {
+		t.Errorf("pruned answer diverges:\npruned: %.120s\nfull:   %.120s", res.Answer, want)
+	}
+}
+
+func TestEvaluateAggregates(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.003, Seed: 6})
+	res, err := Evaluate(`count(doc("x")//open_auction/bidder)`, "CAST MUTATE site", "x", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Transform("CAST MUTATE site", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := xq.New()
+	eng.Bind("x", full.Output)
+	want, _ := eng.QueryXML(`count(doc("x")//open_auction/bidder)`)
+	if res.Answer != want {
+		t.Errorf("count over projection = %s, full = %s", res.Answer, want)
+	}
+}
+
+func TestEvaluateQueryTouchingNothing(t *testing.T) {
+	res, err := Evaluate(`count(doc("d")//zeppelin)`, "MORPH author [ name ]", "d", xmltree.MustParse(fig1b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != "0" {
+		t.Errorf("absent label count = %q, want 0", res.Answer)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	doc := xmltree.MustParse(fig1b)
+	if _, err := Evaluate(`%%%`, "MORPH author", "d", doc); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := Evaluate(`doc("d")//a`, "MORPH [", "d", doc); err == nil {
+		t.Error("bad guard accepted")
+	}
+	// A guard that is actually lossy on its data (optional name) must
+	// still be rejected by the type check before any evaluation.
+	optional := xmltree.MustParse(`<data><book><author/></book><book><author><name>V</name></author></book></data>`)
+	if _, err := Evaluate(`doc("d")//name`, "MUTATE name [ author ]", "d", optional); err == nil {
+		t.Error("lossy guard must still be rejected by the type check")
+	}
+}
+
+func TestPruneKeepsWildcardSubtrees(t *testing.T) {
+	const guardSrc = "MORPH author [ name book [ title ] ]"
+	const query = `for $a in doc("d")//author return <x>{$a/*}</x>`
+	res, err := Evaluate(query, guardSrc, "d", xmltree.MustParse(fig1b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wildcard ends the chain at author: its whole subtree must stay.
+	if !strings.Contains(res.Answer, "<name>") || !strings.Contains(res.Answer, "<book>") {
+		t.Errorf("wildcard pruning dropped needed children: %s", res.Answer)
+	}
+}

@@ -1,0 +1,368 @@
+// Package loss implements the potential-information-loss analysis of
+// Section V: before any data is touched, a compiled guard is checked
+// against the adorned shape of its input by comparing path cardinalities
+// (Definition 6) with the predicted cardinalities of the target arrangement
+// (Definition 7).
+//
+//   - Theorem 1 (inclusive / widening-safe): the transform loses no data if
+//     no pair of types has its minimum path cardinality increase from zero
+//     to non-zero in the predicted shape.
+//   - Theorem 2 (non-additive / narrowing-safe): the transform creates no
+//     data if no pair of types has its maximum path cardinality increase.
+//
+// The paper's verdict vocabulary maps onto the two checks: a guard is
+// "narrowing" when it ensures data is not created (non-additive),
+// "widening" when it ensures no data is lost (inclusive), strongly-typed
+// when both hold, and weakly-typed when neither does.
+package loss
+
+import (
+	"fmt"
+	"strings"
+
+	"xmorph/internal/guard"
+	"xmorph/internal/semantics"
+	"xmorph/internal/shape"
+)
+
+// Verdict is the typing verdict of a guard (Section I's terminology).
+type Verdict int
+
+const (
+	// StronglyTyped guards neither create nor lose data.
+	StronglyTyped Verdict = iota
+	// Narrowing guards create no data but may lose some.
+	Narrowing
+	// Widening guards lose no data but may create some.
+	Widening
+	// WeaklyTyped guards may both create and lose data.
+	WeaklyTyped
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case StronglyTyped:
+		return "strongly-typed"
+	case Narrowing:
+		return "narrowing"
+	case Widening:
+		return "widening"
+	case WeaklyTyped:
+		return "weakly-typed"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// FindingKind classifies one potential-loss finding.
+type FindingKind int
+
+const (
+	// NonInclusive: a pair's minimum path cardinality rises from zero, so
+	// vertices missing the now-required ancestor are dropped (Theorem 1).
+	NonInclusive FindingKind = iota
+	// Additive: a pair's maximum path cardinality increases, so closest
+	// relationships not present in the source are manufactured (Theorem 2).
+	Additive
+	// RestrictFilter: a RESTRICT requirement may filter out vertices; the
+	// guard is conservatively flagged as potentially losing data.
+	RestrictFilter
+	// Manufactured: NEW or TYPE-FILL introduces vertices that do not exist
+	// in the source; the guard creates data.
+	Manufactured
+)
+
+func (k FindingKind) String() string {
+	switch k {
+	case NonInclusive:
+		return "non-inclusive"
+	case Additive:
+		return "additive"
+	case RestrictFilter:
+		return "restrict-filter"
+	case Manufactured:
+		return "manufactured"
+	}
+	return fmt.Sprintf("FindingKind(%d)", int(k))
+}
+
+// Finding pinpoints which part of the transformation potentially loses or
+// creates information — the feedback an XQuery programmer uses to decide
+// whether to add a CAST (Section I).
+type Finding struct {
+	Kind FindingKind
+	// Stage indexes the pipeline stage the finding belongs to.
+	Stage int
+	// FromType and ToType are the source types of the offending pair (or
+	// the manufactured type's name).
+	FromType string
+	ToType   string
+	// SrcCard and PredCard are the path cardinalities in the input shape
+	// and in the predicted target shape.
+	SrcCard  shape.Card
+	PredCard shape.Card
+}
+
+// String renders the finding for the information-loss report.
+func (f Finding) String() string {
+	switch f.Kind {
+	case NonInclusive:
+		return fmt.Sprintf("stage %d: path %s ~> %s: min cardinality rises %s -> %s; vertices of %s without a closest %s will be dropped",
+			f.Stage+1, f.FromType, f.ToType, f.SrcCard, f.PredCard, f.FromType, f.ToType)
+	case Additive:
+		return fmt.Sprintf("stage %d: path %s ~> %s: max cardinality rises %s -> %s; closest relationships not in the source will be created",
+			f.Stage+1, f.FromType, f.ToType, f.SrcCard, f.PredCard)
+	case RestrictFilter:
+		return fmt.Sprintf("stage %d: RESTRICT on %s may filter out vertices", f.Stage+1, f.FromType)
+	case Manufactured:
+		return fmt.Sprintf("stage %d: type %s is manufactured; its elements do not exist in the source", f.Stage+1, f.FromType)
+	}
+	return fmt.Sprintf("stage %d: %s %s ~> %s", f.Stage+1, f.Kind, f.FromType, f.ToType)
+}
+
+// Report is the information-loss report for a whole guard.
+type Report struct {
+	// Verdict is the combined typing verdict.
+	Verdict Verdict
+	// NonAdditive and Inclusive are the two component guarantees.
+	NonAdditive bool
+	Inclusive   bool
+	Findings    []Finding
+}
+
+// String renders the report as the tool prints it.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "guard is %s", r.Verdict)
+	if len(r.Findings) == 0 {
+		b.WriteString(" (no potential information loss)")
+		return b.String()
+	}
+	b.WriteString("\n")
+	for _, f := range r.Findings {
+		b.WriteString("  - ")
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Analyze checks every stage of a compiled plan and combines the component
+// guarantees: the pipeline is inclusive (resp. non-additive) only when
+// every stage is.
+func Analyze(p *semantics.Plan) *Report {
+	r := &Report{NonAdditive: true, Inclusive: true}
+	for i, sp := range p.Stages {
+		analyzeStage(r, i, sp)
+	}
+	switch {
+	case r.NonAdditive && r.Inclusive:
+		r.Verdict = StronglyTyped
+	case r.NonAdditive:
+		r.Verdict = Narrowing
+	case r.Inclusive:
+		r.Verdict = Widening
+	default:
+		r.Verdict = WeaklyTyped
+	}
+	return r
+}
+
+func analyzeStage(r *Report, idx int, sp *semantics.StagePlan) {
+	var sourced []*semantics.TNode
+	sp.Target.Walk(func(n *semantics.TNode) {
+		if n.Source != "" {
+			sourced = append(sourced, n)
+		} else {
+			r.NonAdditive = false
+			r.Findings = append(r.Findings, Finding{
+				Kind: Manufactured, Stage: idx, FromType: n.Name,
+			})
+		}
+		if len(n.Require) > 0 {
+			r.Inclusive = false
+			r.Findings = append(r.Findings, Finding{
+				Kind: RestrictFilter, Stage: idx, FromType: n.Source,
+			})
+		}
+	})
+
+	// Pairwise path-cardinality comparison (Theorems 1 and 2) over the
+	// retained types. Ordered pairs: the upward direction encodes "every a
+	// must sit below some b". Edge cardinalities, node depths, and source
+	// ancestor chains are precomputed — this loop is quadratic in the
+	// number of types and runs on every guard compile, so it must stay
+	// allocation-free per pair (the paper reports ~20 ms compiles on
+	// 471-type shapes).
+	edgeCards := make(map[*semantics.TNode]shape.Card, len(sourced))
+	depths := map[*semantics.TNode]int{}
+	for _, n := range sourced {
+		edgeCards[n] = n.EdgeCard(sp.Input)
+		d := 0
+		for p := n.Parent(); p != nil; p = p.Parent() {
+			if _, ok := edgeCards[p]; !ok {
+				edgeCards[p] = p.EdgeCard(sp.Input)
+			}
+			d++
+		}
+		depths[n] = d
+	}
+	src := newSrcIndex(sp.Input)
+	for _, a := range sourced {
+		for _, b := range sourced {
+			if a == b {
+				continue
+			}
+			cardS, okS := src.pathCard(a.Source, b.Source)
+			if !okS {
+				continue // disconnected in the input
+			}
+			cardR, okR := targetPathCardFast(a, b, depths, edgeCards)
+			if !okR {
+				continue // disconnected in the target: no requirement
+			}
+			if cardS.Min == 0 && cardR.Min > 0 {
+				r.Inclusive = false
+				r.Findings = append(r.Findings, Finding{
+					Kind: NonInclusive, Stage: idx,
+					FromType: a.Source, ToType: b.Source,
+					SrcCard: cardS, PredCard: cardR,
+				})
+			}
+			if cardR.Max > cardS.Max {
+				r.NonAdditive = false
+				r.Findings = append(r.Findings, Finding{
+					Kind: Additive, Stage: idx,
+					FromType: a.Source, ToType: b.Source,
+					SrcCard: cardS, PredCard: cardR,
+				})
+			}
+		}
+	}
+}
+
+// targetPathCardFast computes the path cardinality between two target
+// types in the target forest, using precomputed predicted edge
+// cardinalities (Definition 7). The upward leg contributes 1..1 as in
+// Definition 6.
+func targetPathCardFast(a, b *semantics.TNode, depths map[*semantics.TNode]int, edgeCards map[*semantics.TNode]shape.Card) (shape.Card, bool) {
+	da, db := nodeDepth(a, depths), nodeDepth(b, depths)
+	c := shape.One
+	for db > da {
+		c = c.Mul(edgeCards[b])
+		b = b.Parent()
+		db--
+	}
+	for da > db {
+		a = a.Parent()
+		da--
+	}
+	for a != b {
+		if a == nil || b == nil {
+			return shape.Card{}, false
+		}
+		c = c.Mul(edgeCards[b])
+		a, b = a.Parent(), b.Parent()
+	}
+	if a == nil {
+		return shape.Card{}, false
+	}
+	return c, true
+}
+
+// srcIndex precomputes each input type's ancestor chain (self to root)
+// and the cardinality of its incoming edge, so pathCard needs no map
+// lookups per step.
+type srcIndex struct {
+	chain map[string][]string
+	into  map[string]shape.Card
+}
+
+func newSrcIndex(in *shape.Shape) *srcIndex {
+	idx := &srcIndex{chain: map[string][]string{}, into: map[string]shape.Card{}}
+	for _, t := range in.Types() {
+		var chain []string
+		for x := t; ; {
+			chain = append(chain, x)
+			p, ok := in.Parent(x)
+			if !ok {
+				break
+			}
+			if c, ok := in.Card(p, x); ok {
+				if _, seen := idx.into[x]; !seen {
+					idx.into[x] = c
+				}
+			}
+			x = p
+		}
+		idx.chain[t] = chain
+	}
+	return idx
+}
+
+// pathCard is Definition 6 over the precomputed chains: 1..1 up to the
+// LCA, then the product of incoming-edge cardinalities down to the target.
+func (idx *srcIndex) pathCard(from, to string) (shape.Card, bool) {
+	ca, cb := idx.chain[from], idx.chain[to]
+	if len(ca) == 0 || len(cb) == 0 {
+		return shape.Card{}, false
+	}
+	if ca[len(ca)-1] != cb[len(cb)-1] {
+		return shape.Card{}, false // different trees
+	}
+	i, j := len(ca)-1, len(cb)-1
+	for i > 0 && j > 0 && ca[i-1] == cb[j-1] {
+		i--
+		j--
+	}
+	// cb[j] is the LCA; multiply incoming cards below it on the to-side.
+	c := shape.One
+	for k := 0; k < j; k++ {
+		c = c.Mul(idx.into[cb[k]])
+	}
+	return c, true
+}
+
+func nodeDepth(n *semantics.TNode, depths map[*semantics.TNode]int) int {
+	if d, ok := depths[n]; ok {
+		return d
+	}
+	d := 0
+	for p := n.Parent(); p != nil; p = p.Parent() {
+		d++
+	}
+	return d
+}
+
+// CastError reports that a guard's verdict exceeds what its cast mode
+// admits; the findings say exactly where the loss would happen.
+type CastError struct {
+	Mode    guard.CastMode
+	Verdict Verdict
+	Report  *Report
+}
+
+func (e *CastError) Error() string {
+	return fmt.Sprintf("guard: %s transformation rejected (mode %s); %s",
+		e.Verdict, e.Mode, e.Report)
+}
+
+// Enforce applies the type-enforcement policy of Section III: by default
+// only strongly-typed guards run; CAST-NARROWING additionally admits
+// narrowing guards, CAST-WIDENING widening guards, and CAST anything.
+func Enforce(mode guard.CastMode, r *Report) error {
+	ok := false
+	switch mode {
+	case guard.CastNone:
+		ok = r.Verdict == StronglyTyped
+	case guard.CastNarrowing:
+		ok = r.Verdict == StronglyTyped || r.Verdict == Narrowing
+	case guard.CastWidening:
+		ok = r.Verdict == StronglyTyped || r.Verdict == Widening
+	case guard.CastWeak:
+		ok = true
+	}
+	if !ok {
+		return &CastError{Mode: mode, Verdict: r.Verdict, Report: r}
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package loss
+
+import (
+	"strings"
+	"testing"
+
+	"xmorph/internal/guard"
+	"xmorph/internal/semantics"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+const fig1a = `<data>
+  <book>
+    <title>X</title>
+    <author><name>V</name></author>
+    <publisher><name>W</name></publisher>
+  </book>
+  <book>
+    <title>Y</title>
+    <author><name>V</name></author>
+    <publisher><name>W</name></publisher>
+  </book>
+</data>`
+
+const fig1c = `<data>
+  <author>
+    <name>V</name>
+    <book>
+      <title>X</title>
+      <publisher><name>W</name></publisher>
+    </book>
+    <book>
+      <title>Y</title>
+      <publisher><name>W</name></publisher>
+    </book>
+  </author>
+</data>`
+
+// optionalName: some authors have no name (author -> name is 0..1), the
+// running example of Section V-B.
+const optionalName = `<data>
+  <book><author/></book>
+  <book><author><name>V</name></author></book>
+</data>`
+
+func analyze(t *testing.T, guardSrc, xmlSrc string) *Report {
+	t.Helper()
+	s := shape.FromDocument(xmltree.MustParse(xmlSrc))
+	p, err := semantics.Compile(guard.MustParse(guardSrc), s)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", guardSrc, err)
+	}
+	return Analyze(p)
+}
+
+// TestStronglyTypedGuard: the paper's first guard is strongly-typed on all
+// three Figure 1 instances (Section I).
+func TestStronglyTypedGuard(t *testing.T) {
+	const g = "MORPH author [ name book [ title ] ]"
+	for _, src := range []string{fig1a, fig1c} {
+		r := analyze(t, g, src)
+		if r.Verdict != StronglyTyped {
+			t.Errorf("verdict on %q = %v, want strongly-typed:\n%s", g, r.Verdict, r)
+		}
+	}
+}
+
+// TestWideningGuardFig3: the second Section I guard is widening on
+// instance (c): titles become closest to publishers they were not closest
+// to in the source.
+func TestWideningGuardFig3(t *testing.T) {
+	r := analyze(t, "MORPH author [ title name publisher [ name ] ]", fig1c)
+	if r.NonAdditive {
+		t.Errorf("Fig 3 guard on (c) should be additive:\n%s", r)
+	}
+	if !r.Inclusive {
+		t.Errorf("Fig 3 guard on (c) should stay inclusive:\n%s", r)
+	}
+	if r.Verdict != Widening {
+		t.Errorf("verdict = %v, want widening", r.Verdict)
+	}
+	// The findings must identify the title/publisher pair.
+	found := false
+	for _, f := range r.Findings {
+		if f.Kind == Additive &&
+			(strings.Contains(f.FromType, "title") || strings.Contains(f.ToType, "title")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no additive finding mentioning title:\n%s", r)
+	}
+}
+
+// TestNonInclusiveMutate reproduces Section V-B: with optional names,
+// MUTATE name [ author ] drops authors without a name.
+func TestNonInclusiveMutate(t *testing.T) {
+	r := analyze(t, "MUTATE name [ author ]", optionalName)
+	if r.Inclusive {
+		t.Errorf("MUTATE name [ author ] with optional name should be non-inclusive:\n%s", r)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Kind == NonInclusive && strings.HasSuffix(f.FromType, "author") && strings.HasSuffix(f.ToType, "name") {
+			if f.SrcCard.Min != 0 || f.PredCard.Min == 0 {
+				t.Errorf("finding cards wrong: %+v", f)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing the author~>name finding:\n%s", r)
+	}
+}
+
+// TestInclusiveMutate reproduces the paper's fix: MUTATE data [ name
+// author ] keeps both types at the top, losing nothing.
+func TestInclusiveMutate(t *testing.T) {
+	r := analyze(t, "MUTATE data [ name author ]", optionalName)
+	if !r.Inclusive {
+		t.Errorf("MUTATE data [ name author ] should be inclusive:\n%s", r)
+	}
+}
+
+// TestNonAdditiveSwap: with name 1..1, swapping name and author does not
+// change any maximum path cardinality (Section V-B).
+func TestNonAdditiveSwap(t *testing.T) {
+	r := analyze(t, "MUTATE name [ author ]", fig1c)
+	if !r.NonAdditive {
+		t.Errorf("swap with 1..1 name should be non-additive:\n%s", r)
+	}
+}
+
+func TestIdentityIsStronglyTyped(t *testing.T) {
+	for _, g := range []string{"MUTATE data", "MORPH data [ ** ]"} {
+		r := analyze(t, g, fig1a)
+		if r.Verdict != StronglyTyped {
+			t.Errorf("identity %q verdict = %v:\n%s", g, r.Verdict, r)
+		}
+	}
+}
+
+func TestManufacturedNewIsAdditive(t *testing.T) {
+	r := analyze(t, "MUTATE (NEW scribe) [ author ]", fig1a)
+	if r.NonAdditive {
+		t.Errorf("NEW should be additive:\n%s", r)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Kind == Manufactured && f.FromType == "scribe" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing manufactured finding:\n%s", r)
+	}
+}
+
+func TestTypeFillIsAdditive(t *testing.T) {
+	r := analyze(t, "TYPE-FILL MUTATE author [ isbn ]", fig1a)
+	if r.NonAdditive {
+		t.Errorf("TYPE-FILL should be additive:\n%s", r)
+	}
+}
+
+func TestRestrictFlagsPotentialLoss(t *testing.T) {
+	r := analyze(t, "MORPH (RESTRICT name [ author ]) [ title ]", fig1a)
+	if r.Inclusive {
+		t.Errorf("RESTRICT should flag potential data loss:\n%s", r)
+	}
+	found := false
+	for _, f := range r.Findings {
+		if f.Kind == RestrictFilter {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing restrict finding:\n%s", r)
+	}
+}
+
+func TestCloneOfAlreadyClosestIsNotAdditive(t *testing.T) {
+	// MUTATE author [ CLONE title ]: author and title are already closest
+	// in the source, so materializing the relationship adds nothing.
+	r := analyze(t, "MUTATE author [ CLONE title ]", fig1a)
+	if !r.NonAdditive {
+		t.Errorf("clone of closest title should be non-additive:\n%s", r)
+	}
+	if !r.Inclusive {
+		t.Errorf("clone keeps everything:\n%s", r)
+	}
+}
+
+func TestEnforce(t *testing.T) {
+	strongly := &Report{Verdict: StronglyTyped, NonAdditive: true, Inclusive: true}
+	narrowing := &Report{Verdict: Narrowing, NonAdditive: true}
+	widening := &Report{Verdict: Widening, Inclusive: true}
+	weak := &Report{Verdict: WeaklyTyped}
+
+	cases := []struct {
+		mode   guard.CastMode
+		report *Report
+		ok     bool
+	}{
+		{guard.CastNone, strongly, true},
+		{guard.CastNone, narrowing, false},
+		{guard.CastNone, widening, false},
+		{guard.CastNone, weak, false},
+		{guard.CastNarrowing, narrowing, true},
+		{guard.CastNarrowing, widening, false},
+		{guard.CastWidening, widening, true},
+		{guard.CastWidening, narrowing, false},
+		{guard.CastWeak, weak, true},
+		{guard.CastWeak, strongly, true},
+	}
+	for _, c := range cases {
+		err := Enforce(c.mode, c.report)
+		if (err == nil) != c.ok {
+			t.Errorf("Enforce(%v, %v) error = %v, want ok=%v", c.mode, c.report.Verdict, err, c.ok)
+		}
+		if err != nil {
+			if _, isCast := err.(*CastError); !isCast {
+				t.Errorf("error type = %T", err)
+			}
+		}
+	}
+}
+
+func TestComposedPipelineCombinesGuarantees(t *testing.T) {
+	// Stage 1 strongly typed; stage 2 manufactures -> whole pipeline
+	// additive.
+	r := analyze(t, "MORPH author [ name ] | MUTATE (NEW wrapper) [ author ]", fig1a)
+	if r.NonAdditive {
+		t.Errorf("pipeline with NEW should be additive:\n%s", r)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := analyze(t, "MUTATE name [ author ]", optionalName)
+	s := r.String()
+	if !strings.Contains(s, "will be dropped") {
+		t.Errorf("report lacks drop explanation:\n%s", s)
+	}
+	clean := analyze(t, "MUTATE data", fig1a)
+	if !strings.Contains(clean.String(), "no potential information loss") {
+		t.Errorf("clean report wrong: %s", clean)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if StronglyTyped.String() != "strongly-typed" || WeaklyTyped.String() != "weakly-typed" {
+		t.Error("verdict strings wrong")
+	}
+	if Narrowing.String() != "narrowing" || Widening.String() != "widening" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func TestCastErrorMessage(t *testing.T) {
+	r := analyze(t, "MUTATE name [ author ]", optionalName)
+	err := Enforce(guard.CastNone, r)
+	ce, ok := err.(*CastError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	msg := ce.Error()
+	for _, want := range []string{"narrowing", "STRICT", "rejected"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("CastError message missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestFindingStrings(t *testing.T) {
+	fs := []Finding{
+		{Kind: NonInclusive, FromType: "a", ToType: "b"},
+		{Kind: Additive, FromType: "a", ToType: "b"},
+		{Kind: RestrictFilter, FromType: "a"},
+		{Kind: Manufactured, FromType: "n"},
+	}
+	for _, f := range fs {
+		if f.String() == "" || !strings.Contains(f.String(), "stage 1") {
+			t.Errorf("finding string for %v: %q", f.Kind, f)
+		}
+	}
+	if NonInclusive.String() != "non-inclusive" || Manufactured.String() != "manufactured" {
+		t.Error("finding kind strings wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package loss_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"xmorph/internal/closest"
+	"xmorph/internal/guard"
+	"xmorph/internal/loss"
+	"xmorph/internal/render"
+	"xmorph/internal/semantics"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+// TestTheoremSoundness is the repository's deepest property test: the
+// static analysis of Theorems 1 and 2 gives *sufficient* conditions, so
+// whenever it certifies a guarantee, the rendered instance must bear it
+// out:
+//
+//	static Inclusive   ==> empirical G ⊆ H (no vertex/edge of the source
+//	                        closest graph is lost)
+//	static NonAdditive ==> empirical H ⊆ G (no vertex/edge is created)
+//
+// The converse may fail (the analysis is conservative); that is not an
+// error. The test sweeps random documents against a battery of guards.
+func TestTheoremSoundness(t *testing.T) {
+	guards := []string{
+		"CAST MUTATE root",
+		"CAST MORPH a [ b ]",
+		"CAST MORPH b [ a ]",
+		"CAST MORPH root [ a [ c ] b ]",
+		"CAST MUTATE a [ b ]",
+		"CAST MUTATE b [ c ]",
+		"CAST MUTATE (DROP c)",
+		"CAST MORPH a [ b [ c ] ]",
+		"CAST MUTATE root [ c a ]",
+		"CAST MORPH c [ a ] | TRANSLATE c -> k",
+	}
+	labels := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(99))
+
+	checked, violations := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		doc := randomDoc(rng, labels)
+		sh := shape.FromDocument(doc)
+		g := guards[trial%len(guards)]
+
+		prog, err := guard.Parse(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := semantics.Compile(prog, sh)
+		if err != nil {
+			continue // the random document may lack the guard's types
+		}
+		report := loss.Analyze(plan)
+		tgt := plan.ComposedTarget()
+		out, err := render.Render(doc, tgt)
+		if err != nil {
+			t.Fatalf("trial %d guard %q: render: %v", trial, g, err)
+		}
+		// The comparison is relative to the retained types: a MORPH (or
+		// DROP) deliberately selects a type subset, and the analysis
+		// reasons about that subset (Definition 8 and the remark that
+		// choosing a subset of G is trivial).
+		retained := map[string]bool{}
+		tgt.Walk(func(n *semantics.TNode) {
+			if n.Source != "" {
+				retained[n.Source] = true
+			}
+		})
+		var types []string
+		for ty := range retained {
+			types = append(types, ty)
+		}
+		sort.Strings(types)
+		emp := closest.Compare(closest.BuildTypes(doc, types), closest.Build(out))
+		checked++
+
+		// Theorem 1 certifies that no retained vertex is discarded.
+		if report.Inclusive && emp.LostVertices > 0 {
+			violations++
+			t.Errorf("trial %d: guard %q statically inclusive but lost %d vertices\ndoc: %s\nout: %s\nreport: %s",
+				trial, g, emp.LostVertices, doc.XML(false), out.XML(false), report)
+		}
+		// Theorem 2 certifies that no vertex or closest relationship is
+		// manufactured.
+		if report.NonAdditive && (emp.CreatedVertices > 0 || emp.CreatedEdges > 0) {
+			violations++
+			t.Errorf("trial %d: guard %q statically non-additive but created %d vertices / %d edges\ndoc: %s\nout: %s\nreport: %s",
+				trial, g, emp.CreatedVertices, emp.CreatedEdges, doc.XML(false), out.XML(false), report)
+		}
+		if violations > 3 {
+			t.Fatalf("too many soundness violations; stopping early")
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d trials type-checked; widen the generator", checked)
+	}
+	t.Logf("soundness held on %d rendered transformations", checked)
+}
+
+// randomDoc builds a random tree over the label alphabet with text values
+// so that value preservation is also exercised.
+func randomDoc(rng *rand.Rand, labels []string) *xmltree.Document {
+	b := xmltree.NewBuilder().Elem("root")
+	depth := 0
+	n := 2 + rng.Intn(28)
+	for i := 0; i < n; i++ {
+		if depth > 0 && rng.Intn(3) == 0 {
+			b.End()
+			depth--
+			continue
+		}
+		b.Elem(labels[rng.Intn(len(labels))])
+		if rng.Intn(2) == 0 {
+			b.Text(fmt.Sprintf("v%d", i))
+			b.End()
+		} else {
+			depth++
+		}
+	}
+	for ; depth >= 0; depth-- {
+		b.End()
+	}
+	return b.MustDocument()
+}

@@ -1,0 +1,234 @@
+// Package render implements the Render algorithm of Section VII: given a
+// target shape and a source document, it builds the output forest by
+// recursively descending the target and pairing closest nodes with
+// sort-merge closest joins over Dewey numbers.
+//
+// The read cost is linear in the size of the source type sequences touched
+// (each closest join is a single merge); the write cost is bounded by the
+// size of the output, which may be quadratic in the source when the target
+// duplicates snippets (as the paper notes).
+package render
+
+import (
+	"fmt"
+
+	"xmorph/internal/closest"
+	"xmorph/internal/semantics"
+	"xmorph/internal/xmltree"
+)
+
+// Source supplies document-ordered type sequences — the TypeToSequence
+// table of Section VIII. *xmltree.Document satisfies it (in memory), as
+// does *store.Doc (lazily reading sequences from the shredded store, so
+// the renderer touches only the types the target mentions).
+type Source interface {
+	NodesOfType(t string) []*xmltree.Node
+}
+
+// Render transforms doc into the arrangement described by tgt, preserving
+// closest relationships (Definition 4). Every output element and attribute
+// carries Src provenance to the source vertex it was rendered from;
+// manufactured (NEW / TYPE-FILL) elements have no provenance.
+func Render(doc Source, tgt *semantics.Target) (*xmltree.Document, error) {
+	r := &renderer{
+		doc:   doc,
+		b:     xmltree.NewBuilder(),
+		joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{},
+	}
+	emitted := false
+	for _, root := range tgt.Roots {
+		if root.Source == "" {
+			if r.emitWrapperRoot(root) {
+				emitted = true
+			}
+			continue
+		}
+		for _, v := range doc.NodesOfType(root.Source) {
+			if !r.satisfies(v, root.Require) {
+				continue
+			}
+			r.emitNode(root, v)
+			emitted = true
+		}
+	}
+	if !emitted {
+		// Legal: the target types may simply have no instances.
+		return &xmltree.Document{}, nil
+	}
+	out, err := r.b.Document()
+	if err != nil {
+		return nil, fmt.Errorf("render: %w", err)
+	}
+	return out, nil
+}
+
+type joinKey struct{ parent, child string }
+
+type renderer struct {
+	doc Source
+	b   *xmltree.Builder
+	// joins caches the grouped closest join for each (parent type, child
+	// type) pair: parent node -> closest child nodes in document order.
+	joins map[joinKey]map[*xmltree.Node][]*xmltree.Node
+}
+
+// closestOf returns the child-type nodes closest to v, from the cached
+// sort-merge join of the two full type sequences.
+func (r *renderer) closestOf(v *xmltree.Node, childType string) []*xmltree.Node {
+	key := joinKey{v.Type, childType}
+	m, ok := r.joins[key]
+	if !ok {
+		m = map[*xmltree.Node][]*xmltree.Node{}
+		closest.JoinWith(r.doc.NodesOfType(v.Type), r.doc.NodesOfType(childType),
+			func(p, c *xmltree.Node) { m[p] = append(m[p], c) })
+		r.joins[key] = m
+	}
+	return m[v]
+}
+
+// satisfies checks RESTRICT requirements: v must have a closest partner
+// chain for every requirement subtree.
+func (r *renderer) satisfies(v *xmltree.Node, reqs []*semantics.TNode) bool {
+	for _, req := range reqs {
+		if req.Source == "" {
+			continue
+		}
+		found := false
+		for _, w := range r.closestOf(v, req.Source) {
+			if r.satisfies(w, req.Kids) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// emitNode renders source vertex v as target type tn, then recursively
+// renders tn's children from v's closest partners.
+func (r *renderer) emitNode(tn *semantics.TNode, v *xmltree.Node) {
+	// A leaf rendered from an attribute vertex stays an attribute when it
+	// sits inside an element; everything else renders as an element.
+	if v.Attr && len(tn.Kids) == 0 && r.b.Open() {
+		r.b.Attr(tn.Name, v.Value)
+		r.b.Last().Src = v
+		return
+	}
+	r.b.Elem(tn.Name)
+	r.b.Last().Src = v
+	if v.Value != "" {
+		r.b.Text(v.Value)
+	}
+	r.emitKids(tn, v)
+	r.b.End()
+}
+
+// emitKids renders tn's children below the already-open output element,
+// joining from source vertex v.
+func (r *renderer) emitKids(tn *semantics.TNode, v *xmltree.Node) {
+	for _, kid := range tn.Kids {
+		if kid.Source == "" {
+			r.emitWrapper(kid, v)
+			continue
+		}
+		for _, w := range r.closestOf(v, kid.Source) {
+			if !r.satisfies(w, kid.Require) {
+				continue
+			}
+			r.emitNode(kid, w)
+		}
+	}
+}
+
+// emitWrapper renders a manufactured (NEW or TYPE-FILL) target type below
+// the current output element: one wrapper per instance of its first
+// sourced child, joined from parent vertex v; remaining children attach by
+// closeness to that instance. A childless wrapper renders as a single
+// empty element (DESIGN.md's documented choice).
+func (r *renderer) emitWrapper(tn *semantics.TNode, v *xmltree.Node) {
+	first := firstSourced(tn)
+	if first == nil {
+		r.b.Elem(tn.Name)
+		r.emitFillKids(tn)
+		r.b.End()
+		return
+	}
+	for _, w := range r.closestOf(v, first.Source) {
+		if !r.satisfies(w, first.Require) {
+			continue
+		}
+		r.b.Elem(tn.Name)
+		r.emitNode(first, w)
+		r.emitSiblingsOf(tn, first, w)
+		r.b.End()
+	}
+}
+
+// emitWrapperRoot renders a manufactured target root: one wrapper per
+// instance of its first sourced child, or a single empty element when it
+// has none. It reports whether anything was emitted.
+func (r *renderer) emitWrapperRoot(tn *semantics.TNode) bool {
+	first := firstSourced(tn)
+	if first == nil {
+		r.b.Elem(tn.Name)
+		r.emitFillKids(tn)
+		r.b.End()
+		return true
+	}
+	emitted := false
+	for _, w := range r.doc.NodesOfType(first.Source) {
+		if !r.satisfies(w, first.Require) {
+			continue
+		}
+		r.b.Elem(tn.Name)
+		r.emitNode(first, w)
+		r.emitSiblingsOf(tn, first, w)
+		r.b.End()
+		emitted = true
+	}
+	return emitted
+}
+
+// emitSiblingsOf renders the wrapper's remaining children, joined by
+// closeness to the first child's instance w.
+func (r *renderer) emitSiblingsOf(wrapper, first *semantics.TNode, w *xmltree.Node) {
+	for _, kid := range wrapper.Kids {
+		if kid == first {
+			continue
+		}
+		if kid.Source == "" {
+			r.emitWrapper(kid, w)
+			continue
+		}
+		for _, u := range r.closestOf(w, kid.Source) {
+			if !r.satisfies(u, kid.Require) {
+				continue
+			}
+			r.emitNode(kid, u)
+		}
+	}
+}
+
+// emitFillKids renders the manufactured children of a childless-sourced
+// wrapper (nested NEW / TYPE-FILL types with no data below them).
+func (r *renderer) emitFillKids(tn *semantics.TNode) {
+	for _, kid := range tn.Kids {
+		if kid.Source == "" {
+			r.b.Elem(kid.Name)
+			r.emitFillKids(kid)
+			r.b.End()
+		}
+	}
+}
+
+func firstSourced(tn *semantics.TNode) *semantics.TNode {
+	for _, k := range tn.Kids {
+		if k.Source != "" {
+			return k
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package render
+
+import (
+	"bufio"
+	"io"
+
+	"xmorph/internal/semantics"
+	"xmorph/internal/xmltree"
+)
+
+// Stream renders the transformation directly to w without materializing
+// the output tree — Section VII's observation that "a transformation can
+// immediately produce output, and stream the output node by node (in
+// document order)". Closest joins still run over whole type sequences
+// (sort-merge needs both sides), but output memory stays constant: nothing
+// of the result is retained.
+//
+// The byte output equals Render(...).XML(false). Stream returns the number
+// of elements and attributes written.
+func Stream(doc Source, tgt *semantics.Target, w io.Writer) (int, error) {
+	bw := bufio.NewWriter(w)
+	s := &streamer{
+		renderer: renderer{doc: doc, joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{}},
+		w:        bw,
+	}
+	for _, root := range tgt.Roots {
+		if root.Source == "" {
+			s.streamWrapperRoot(root)
+			continue
+		}
+		for _, v := range doc.NodesOfType(root.Source) {
+			if !s.satisfies(v, root.Require) {
+				continue
+			}
+			s.sep()
+			s.streamNode(root, v)
+		}
+	}
+	if s.err != nil {
+		return s.count, s.err
+	}
+	if err := bw.Flush(); err != nil {
+		return s.count, err
+	}
+	return s.count, nil
+}
+
+type streamer struct {
+	renderer
+	w     *bufio.Writer
+	count int
+	wrote bool // a root was already written (forest separator state)
+	err   error
+}
+
+func (s *streamer) str(x string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = s.w.WriteString(x)
+}
+
+func (s *streamer) text(x string) {
+	if s.err != nil {
+		return
+	}
+	s.err = xmltree.EscapeText(s.w, x)
+}
+
+func (s *streamer) attrVal(x string) {
+	if s.err != nil {
+		return
+	}
+	s.err = xmltree.EscapeAttr(s.w, x)
+}
+
+// sep writes the forest separator between root trees (matching
+// Document.XML(false)).
+func (s *streamer) sep() {
+	if s.wrote {
+		s.str("\n")
+	}
+	s.wrote = true
+}
+
+// rendersAsAttr mirrors the tree renderer's criterion: an attribute-
+// sourced leaf type inside an element stays an attribute.
+func rendersAsAttr(tn *semantics.TNode, v *xmltree.Node) bool {
+	return v.Attr && len(tn.Kids) == 0
+}
+
+// streamNode writes one element: open tag with attribute kids, own text,
+// element kids, close tag.
+func (s *streamer) streamNode(tn *semantics.TNode, v *xmltree.Node) {
+	s.count++
+	s.str("<")
+	s.str(tn.Name)
+
+	// Attribute kids go into the open tag, in kid order.
+	type elemKid struct {
+		kid      *semantics.TNode
+		partners []*xmltree.Node
+	}
+	var elems []elemKid
+	for _, kid := range tn.Kids {
+		if kid.Source == "" {
+			elems = append(elems, elemKid{kid: kid})
+			continue
+		}
+		partners := s.closestOf(v, kid.Source)
+		var kept []*xmltree.Node
+		attrKid := false
+		for _, wn := range partners {
+			if !s.satisfies(wn, kid.Require) {
+				continue
+			}
+			if rendersAsAttr(kid, wn) {
+				attrKid = true
+				s.count++
+				s.str(" ")
+				s.str(wn.LocalName())
+				s.str(`="`)
+				s.attrVal(wn.Value)
+				s.str(`"`)
+				continue
+			}
+			kept = append(kept, wn)
+		}
+		if len(kept) > 0 || !attrKid {
+			elems = append(elems, elemKid{kid: kid, partners: kept})
+		}
+	}
+
+	hasContent := v.Value != ""
+	if !hasContent {
+		for _, e := range elems {
+			if e.kid.Source == "" || len(e.partners) > 0 {
+				hasContent = true
+				break
+			}
+		}
+	}
+	if !hasContent {
+		s.str("/>")
+		return
+	}
+	s.str(">")
+	s.text(v.Value)
+	for _, e := range elems {
+		if e.kid.Source == "" {
+			s.streamWrapper(e.kid, v)
+			continue
+		}
+		for _, wn := range e.partners {
+			s.streamNode(e.kid, wn)
+		}
+	}
+	s.str("</")
+	s.str(tn.Name)
+	s.str(">")
+}
+
+// streamWrapper mirrors emitWrapper: one manufactured element per instance
+// of the wrapper's first sourced child.
+func (s *streamer) streamWrapper(tn *semantics.TNode, v *xmltree.Node) {
+	first := firstSourced(tn)
+	if first == nil {
+		s.streamFill(tn)
+		return
+	}
+	for _, wn := range s.closestOf(v, first.Source) {
+		if !s.satisfies(wn, first.Require) {
+			continue
+		}
+		s.count++
+		s.str("<")
+		s.str(tn.Name)
+		s.str(">")
+		s.streamNode(first, wn)
+		s.streamSiblings(tn, first, wn)
+		s.str("</")
+		s.str(tn.Name)
+		s.str(">")
+	}
+}
+
+func (s *streamer) streamWrapperRoot(tn *semantics.TNode) {
+	first := firstSourced(tn)
+	if first == nil {
+		s.sep()
+		s.streamFill(tn)
+		return
+	}
+	for _, wn := range s.doc.NodesOfType(first.Source) {
+		if !s.satisfies(wn, first.Require) {
+			continue
+		}
+		s.sep()
+		s.count++
+		s.str("<")
+		s.str(tn.Name)
+		s.str(">")
+		s.streamNode(first, wn)
+		s.streamSiblings(tn, first, wn)
+		s.str("</")
+		s.str(tn.Name)
+		s.str(">")
+	}
+}
+
+func (s *streamer) streamSiblings(wrapper, first *semantics.TNode, wn *xmltree.Node) {
+	for _, kid := range wrapper.Kids {
+		if kid == first {
+			continue
+		}
+		if kid.Source == "" {
+			s.streamWrapper(kid, wn)
+			continue
+		}
+		for _, u := range s.closestOf(wn, kid.Source) {
+			if !s.satisfies(u, kid.Require) {
+				continue
+			}
+			s.streamNode(kid, u)
+		}
+	}
+}
+
+// streamFill writes a childless-sourced wrapper and its manufactured kids.
+func (s *streamer) streamFill(tn *semantics.TNode) {
+	s.count++
+	var manufactured []*semantics.TNode
+	for _, kid := range tn.Kids {
+		if kid.Source == "" {
+			manufactured = append(manufactured, kid)
+		}
+	}
+	if len(manufactured) == 0 {
+		s.str("<")
+		s.str(tn.Name)
+		s.str("/>")
+		return
+	}
+	s.str("<")
+	s.str(tn.Name)
+	s.str(">")
+	for _, kid := range manufactured {
+		s.streamFill(kid)
+	}
+	s.str("</")
+	s.str(tn.Name)
+	s.str(">")
+}

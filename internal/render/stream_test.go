@@ -1,0 +1,264 @@
+package render
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmorph/internal/guard"
+	"xmorph/internal/semantics"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+// streamRun compiles a guard and renders it both ways, asserting byte
+// equality, and returns the streamed output.
+func streamRun(t *testing.T, guardSrc, xmlSrc string) string {
+	t.Helper()
+	doc := xmltree.MustParse(xmlSrc)
+	plan, err := semantics.Compile(guard.MustParse(guardSrc), shape.FromDocument(doc))
+	if err != nil {
+		t.Fatalf("compile %q: %v", guardSrc, err)
+	}
+	tgt := plan.ComposedTarget()
+
+	tree, err := Render(doc, tgt)
+	if err != nil {
+		t.Fatalf("render %q: %v", guardSrc, err)
+	}
+	var b strings.Builder
+	n, err := Stream(doc, tgt, &b)
+	if err != nil {
+		t.Fatalf("stream %q: %v", guardSrc, err)
+	}
+	if b.String() != tree.XML(false) {
+		t.Errorf("stream and tree render differ for %q:\nstream: %s\ntree:   %s",
+			guardSrc, b.String(), tree.XML(false))
+	}
+	if n != tree.Size() {
+		t.Errorf("stream count = %d, tree size = %d", n, tree.Size())
+	}
+	return b.String()
+}
+
+func TestStreamMatchesTreeRender(t *testing.T) {
+	guards := []string{
+		"MORPH author [ name book [ title ] ]",
+		"CAST MORPH title",
+		"MUTATE data",
+		"CAST MUTATE book [ publisher [ name ] ]",
+		"CAST-WIDENING MUTATE (NEW scribe) [ author ]",
+		"CAST MUTATE author [ CLONE title ]",
+		"CAST MORPH (RESTRICT author [ name ]) [ title ]",
+		"CAST MORPH author [ name ] | TRANSLATE author -> writer",
+		"TYPE-FILL CAST MORPH author [ isbn ]",
+	}
+	for _, g := range guards {
+		streamRun(t, g, fig1a)
+	}
+}
+
+func TestStreamAttributes(t *testing.T) {
+	const src = `<site><item id="i1" featured="yes"><name>bike &amp; bell</name></item></site>`
+	out := streamRun(t, "MUTATE site", src)
+	if !strings.Contains(out, `id="i1"`) || !strings.Contains(out, "&amp;") {
+		t.Errorf("attributes/escaping: %s", out)
+	}
+}
+
+func TestStreamEmptyOutput(t *testing.T) {
+	doc := xmltree.MustParse(`<data><a>1</a></data>`)
+	plan, err := semantics.Compile(guard.MustParse("CAST MUTATE (DROP a)"), shape.FromDocument(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if _, err := Stream(doc, plan.ComposedTarget(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<data/>") {
+		t.Errorf("empty-ish stream: %q", b.String())
+	}
+}
+
+// TestStreamRandomDocs compares both renderers over random documents and
+// a battery of small guards.
+func TestStreamRandomDocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		b := xmltree.NewBuilder().Elem("root")
+		depth := 0
+		for i := 0; i < 3+rng.Intn(25); i++ {
+			if depth > 0 && rng.Intn(3) == 0 {
+				b.End()
+				depth--
+				continue
+			}
+			b.Elem(labels[rng.Intn(3)])
+			if rng.Intn(2) == 0 {
+				b.Text("v<&>")
+				b.End()
+			} else {
+				depth++
+			}
+		}
+		for ; depth >= 0; depth-- {
+			b.End()
+		}
+		doc := b.MustDocument()
+		for _, g := range []string{"CAST MUTATE root", "CAST MORPH a [ b ]", "CAST MORPH root [ a c ]"} {
+			plan, err := semantics.Compile(guard.MustParse(g), shape.FromDocument(doc))
+			if err != nil {
+				continue // random doc may lack the types
+			}
+			tgt := plan.ComposedTarget()
+			tree, err := Render(doc, tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			if _, err := Stream(doc, tgt, &sb); err != nil {
+				t.Fatal(err)
+			}
+			if sb.String() != tree.XML(false) {
+				t.Fatalf("trial %d guard %q:\nstream: %s\ntree:   %s",
+					trial, g, sb.String(), tree.XML(false))
+			}
+		}
+	}
+}
+
+// TestStreamWrapperRoots covers manufactured roots: a NEW root wraps each
+// instance of its first sourced child, attaching closest siblings.
+func TestStreamWrapperRoots(t *testing.T) {
+	out := streamRun(t, "CAST-WIDENING MORPH (NEW entry) [ book [ title ] author ]", fig1a)
+	if strings.Count(out, "<entry>") != 2 {
+		t.Errorf("one wrapper per book expected:\n%s", out)
+	}
+	// Each entry carries the book plus its closest author (rendered empty:
+	// the bare label requests no children and authors carry no text).
+	if strings.Count(out, "<author") != 2 {
+		t.Errorf("closest siblings missing:\n%s", out)
+	}
+}
+
+// TestStreamFillOnlyWrapper covers wrappers with no sourced children at
+// all: TYPE-FILL manufactures the nested types as empty elements.
+func TestStreamFillOnlyWrapper(t *testing.T) {
+	out := streamRun(t, "TYPE-FILL CAST MORPH (NEW top) [ missing [ alsomissing ] ]", fig1a)
+	if !strings.Contains(out, "<top><missing><alsomissing/></missing></top>") {
+		t.Errorf("fill-only wrapper:\n%s", out)
+	}
+}
+
+// TestStreamWrapperWithNestedWrapper: a NEW inside a NEW.
+func TestStreamWrapperNested(t *testing.T) {
+	out := streamRun(t, "CAST-WIDENING MORPH (NEW outer) [ book (NEW inner) [ title ] ]", fig1a)
+	if strings.Count(out, "<outer>") != 2 || strings.Count(out, "<inner>") != 2 {
+		t.Errorf("nested wrappers:\n%s", out)
+	}
+}
+
+// TestRenderParallelMatchesSequential: the prefetching renderer must be
+// byte-identical to the lazy one for every guard in the battery.
+func TestRenderParallelMatchesSequential(t *testing.T) {
+	guards := []string{
+		"MORPH author [ name book [ title ] ]",
+		"MUTATE data",
+		"CAST-WIDENING MUTATE (NEW scribe) [ author ]",
+		"CAST MORPH (RESTRICT author [ name ]) [ title ]",
+		"CAST-WIDENING MORPH (NEW entry) [ book [ title ] author ]",
+	}
+	doc := xmltree.MustParse(fig1a)
+	for _, g := range guards {
+		plan, err := semantics.Compile(guard.MustParse(g), shape.FromDocument(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		tgt := plan.ComposedTarget()
+		seq, err := Render(doc, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RenderParallel(doc, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.XML(false) != par.XML(false) {
+			t.Errorf("parallel differs for %q:\nseq: %s\npar: %s", g, seq.XML(false), par.XML(false))
+		}
+	}
+}
+
+// TestJoinEdgesCoverage: the prefetch collector must cover every join the
+// lazy renderer performs (no lazy fills left).
+func TestJoinEdgesCoverage(t *testing.T) {
+	doc := xmltree.MustParse(fig1a)
+	for _, g := range []string{
+		"MORPH author [ name book [ title ] ]",
+		"CAST-WIDENING MORPH (NEW entry) [ book [ title ] author ]",
+		"CAST MORPH (RESTRICT author [ name ]) [ title ]",
+	} {
+		plan, err := semantics.Compile(guard.MustParse(g), shape.FromDocument(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt := plan.ComposedTarget()
+		pre := prefetchJoins(doc, tgt, 2)
+		// Run lazily and compare the key sets the renderer actually used.
+		lazy := &renderer{doc: doc, b: xmltree.NewBuilder(), joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{}}
+		for _, root := range tgt.Roots {
+			if root.Source == "" {
+				lazy.emitWrapperRoot(root)
+				continue
+			}
+			for _, v := range doc.NodesOfType(root.Source) {
+				if lazy.satisfies(v, root.Require) {
+					lazy.emitNode(root, v)
+				}
+			}
+		}
+		for k := range lazy.joins {
+			if _, ok := pre[k]; !ok {
+				t.Errorf("guard %q: prefetch missed join %v", g, k)
+			}
+		}
+	}
+}
+
+// TestComposedEqualsPerStage: for pipelines whose later stages do not
+// depend on re-derived type distances (identity MUTATE, DROP, TRANSLATE),
+// the single-pass composed render must equal physically rendering stage by
+// stage — the equivalence behind the Fig. 16 methodology.
+func TestComposedEqualsPerStage(t *testing.T) {
+	pipelines := []string{
+		"CAST MORPH author [ name book [ title ] ] | TRANSLATE author -> writer",
+		"CAST MORPH author [ name title ] | MUTATE author",
+		"CAST MORPH book [ title author [ name ] ] | MUTATE (DROP name)",
+		"CAST MORPH author [ name ] | TRANSLATE name -> alias | TRANSLATE author -> writer",
+	}
+	doc := xmltree.MustParse(fig1a)
+	for _, g := range pipelines {
+		plan, err := semantics.Compile(guard.MustParse(g), shape.FromDocument(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+		composed, err := Render(doc, plan.ComposedTarget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur Source = doc
+		var staged *xmltree.Document
+		for _, sp := range plan.Stages {
+			o, err := Render(cur, sp.Target)
+			if err != nil {
+				t.Fatalf("%s per-stage: %v", g, err)
+			}
+			staged, cur = o, o
+		}
+		if composed.XML(false) != staged.XML(false) {
+			t.Errorf("%s:\ncomposed:  %s\nper-stage: %s", g, composed.XML(false), staged.XML(false))
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package shape
+
+import "fmt"
+
+// Predicted computes the predicted adorned shape of Definition 7: given the
+// adorned shape S of the source data and a target arrangement R of source
+// types (cardinalities in R are ignored), each target edge (t, s) is
+// adorned with pathCard(S, t, s) — the cardinality the edge is predicted to
+// have after a closeness-preserving transform.
+//
+// Every type of R must be a type of S; transformations introduce new or
+// cloned types, and callers map those back to source types (or exclude
+// them) before prediction.
+func Predicted(src, target *Shape) (*Shape, error) {
+	p := New()
+	for _, t := range target.Types() {
+		if !src.HasType(t) {
+			return nil, fmt.Errorf("shape: predicted: type %s not in source shape", t)
+		}
+		p.AddType(t)
+	}
+	for _, e := range target.Edges() {
+		c, ok := src.PathCard(e.Parent, e.Child)
+		if !ok {
+			return nil, fmt.Errorf("shape: predicted: no path between %s and %s in source", e.Parent, e.Child)
+		}
+		if err := p.AddEdge(e.Parent, e.Child, c); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,444 @@
+// Package store implements the shredded XML store of Section VIII (Figure
+// 8): documents are shredded into a B+tree holding, per document, an
+// adorned-shape record, a type registry, and one document-ordered node
+// sequence per type (the paper's AdornedShapes, Nodes, TypeToSequence, and
+// GroupedSequence tables collapse into key ranges of a single ordered
+// store).
+//
+// Key layout (all integers big-endian, so lexicographic key order is
+// document order within a type):
+//
+//	'D' name                     -> docID (u32)
+//	'S' docID chunk              -> adorned shape blob
+//	'T' docID chunk              -> type registry blob ("\n"-joined paths)
+//	'N' docID typeID dewey chunk -> node text value
+//
+// A node's key embeds its Dewey number as a sequence of u32 components;
+// all nodes of one type share a depth, so the per-type range scans in
+// document order with no comparator tricks.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xmorph/internal/kvstore"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+// chunkSize keeps records under the kvstore value limit.
+const chunkSize = 1400
+
+// Store is a shredded-document store.
+type Store struct {
+	db *kvstore.DB
+}
+
+// Open opens (or creates) a store file.
+func Open(path string, opts *kvstore.Options) (*Store, error) {
+	db, err := kvstore.Open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: db}, nil
+}
+
+// OpenMemory returns an in-memory store (same code path, no file).
+func OpenMemory() *Store {
+	return &Store{db: kvstore.OpenMemory(nil)}
+}
+
+// Close flushes and closes the underlying store.
+func (s *Store) Close() error { return s.db.Close() }
+
+// Sync flushes dirty pages.
+func (s *Store) Sync() error { return s.db.Sync() }
+
+// Stats returns the underlying block I/O counters.
+func (s *Store) Stats() kvstore.Stats { return s.db.Stats() }
+
+func docKey(name string) []byte { return append([]byte{'D'}, name...) }
+
+func blobKey(prefix byte, docID uint32) []byte {
+	k := make([]byte, 5)
+	k[0] = prefix
+	binary.BigEndian.PutUint32(k[1:], docID)
+	return k
+}
+
+func nodePrefix(docID uint32, typeID uint32) []byte {
+	k := make([]byte, 9)
+	k[0] = 'N'
+	binary.BigEndian.PutUint32(k[1:], docID)
+	binary.BigEndian.PutUint32(k[5:], typeID)
+	return k
+}
+
+func nodeKey(docID, typeID uint32, dewey xmltree.Dewey, chunk uint16) []byte {
+	k := make([]byte, 9+4*len(dewey)+2)
+	copy(k, nodePrefix(docID, typeID))
+	off := 9
+	for _, c := range dewey {
+		binary.BigEndian.PutUint32(k[off:], uint32(c))
+		off += 4
+	}
+	binary.BigEndian.PutUint16(k[off:], chunk)
+	return k
+}
+
+// putBlob stores an arbitrarily large value across chunked keys.
+func (s *Store) putBlob(key []byte, val []byte) error {
+	n := (len(val) + chunkSize - 1) / chunkSize
+	if n == 0 {
+		n = 1
+	}
+	if n > 1<<16-1 {
+		return fmt.Errorf("store: blob too large (%d bytes)", len(val))
+	}
+	// Header chunk records the chunk count.
+	for i := 0; i < n; i++ {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > len(val) {
+			hi = len(val)
+		}
+		ck := make([]byte, len(key)+2)
+		copy(ck, key)
+		binary.BigEndian.PutUint16(ck[len(key):], uint16(i))
+		chunk := val[lo:hi]
+		if i == 0 {
+			hdr := make([]byte, 2+len(chunk))
+			binary.BigEndian.PutUint16(hdr, uint16(n))
+			copy(hdr[2:], chunk)
+			chunk = hdr
+		}
+		if err := s.db.Put(ck, chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// getBlob reassembles a chunked value.
+func (s *Store) getBlob(key []byte) ([]byte, bool, error) {
+	ck := make([]byte, len(key)+2)
+	copy(ck, key)
+	first, ok, err := s.db.Get(ck)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	if len(first) < 2 {
+		return nil, false, fmt.Errorf("store: corrupt blob header")
+	}
+	n := int(binary.BigEndian.Uint16(first))
+	out := append([]byte(nil), first[2:]...)
+	for i := 1; i < n; i++ {
+		binary.BigEndian.PutUint16(ck[len(key):], uint16(i))
+		chunk, ok, err := s.db.Get(ck)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, fmt.Errorf("store: blob missing chunk %d of %d", i, n)
+		}
+		out = append(out, chunk...)
+	}
+	return out, true, nil
+}
+
+// docID resolves a stored document's id.
+func (s *Store) docID(name string) (uint32, bool, error) {
+	v, ok, err := s.db.Get(docKey(name))
+	if err != nil || !ok {
+		return 0, ok, err
+	}
+	if len(v) != 4 {
+		return 0, false, fmt.Errorf("store: corrupt doc record for %q", name)
+	}
+	return binary.BigEndian.Uint32(v), true, nil
+}
+
+// Documents lists the stored document names, sorted.
+func (s *Store) Documents() ([]string, error) {
+	var names []string
+	err := s.db.AscendPrefix([]byte{'D'}, func(k, v []byte) bool {
+		names = append(names, string(k[1:]))
+		return true
+	})
+	sort.Strings(names)
+	return names, err
+}
+
+// Shape loads a document's adorned shape from the AdornedShapes record.
+func (s *Store) Shape(name string) (*shape.Shape, error) {
+	id, ok, err := s.docID(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: document %q not found", name)
+	}
+	blob, ok, err := s.getBlob(blobKey('S', id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: document %q has no shape record", name)
+	}
+	return decodeShape(string(blob))
+}
+
+// types loads the type registry (typeID = index).
+func (s *Store) types(id uint32) ([]string, error) {
+	blob, ok, err := s.getBlob(blobKey('T', id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: missing type registry for doc %d", id)
+	}
+	if len(blob) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(blob), "\n"), nil
+}
+
+// encodeShape serializes a shape as "edge parent child min max" and
+// "type t" lines.
+func encodeShape(sh *shape.Shape) string {
+	var b strings.Builder
+	for _, t := range sh.Types() {
+		b.WriteString("type ")
+		b.WriteString(t)
+		b.WriteString("\n")
+	}
+	for _, r := range sh.Roots() {
+		var walk func(t string)
+		walk = func(t string) {
+			for _, c := range sh.Children(t) {
+				card, _ := sh.Card(t, c)
+				fmt.Fprintf(&b, "edge %s %s %d %d\n", t, c, card.Min, card.Max)
+				walk(c)
+			}
+		}
+		walk(r)
+	}
+	return b.String()
+}
+
+func decodeShape(enc string) (*shape.Shape, error) {
+	sh := shape.New()
+	for _, line := range strings.Split(enc, "\n") {
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "type":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("store: corrupt shape line %q", line)
+			}
+			sh.AddType(fields[1])
+		case "edge":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("store: corrupt shape line %q", line)
+			}
+			min, err1 := strconv.Atoi(fields[3])
+			max, err2 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("store: corrupt shape cardinality %q", line)
+			}
+			if err := sh.AddEdge(fields[1], fields[2], shape.Card{Min: min, Max: max}); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("store: corrupt shape line %q", line)
+		}
+	}
+	return sh, nil
+}
+
+// Doc is a lazy view over a stored document: type sequences load from the
+// store on first use, so a transformation touches only the key ranges of
+// the types its target mentions. It implements render.Source.
+type Doc struct {
+	store  *Store
+	id     uint32
+	name   string
+	typeID map[string]uint32
+	types  []string
+	mu     sync.Mutex
+	cache  map[string][]*xmltree.Node
+}
+
+// Doc opens a lazy view of a stored document.
+func (s *Store) Doc(name string) (*Doc, error) {
+	id, ok, err := s.docID(name)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("store: document %q not found", name)
+	}
+	types, err := s.types(id)
+	if err != nil {
+		return nil, err
+	}
+	d := &Doc{store: s, id: id, name: name, types: types,
+		typeID: make(map[string]uint32, len(types)),
+		cache:  map[string][]*xmltree.Node{}}
+	for i, t := range types {
+		d.typeID[t] = uint32(i)
+	}
+	return d, nil
+}
+
+// Types returns the document's type paths (typeID order).
+func (d *Doc) Types() []string { return d.types }
+
+// NodesOfType loads (and caches) the document-ordered node sequence of a
+// type. The nodes carry Dewey, Type, Name, Value, and Attr — everything
+// the closest join and renderer need; tree links are not reconstructed.
+// It is safe for concurrent use (the parallel renderer prefetches joins
+// from several goroutines).
+func (d *Doc) NodesOfType(t string) []*xmltree.Node {
+	d.mu.Lock()
+	if ns, ok := d.cache[t]; ok {
+		d.mu.Unlock()
+		return ns
+	}
+	d.mu.Unlock()
+	tid, ok := d.typeID[t]
+	if !ok {
+		d.mu.Lock()
+		d.cache[t] = nil
+		d.mu.Unlock()
+		return nil
+	}
+	depth := xmltree.TypeDepth(t)
+	name := t[strings.LastIndex(t, xmltree.TypeSep)+1:]
+	attr := strings.HasPrefix(name, "@")
+	prefix := nodePrefix(d.id, tid)
+	var (
+		nodes []*xmltree.Node
+		cur   *xmltree.Node
+		curDw string
+	)
+	_ = d.store.db.AscendPrefix(prefix, func(k, v []byte) bool {
+		if len(k) != len(prefix)+4*depth+2 {
+			return true // malformed; skip defensively
+		}
+		dwBytes := k[len(prefix) : len(prefix)+4*depth]
+		chunk := binary.BigEndian.Uint16(k[len(k)-2:])
+		if chunk == 0 {
+			dw := make(xmltree.Dewey, depth)
+			for i := 0; i < depth; i++ {
+				dw[i] = int(binary.BigEndian.Uint32(dwBytes[i*4:]))
+			}
+			if len(v) < 2 {
+				return true
+			}
+			cur = &xmltree.Node{Name: name, Type: t, Dewey: dw, Attr: attr, Value: string(v[2:]), Ord: len(nodes)}
+			curDw = string(dwBytes)
+			nodes = append(nodes, cur)
+		} else if cur != nil && string(dwBytes) == curDw {
+			cur.Value += string(v)
+		}
+		return true
+	})
+	d.mu.Lock()
+	d.cache[t] = nodes
+	d.mu.Unlock()
+	return nodes
+}
+
+// Size returns the total number of stored vertices across all types.
+func (d *Doc) Size() int {
+	n := 0
+	for _, t := range d.types {
+		n += len(d.NodesOfType(t))
+	}
+	return n
+}
+
+// Reconstruct rebuilds the full document tree from the store in document
+// order — the work the eXist baseline performs when it dumps a stored
+// document (Section IX's comparison query). It merges every type sequence
+// by Dewey number and reattaches parentage.
+func (d *Doc) Reconstruct() (*xmltree.Document, error) {
+	var all []*xmltree.Node
+	for _, t := range d.types {
+		all = append(all, d.NodesOfType(t)...)
+	}
+	if len(all) == 0 {
+		return &xmltree.Document{}, nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Dewey.Compare(all[j].Dewey) < 0 })
+	b := xmltree.NewBuilder()
+	depth := 0
+	for _, n := range all {
+		for depth >= len(n.Dewey) {
+			b.End()
+			depth--
+		}
+		if len(n.Dewey) != depth+1 {
+			return nil, fmt.Errorf("store: reconstruct: node %s at depth %d under depth %d", n.Dewey, len(n.Dewey)-1, depth)
+		}
+		if n.Attr {
+			b.Attr(n.LocalName(), n.Value)
+			continue
+		}
+		b.Elem(n.Name)
+		if n.Value != "" {
+			b.Text(n.Value)
+		}
+		depth++
+	}
+	for depth > 0 {
+		b.End()
+		depth--
+	}
+	return b.Document()
+}
+
+// Drop removes a shredded document: its registry entry, shape, type
+// registry, and every node record. Space inside the store file is
+// reclaimed lazily by the B+tree (no compaction).
+func (s *Store) Drop(name string) error {
+	id, ok, err := s.docID(name)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("store: document %q not found", name)
+	}
+	// Collect keys first: deleting while iterating would invalidate the
+	// iterator's view.
+	var keys [][]byte
+	collect := func(prefix []byte) error {
+		return s.db.AscendPrefix(prefix, func(k, v []byte) bool {
+			keys = append(keys, append([]byte(nil), k...))
+			return true
+		})
+	}
+	nodesPrefix := make([]byte, 5)
+	nodesPrefix[0] = 'N'
+	binary.BigEndian.PutUint32(nodesPrefix[1:], id)
+	for _, p := range [][]byte{blobKey('S', id), blobKey('T', id), nodesPrefix} {
+		if err := collect(p); err != nil {
+			return err
+		}
+	}
+	keys = append(keys, docKey(name))
+	for _, k := range keys {
+		if err := s.db.Delete(k); err != nil {
+			return err
+		}
+	}
+	return s.db.Sync()
+}

@@ -1,0 +1,130 @@
+// Package sysmon samples resource usage while an experiment runs — the
+// in-process stand-in for the paper's vmstat methodology (Section IX):
+// cumulative block I/O (Fig. 11), the percentage of time spent waiting on
+// I/O (Fig. 12), and memory use (Fig. 13). Block counters come from the
+// kvstore pager; memory comes from runtime.MemStats.
+package sysmon
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"xmorph/internal/kvstore"
+)
+
+// Sample is one point on the monitoring timeline.
+type Sample struct {
+	// Elapsed since monitoring started.
+	Elapsed time.Duration
+	// BlocksRead/BlocksWritten are cumulative page I/O counts.
+	BlocksRead    int64
+	BlocksWritten int64
+	// WaitPct is the share (0-100) of the sampling interval spent inside
+	// file reads and writes — the vmstat "wa" analogue.
+	WaitPct float64
+	// HeapAlloc is live heap bytes; HeapSys is heap obtained from the OS.
+	HeapAlloc uint64
+	HeapSys   uint64
+}
+
+// CumulativeBlocks is the Fig. 11 series value: all blocks in and out.
+func (s Sample) CumulativeBlocks() int64 { return s.BlocksRead + s.BlocksWritten }
+
+// Monitor periodically samples a Stats source.
+type Monitor struct {
+	interval time.Duration
+	stats    func() kvstore.Stats
+	mu       sync.Mutex
+	samples  []Sample
+	stop     chan struct{}
+	done     chan struct{}
+	start    time.Time
+	lastIO   int64
+	lastTime time.Time
+}
+
+// Start begins sampling every interval. The stats function is typically
+// store.Stats of the store under test.
+func Start(interval time.Duration, stats func() kvstore.Stats) *Monitor {
+	m := &Monitor{
+		interval: interval,
+		stats:    stats,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		start:    time.Now(),
+		lastTime: time.Now(),
+	}
+	go m.loop()
+	return m
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			m.sample()
+			return
+		case <-t.C:
+			m.sample()
+		}
+	}
+}
+
+func (m *Monitor) sample() {
+	st := m.stats()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	now := time.Now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wall := now.Sub(m.lastTime)
+	waitPct := 0.0
+	if wall > 0 {
+		waitPct = 100 * float64(st.IONanos-m.lastIO) / float64(wall)
+		if waitPct < 0 {
+			waitPct = 0
+		}
+		if waitPct > 100 {
+			waitPct = 100
+		}
+	}
+	m.lastIO = st.IONanos
+	m.lastTime = now
+	m.samples = append(m.samples, Sample{
+		Elapsed:       now.Sub(m.start),
+		BlocksRead:    st.BlocksRead,
+		BlocksWritten: st.BlocksWritten,
+		WaitPct:       waitPct,
+		HeapAlloc:     ms.HeapAlloc,
+		HeapSys:       ms.HeapSys,
+	})
+}
+
+// Stop takes a final sample and returns the timeline.
+func (m *Monitor) Stop() []Sample {
+	close(m.stop)
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.samples...)
+}
+
+// Table renders samples as the harness prints them: one row per sample
+// with elapsed ms, cumulative blocks, wait %, and heap MB.
+func Table(samples []Sample) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %12s %8s %10s\n", "elapsed", "blocks-in", "blocks-out", "wait%", "heap-MB")
+	for _, s := range samples {
+		fmt.Fprintf(&b, "%10s %12d %12d %8.1f %10.1f\n",
+			s.Elapsed.Round(time.Millisecond), s.BlocksRead, s.BlocksWritten,
+			s.WaitPct, float64(s.HeapAlloc)/(1<<20))
+	}
+	return b.String()
+}

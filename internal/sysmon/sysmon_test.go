@@ -1,0 +1,78 @@
+package sysmon
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xmorph/internal/kvstore"
+)
+
+func TestMonitorSamplesCumulativeIO(t *testing.T) {
+	db, err := kvstore.Open(filepath.Join(t.TempDir(), "m.db"), &kvstore.Options{CachePages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	m := Start(2*time.Millisecond, db.Stats)
+	for i := 0; i < 5000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	samples := m.Stop()
+
+	if len(samples) < 2 {
+		t.Fatalf("samples = %d, want several", len(samples))
+	}
+	// Cumulative I/O must be monotone nondecreasing and end positive.
+	last := int64(-1)
+	for _, s := range samples {
+		c := s.CumulativeBlocks()
+		if c < last {
+			t.Fatalf("cumulative blocks decreased: %d -> %d", last, c)
+		}
+		last = c
+	}
+	if last == 0 {
+		t.Error("no block I/O recorded")
+	}
+	for _, s := range samples {
+		if s.WaitPct < 0 || s.WaitPct > 100 {
+			t.Errorf("wait%% out of range: %f", s.WaitPct)
+		}
+		if s.HeapSys == 0 {
+			t.Error("memory not sampled")
+		}
+	}
+}
+
+func TestMonitorStopIsIdempotentSafe(t *testing.T) {
+	db := kvstore.OpenMemory(nil)
+	m := Start(time.Millisecond, db.Stats)
+	time.Sleep(3 * time.Millisecond)
+	samples := m.Stop()
+	if len(samples) == 0 {
+		t.Error("no samples on stop")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	samples := []Sample{
+		{Elapsed: 10 * time.Millisecond, BlocksRead: 5, BlocksWritten: 7, WaitPct: 40.5, HeapAlloc: 3 << 20},
+	}
+	out := Table(samples)
+	if !strings.Contains(out, "blocks-in") || !strings.Contains(out, "40.5") {
+		t.Errorf("table rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "3.0") {
+		t.Errorf("heap MB missing:\n%s", out)
+	}
+}

@@ -1,0 +1,179 @@
+// Package view maintains a materialized transformation — the mitigation
+// Section VIII sketches for the cost of physical transformation:
+// "materializing the transformation and mapping XUpdate operations to
+// updates of the transformation".
+//
+// A View pairs a source document with the rendered output of a guard and
+// an index from each source vertex to its output copies (built from the
+// renderer's provenance links). Value updates propagate in O(copies);
+// structural updates (insert/delete) mark the view stale, and the next
+// access re-renders — the paper's fallback of re-running the
+// transformation, automated.
+package view
+
+import (
+	"fmt"
+
+	"xmorph/internal/core"
+	"xmorph/internal/render"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+// View is a materialized guard output kept consistent with its source.
+type View struct {
+	guard   string
+	source  *xmltree.Document
+	checked *core.Checked
+	output  *xmltree.Document
+	// copies maps each source vertex to its rendered copies.
+	copies map[*xmltree.Node][]*xmltree.Node
+	stale  bool
+	// renders counts full (re-)renders, exposed for tests and monitoring.
+	renders int
+}
+
+// Materialize compiles the guard against the source and renders the
+// initial output.
+func Materialize(guardSrc string, source *xmltree.Document) (*View, error) {
+	checked, err := core.Check(guardSrc, shape.FromDocument(source))
+	if err != nil {
+		return nil, err
+	}
+	v := &View{guard: guardSrc, source: source, checked: checked}
+	if err := v.render(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (v *View) render() error {
+	out, err := render.Render(v.source, v.checked.Plan.ComposedTarget())
+	if err != nil {
+		return err
+	}
+	v.output = out
+	v.copies = make(map[*xmltree.Node][]*xmltree.Node)
+	for _, n := range out.Nodes() {
+		if n.Src != nil {
+			src := n.Src.Origin()
+			v.copies[src] = append(v.copies[src], n)
+		}
+	}
+	v.stale = false
+	v.renders++
+	return nil
+}
+
+// Output returns the materialized document, re-rendering first if a
+// structural update staled the view.
+func (v *View) Output() (*xmltree.Document, error) {
+	if v.stale {
+		// Structural changes may alter the shape; recompile so the guard
+		// is re-type-checked against the new shape.
+		checked, err := core.Check(v.guard, shape.FromDocument(v.source))
+		if err != nil {
+			return nil, err
+		}
+		v.checked = checked
+		if err := v.render(); err != nil {
+			return nil, err
+		}
+	}
+	return v.output, nil
+}
+
+// Renders reports how many full renders the view has performed.
+func (v *View) Renders() int { return v.renders }
+
+// Stale reports whether a structural update invalidated the
+// materialization.
+func (v *View) Stale() bool { return v.stale }
+
+// UpdateValue changes a source vertex's text value and propagates it to
+// every rendered copy without re-rendering (the XUpdate "update text"
+// case). The vertex is addressed by its Dewey number in the source.
+func (v *View) UpdateValue(at xmltree.Dewey, newValue string) error {
+	n := v.source.NodeAt(at)
+	if n == nil {
+		return fmt.Errorf("view: no source vertex at %s", at)
+	}
+	n.Value = newValue
+	if v.stale {
+		return nil // the next Output re-renders anyway
+	}
+	for _, c := range v.copies[n] {
+		c.Value = newValue
+	}
+	return nil
+}
+
+// InsertSubtree appends a parsed fragment below the source vertex at the
+// given Dewey number. Structural updates change cardinalities and closest
+// relationships, so the view goes stale and re-renders lazily.
+func (v *View) InsertSubtree(at xmltree.Dewey, fragment string) error {
+	parent := v.source.NodeAt(at)
+	if parent == nil {
+		return fmt.Errorf("view: no source vertex at %s", at)
+	}
+	if parent.Attr {
+		return fmt.Errorf("view: cannot insert below an attribute")
+	}
+	frag, err := xmltree.ParseString(fragment)
+	if err != nil {
+		return err
+	}
+	v.source = rebuildWith(v.source, parent, frag.Root())
+	v.stale = true
+	return nil
+}
+
+// DeleteSubtree removes the source vertex at the given Dewey number (with
+// its subtree). The view goes stale.
+func (v *View) DeleteSubtree(at xmltree.Dewey) error {
+	n := v.source.NodeAt(at)
+	if n == nil {
+		return fmt.Errorf("view: no source vertex at %s", at)
+	}
+	if n.Parent == nil {
+		return fmt.Errorf("view: cannot delete the document root")
+	}
+	v.source = rebuildWith(v.source, n, nil)
+	v.stale = true
+	return nil
+}
+
+// Source returns the (possibly updated) source document.
+func (v *View) Source() *xmltree.Document { return v.source }
+
+// rebuildWith re-builds the source document, either appending newChild
+// under target (insert) or dropping target entirely (newChild == nil,
+// delete). Rebuilding renumbers Dewey ids consistently.
+func rebuildWith(doc *xmltree.Document, target, newChild *xmltree.Node) *xmltree.Document {
+	b := xmltree.NewBuilder()
+	var copyNode func(n *xmltree.Node)
+	copyNode = func(n *xmltree.Node) {
+		if newChild == nil && n == target {
+			return // delete
+		}
+		if n.Attr {
+			b.Attr(n.LocalName(), n.Value)
+			return
+		}
+		b.Elem(n.Name)
+		if n.Value != "" {
+			b.Text(n.Value)
+		}
+		for _, c := range n.Children {
+			copyNode(c)
+		}
+		if n == target && newChild != nil {
+			copyNode(newChild)
+		}
+		b.End()
+	}
+	for _, r := range doc.Roots {
+		copyNode(r)
+	}
+	return b.MustDocument()
+}

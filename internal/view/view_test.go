@@ -1,0 +1,171 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"xmorph/internal/core"
+	"xmorph/internal/xmltree"
+)
+
+const src = `<data>
+  <book><title>X</title><author><name>V</name></author></book>
+  <book><title>Y</title><author><name>U</name></author></book>
+</data>`
+
+func mustView(t *testing.T, guard string) *View {
+	t.Helper()
+	v, err := Materialize(guard, xmltree.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func dw(t *testing.T, s string) xmltree.Dewey {
+	t.Helper()
+	d, err := xmltree.ParseDewey(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMaterializeAndOutput(t *testing.T) {
+	v := mustView(t, "MORPH author [ name title ]")
+	out, err := v.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.XML(false), "<author><name>V</name><title>X</title></author>") {
+		t.Errorf("initial materialization: %s", out.XML(false))
+	}
+	if v.Renders() != 1 {
+		t.Errorf("renders = %d, want 1", v.Renders())
+	}
+}
+
+func TestValueUpdatePropagatesWithoutRerender(t *testing.T) {
+	v := mustView(t, "MORPH author [ name title ]")
+	// 1.1.1 is the first title in the source.
+	if err := v.UpdateValue(dw(t, "1.1.1"), "X-revised"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := v.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.XML(false), "<title>X-revised</title>") {
+		t.Errorf("value update lost: %s", out.XML(false))
+	}
+	if v.Renders() != 1 {
+		t.Errorf("value update must not re-render (renders = %d)", v.Renders())
+	}
+	// Equivalence with a full re-transformation.
+	fresh, err := core.Transform("MORPH author [ name title ]", v.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.XML(false) != fresh.Output.XML(false) {
+		t.Errorf("incremental output diverged:\nview:  %s\nfresh: %s",
+			out.XML(false), fresh.Output.XML(false))
+	}
+}
+
+func TestValueUpdateHitsAllCopies(t *testing.T) {
+	// The single publisher duplicates under each book; both copies must
+	// see the update.
+	const dup = `<data>
+	  <publisher><name>W</name>
+	    <book><title>X</title></book>
+	    <book><title>Y</title></book>
+	  </publisher>
+	</data>`
+	v, err := Materialize("CAST-WIDENING MUTATE book [ publisher [ name ] ]", xmltree.MustParse(dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.1.1 is the publisher's name.
+	if err := v.UpdateValue(dw(t, "1.1.1"), "W2"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := v.Output()
+	if strings.Count(out.XML(false), "<name>W2</name>") != 2 {
+		t.Errorf("update must hit every copy: %s", out.XML(false))
+	}
+}
+
+func TestInsertSubtreeStalesAndRerenders(t *testing.T) {
+	v := mustView(t, "MORPH author [ name title ]")
+	// Append a third book under data (dewey 1).
+	if err := v.InsertSubtree(dw(t, "1"), "<book><title>Z</title><author><name>T</name></author></book>"); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Stale() {
+		t.Error("structural insert must stale the view")
+	}
+	out, err := v.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.XML(false), "<author><name>T</name><title>Z</title></author>") {
+		t.Errorf("inserted author missing: %s", out.XML(false))
+	}
+	if v.Renders() != 2 {
+		t.Errorf("renders = %d, want 2", v.Renders())
+	}
+}
+
+func TestDeleteSubtreeStales(t *testing.T) {
+	v := mustView(t, "MORPH author [ name title ]")
+	// Delete the second book (1.2).
+	if err := v.DeleteSubtree(dw(t, "1.2")); err != nil {
+		t.Fatal(err)
+	}
+	out, err := v.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.XML(false), "U") {
+		t.Errorf("deleted author survived: %s", out.XML(false))
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	v := mustView(t, "MORPH title")
+	if err := v.UpdateValue(dw(t, "1.9.9"), "x"); err == nil {
+		t.Error("bad dewey accepted")
+	}
+	if err := v.InsertSubtree(dw(t, "1.9"), "<x/>"); err == nil {
+		t.Error("insert at bad dewey accepted")
+	}
+	if err := v.InsertSubtree(dw(t, "1"), "<unclosed"); err == nil {
+		t.Error("bad fragment accepted")
+	}
+	if err := v.DeleteSubtree(dw(t, "1")); err == nil {
+		t.Error("root delete accepted")
+	}
+}
+
+func TestStructuralUpdateRetypechecks(t *testing.T) {
+	// Deleting the only <name> makes the strict guard fail at re-render:
+	// the label no longer matches any type.
+	const tiny = `<data><book><author><name>V</name></author><title>X</title></book></data>`
+	v, err := Materialize("MORPH author [ name ]", xmltree.MustParse(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DeleteSubtree(dw(t, "1.1.1.1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Output(); err == nil {
+		t.Error("re-typecheck after structural delete should fail (name type vanished)")
+	}
+}
+
+func TestMaterializeRejectsLossyGuard(t *testing.T) {
+	const optional = `<data><book><author/></book><book><author><name>V</name></author></book></data>`
+	if _, err := Materialize("MUTATE name [ author ]", xmltree.MustParse(optional)); err == nil {
+		t.Error("lossy guard must be rejected at materialization")
+	}
+}

@@ -1,0 +1,99 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document into the data model. Every element and
+// attribute becomes a vertex; character data is accumulated into the
+// enclosing element's Value. Namespace prefixes are ignored (local names
+// only), matching the paper's untyped treatment of labels.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+	var (
+		doc   = &Document{}
+		stack []*Node
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local}
+			if len(stack) == 0 {
+				if len(doc.Roots) > 0 {
+					return nil, fmt.Errorf("xmltree: parse: multiple root elements")
+				}
+				doc.Roots = append(doc.Roots, n)
+				n.Dewey = Dewey{1}
+				n.Type = n.Name
+			} else {
+				p := stack[len(stack)-1]
+				attach(p, n)
+			}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				an := &Node{Name: "@" + a.Name.Local, Value: a.Value, Attr: true}
+				attach(n, an)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				s := string(t)
+				if strings.TrimSpace(s) != "" {
+					stack[len(stack)-1].Value += s
+				}
+			}
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Not part of the data model.
+		}
+	}
+	if len(doc.Roots) == 0 {
+		return nil, fmt.Errorf("xmltree: parse: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse: unexpected end of input inside <%s>", stack[len(stack)-1].Name)
+	}
+	doc.index()
+	return doc, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses s and panics on error. It is intended for tests and
+// examples with literal documents.
+func MustParse(s string) *Document {
+	d, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// attach links child c under parent p, assigning the Dewey number and type
+// path. It does not re-index the document.
+func attach(p, c *Node) {
+	c.Parent = p
+	p.Children = append(p.Children, c)
+	c.Dewey = p.Dewey.Child(len(p.Children))
+	c.Type = p.Type + TypeSep + c.Name
+}

@@ -1,0 +1,579 @@
+package xq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xmorph/internal/xmltree"
+)
+
+func (e *flworExpr) eval(ctx *context) (Sequence, error) {
+	type tupleOut struct {
+		keys []Item
+		vals Sequence
+	}
+	var outs []tupleOut
+
+	var iterate func(ctx *context, i int) error
+	iterate = func(ctx *context, i int) error {
+		if i == len(e.clauses) {
+			if e.where != nil {
+				cond, err := e.where.eval(ctx)
+				if err != nil {
+					return err
+				}
+				ok, err := booleanValue(cond)
+				if err != nil || !ok {
+					return err
+				}
+			}
+			var keys []Item
+			for _, spec := range e.orderBy {
+				kv, err := spec.key.eval(ctx)
+				if err != nil {
+					return err
+				}
+				if len(kv) == 0 {
+					keys = append(keys, "")
+				} else {
+					keys = append(keys, atomize(kv[0]))
+				}
+			}
+			val, err := e.ret.eval(ctx)
+			if err != nil {
+				return err
+			}
+			outs = append(outs, tupleOut{keys: keys, vals: val})
+			return nil
+		}
+		cl := e.clauses[i]
+		seq, err := cl.in.eval(ctx)
+		if err != nil {
+			return err
+		}
+		if cl.isLet {
+			c := ctx.child()
+			c.vars[cl.name] = seq
+			return iterate(c, i+1)
+		}
+		for _, item := range seq {
+			c := ctx.child()
+			c.vars[cl.name] = Sequence{item}
+			c.vars["."] = Sequence{item}
+			if err := iterate(c, i+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := iterate(ctx, 0); err != nil {
+		return nil, err
+	}
+
+	if len(e.orderBy) > 0 {
+		sort.SliceStable(outs, func(a, b int) bool {
+			for k, spec := range e.orderBy {
+				c := compareItems(outs[a].keys[k], outs[b].keys[k])
+				if c == 0 {
+					continue
+				}
+				if spec.descending {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	var result Sequence
+	for _, o := range outs {
+		result = append(result, o.vals...)
+	}
+	return result, nil
+}
+
+func (e *pathExpr) eval(ctx *context) (Sequence, error) {
+	cur, err := e.base.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range e.steps {
+		var next Sequence
+		for _, item := range cur {
+			n, ok := item.(*xmltree.Node)
+			if !ok {
+				continue
+			}
+			if st.name == "text()" {
+				next = append(next, n.Value)
+				continue
+			}
+			matches := func(c *xmltree.Node) bool {
+				if c.Attr != st.attr {
+					return false
+				}
+				return st.name == "*" || c.LocalName() == st.name
+			}
+			if st.descendant {
+				n.Walk(func(c *xmltree.Node) bool {
+					if c != n && matches(c) {
+						next = append(next, c)
+					}
+					return true
+				})
+			} else {
+				for _, c := range n.Children {
+					if matches(c) {
+						next = append(next, c)
+					}
+				}
+			}
+		}
+		cur, err = applyPredicates(ctx, next, st.preds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func applyPredicates(ctx *context, seq Sequence, preds []expr) (Sequence, error) {
+	for _, pred := range preds {
+		var kept Sequence
+		for pos, item := range seq {
+			c := ctx.child()
+			c.vars["."] = Sequence{item}
+			v, err := pred.eval(c)
+			if err != nil {
+				return nil, err
+			}
+			// Numeric predicate: positional (1-based).
+			if len(v) == 1 {
+				if f, ok := v[0].(float64); ok {
+					if int(f) == pos+1 {
+						kept = append(kept, item)
+					}
+					continue
+				}
+			}
+			ok, err := booleanValue(v)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, item)
+			}
+		}
+		seq = kept
+	}
+	return seq, nil
+}
+
+func (e *varRef) eval(ctx *context) (Sequence, error) {
+	v, ok := ctx.vars[e.name]
+	if !ok {
+		return nil, &Error{Message: fmt.Sprintf("undefined variable $%s", e.name)}
+	}
+	return v, nil
+}
+
+func (e *literal) eval(ctx *context) (Sequence, error) {
+	return Sequence{e.val}, nil
+}
+
+func (e *seqExpr) eval(ctx *context) (Sequence, error) {
+	var out Sequence
+	for _, p := range e.parts {
+		v, err := p.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v...)
+	}
+	return out, nil
+}
+
+func (e *negExpr) eval(ctx *context) (Sequence, error) {
+	v, err := e.operand.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	f, err := numberValue(v)
+	if err != nil {
+		return nil, err
+	}
+	return Sequence{-f}, nil
+}
+
+func (e *binaryExpr) eval(ctx *context) (Sequence, error) {
+	switch e.op {
+	case "and", "or":
+		lv, err := e.left.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := booleanValue(lv)
+		if err != nil {
+			return nil, err
+		}
+		if e.op == "and" && !lb {
+			return Sequence{false}, nil
+		}
+		if e.op == "or" && lb {
+			return Sequence{true}, nil
+		}
+		rv, err := e.right.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := booleanValue(rv)
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{rb}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		lv, err := e.left.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := e.right.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		// General comparison: existential over atomized items.
+		for _, a := range lv {
+			for _, b := range rv {
+				if cmpSatisfies(e.op, compareItems(atomize(a), atomize(b))) {
+					return Sequence{true}, nil
+				}
+			}
+		}
+		return Sequence{false}, nil
+	case "+", "-", "*", "div", "mod":
+		lv, err := e.left.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := e.right.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		lf, err := numberValue(lv)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := numberValue(rv)
+		if err != nil {
+			return nil, err
+		}
+		switch e.op {
+		case "+":
+			return Sequence{lf + rf}, nil
+		case "-":
+			return Sequence{lf - rf}, nil
+		case "*":
+			return Sequence{lf * rf}, nil
+		case "div":
+			return Sequence{lf / rf}, nil
+		default:
+			return Sequence{math.Mod(lf, rf)}, nil
+		}
+	}
+	return nil, &Error{Message: fmt.Sprintf("unknown operator %q", e.op)}
+}
+
+func cmpSatisfies(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+func (e *funcCall) eval(ctx *context) (Sequence, error) {
+	evalArgs := func() ([]Sequence, error) {
+		out := make([]Sequence, len(e.args))
+		for i, a := range e.args {
+			v, err := a.eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch e.name {
+	case "doc":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, &Error{Message: "doc() takes one argument"}
+		}
+		name, _ := atomize(one(args[0])).(string)
+		d, err := ctx.docs(name)
+		if err != nil {
+			return nil, err
+		}
+		var out Sequence
+		for _, r := range d.Roots {
+			out = append(out, r)
+		}
+		return out, nil
+	case "count":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{float64(len(args[0]))}, nil
+	case "exists":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{len(args[0]) > 0}, nil
+	case "not":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		b, err := booleanValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{!b}, nil
+	case "string":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		if len(args[0]) == 0 {
+			return Sequence{""}, nil
+		}
+		return Sequence{stringValue(args[0][0])}, nil
+	case "number":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		f, err := numberValue(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return Sequence{f}, nil
+	case "name":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := one(args[0]).(*xmltree.Node); ok {
+			return Sequence{n.LocalName()}, nil
+		}
+		return Sequence{""}, nil
+	case "concat":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, a := range args {
+			for _, item := range a {
+				b.WriteString(stringValue(item))
+			}
+		}
+		return Sequence{b.String()}, nil
+	case "distinct-values":
+		args, err := evalArgs()
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		var out Sequence
+		for _, item := range args[0] {
+			s := stringValue(item)
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+		return out, nil
+	}
+	args, err := evalArgs()
+	if err != nil {
+		return nil, err
+	}
+	if out, ok, err := evalExtendedFunc(e.name, args); ok {
+		return out, err
+	}
+	return nil, &Error{Message: fmt.Sprintf("unknown function %s()", e.name)}
+}
+
+func (e *elemConstructor) eval(ctx *context) (Sequence, error) {
+	b := xmltree.NewBuilder().Elem(e.name)
+	for _, a := range e.attrs {
+		b.Attr(a.name, a.value)
+	}
+	for _, part := range e.content {
+		if part.expr == nil {
+			if t := strings.TrimSpace(part.text); t != "" {
+				b.Text(part.text)
+			}
+			continue
+		}
+		v, err := part.expr.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		for i, item := range v {
+			switch x := item.(type) {
+			case *xmltree.Node:
+				copyInto(b, x)
+			default:
+				if i > 0 {
+					b.Text(" ")
+				}
+				b.Text(stringValue(item))
+			}
+		}
+	}
+	doc, err := b.End().Document()
+	if err != nil {
+		return nil, &Error{Message: err.Error()}
+	}
+	return Sequence{doc.Root()}, nil
+}
+
+// copyInto deep-copies a node (subtree) into the builder.
+func copyInto(b *xmltree.Builder, n *xmltree.Node) {
+	if n.Attr {
+		b.Attr(n.LocalName(), n.Value)
+		return
+	}
+	b.Elem(n.Name)
+	if n.Value != "" {
+		b.Text(n.Value)
+	}
+	for _, c := range n.Children {
+		copyInto(b, c)
+	}
+	b.End()
+}
+
+// --- value coercions ---
+
+func one(s Sequence) Item {
+	if len(s) == 0 {
+		return nil
+	}
+	return s[0]
+}
+
+// atomize turns a node into its string value.
+func atomize(i Item) Item {
+	if n, ok := i.(*xmltree.Node); ok {
+		return n.Text()
+	}
+	return i
+}
+
+// compareItems compares two atomized items, numerically when both parse as
+// numbers, else as strings.
+func compareItems(a, b Item) int {
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(stringValue(a), stringValue(b))
+}
+
+func toFloat(i Item) (float64, bool) {
+	switch x := i.(type) {
+	case float64:
+		return x, true
+	case string:
+		f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		return f, err == nil
+	case bool:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+func stringValue(i Item) string {
+	switch x := i.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case float64:
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			return strconv.FormatInt(int64(x), 10)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case *xmltree.Node:
+		return x.Text()
+	}
+	return fmt.Sprint(i)
+}
+
+// booleanValue is XQuery's effective boolean value.
+func booleanValue(s Sequence) (bool, error) {
+	if len(s) == 0 {
+		return false, nil
+	}
+	if _, isNode := s[0].(*xmltree.Node); isNode {
+		return true, nil
+	}
+	if len(s) > 1 {
+		return false, &Error{Message: "effective boolean value of multi-item non-node sequence"}
+	}
+	switch x := s[0].(type) {
+	case bool:
+		return x, nil
+	case float64:
+		return x != 0 && !math.IsNaN(x), nil
+	case string:
+		return x != "", nil
+	}
+	return false, &Error{Message: "no effective boolean value"}
+}
+
+func numberValue(s Sequence) (float64, error) {
+	if len(s) == 0 {
+		return math.NaN(), nil
+	}
+	f, ok := toFloat(atomize(s[0]))
+	if !ok {
+		return 0, &Error{Message: fmt.Sprintf("cannot convert %q to a number", stringValue(s[0]))}
+	}
+	return f, nil
+}

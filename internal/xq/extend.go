@@ -1,0 +1,266 @@
+package xq
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"xmorph/internal/xmltree"
+)
+
+// ifExpr is if (cond) then a else b.
+type ifExpr struct {
+	cond expr
+	then expr
+	els  expr
+}
+
+func (e *ifExpr) eval(ctx *context) (Sequence, error) {
+	c, err := e.cond.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b, err := booleanValue(c)
+	if err != nil {
+		return nil, err
+	}
+	if b {
+		return e.then.eval(ctx)
+	}
+	return e.els.eval(ctx)
+}
+
+// quantExpr is "some $v in e satisfies p" / "every $v in e satisfies p".
+type quantExpr struct {
+	every bool
+	name  string
+	in    expr
+	sat   expr
+}
+
+func (e *quantExpr) eval(ctx *context) (Sequence, error) {
+	seq, err := e.in.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range seq {
+		c := ctx.child()
+		c.vars[e.name] = Sequence{item}
+		c.vars["."] = Sequence{item}
+		v, err := e.sat.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		b, err := booleanValue(v)
+		if err != nil {
+			return nil, err
+		}
+		if e.every && !b {
+			return Sequence{false}, nil
+		}
+		if !e.every && b {
+			return Sequence{true}, nil
+		}
+	}
+	return Sequence{e.every}, nil
+}
+
+// unionExpr is the "|" node-set union, in document order with duplicates
+// removed.
+type unionExpr struct {
+	left  expr
+	right expr
+}
+
+func (e *unionExpr) eval(ctx *context) (Sequence, error) {
+	lv, err := e.left.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.right.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[*xmltree.Node]bool{}
+	var nodes []*xmltree.Node
+	for _, item := range append(append(Sequence{}, lv...), rv...) {
+		n, ok := item.(*xmltree.Node)
+		if !ok {
+			return nil, &Error{Message: "union operands must be node sequences"}
+		}
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	// Document order within one document; stable across documents.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Dewey.Compare(nodes[j-1].Dewey) < 0; j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+	out := make(Sequence, len(nodes))
+	for i, n := range nodes {
+		out[i] = n
+	}
+	return out, nil
+}
+
+// parentStep is the ".." axis applied to a sequence.
+type parentStep struct{ base expr }
+
+func (e *parentStep) eval(ctx *context) (Sequence, error) {
+	v, err := e.base.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[*xmltree.Node]bool{}
+	var out Sequence
+	for _, item := range v {
+		if n, ok := item.(*xmltree.Node); ok && n.Parent != nil && !seen[n.Parent] {
+			seen[n.Parent] = true
+			out = append(out, n.Parent)
+		}
+	}
+	return out, nil
+}
+
+// arity for the extended functions (min required arguments).
+var extendedArity = map[string]int{
+	"sum": 1, "avg": 1, "min": 1, "max": 1,
+	"floor": 1, "ceiling": 1, "round": 1, "abs": 1,
+	"contains": 2, "starts-with": 2, "ends-with": 2,
+	"string-length": 1, "normalize-space": 1,
+	"upper-case": 1, "lower-case": 1, "substring": 2, "empty": 1,
+	"true": 0, "false": 0, "last": 0,
+}
+
+// evalExtendedFunc handles the function library beyond the core set; it
+// reports ok=false for names it does not know.
+func evalExtendedFunc(name string, args []Sequence) (Sequence, bool, error) {
+	want, known := extendedArity[name]
+	if !known {
+		return nil, false, nil
+	}
+	if len(args) < want {
+		return nil, true, &Error{Message: fmt.Sprintf("%s() needs at least %d argument(s), got %d", name, want, len(args))}
+	}
+	num := func(s Sequence) (float64, error) { return numberValue(s) }
+	switch name {
+	case "sum":
+		total := 0.0
+		for _, item := range args[0] {
+			f, ok := toFloat(atomize(item))
+			if !ok {
+				return nil, true, &Error{Message: "sum(): non-numeric item"}
+			}
+			total += f
+		}
+		return Sequence{total}, true, nil
+	case "avg":
+		if len(args[0]) == 0 {
+			return nil, true, nil
+		}
+		total := 0.0
+		for _, item := range args[0] {
+			f, ok := toFloat(atomize(item))
+			if !ok {
+				return nil, true, &Error{Message: "avg(): non-numeric item"}
+			}
+			total += f
+		}
+		return Sequence{total / float64(len(args[0]))}, true, nil
+	case "min", "max":
+		if len(args[0]) == 0 {
+			return nil, true, nil
+		}
+		best, ok := toFloat(atomize(args[0][0]))
+		if !ok {
+			return nil, true, &Error{Message: name + "(): non-numeric item"}
+		}
+		for _, item := range args[0][1:] {
+			f, fok := toFloat(atomize(item))
+			if !fok {
+				return nil, true, &Error{Message: name + "(): non-numeric item"}
+			}
+			if (name == "min" && f < best) || (name == "max" && f > best) {
+				best = f
+			}
+		}
+		return Sequence{best}, true, nil
+	case "floor", "ceiling", "round", "abs":
+		f, err := num(args[0])
+		if err != nil {
+			return nil, true, err
+		}
+		switch name {
+		case "floor":
+			f = math.Floor(f)
+		case "ceiling":
+			f = math.Ceil(f)
+		case "round":
+			f = math.Round(f)
+		case "abs":
+			f = math.Abs(f)
+		}
+		return Sequence{f}, true, nil
+	case "contains", "starts-with", "ends-with":
+		a := stringValue(atomize(one(args[0])))
+		b := stringValue(atomize(one(args[1])))
+		var r bool
+		switch name {
+		case "contains":
+			r = strings.Contains(a, b)
+		case "starts-with":
+			r = strings.HasPrefix(a, b)
+		default:
+			r = strings.HasSuffix(a, b)
+		}
+		return Sequence{r}, true, nil
+	case "string-length":
+		return Sequence{float64(len(stringValue(atomize(one(args[0])))))}, true, nil
+	case "normalize-space":
+		return Sequence{strings.Join(strings.Fields(stringValue(atomize(one(args[0])))), " ")}, true, nil
+	case "upper-case":
+		return Sequence{strings.ToUpper(stringValue(atomize(one(args[0]))))}, true, nil
+	case "lower-case":
+		return Sequence{strings.ToLower(stringValue(atomize(one(args[0]))))}, true, nil
+	case "substring":
+		s := stringValue(atomize(one(args[0])))
+		start, err := num(args[1])
+		if err != nil {
+			return nil, true, err
+		}
+		from := int(start) - 1
+		if from < 0 {
+			from = 0
+		}
+		if from > len(s) {
+			from = len(s)
+		}
+		if len(args) >= 3 {
+			length, err := num(args[2])
+			if err != nil {
+				return nil, true, err
+			}
+			to := from + int(length)
+			if to > len(s) {
+				to = len(s)
+			}
+			if to < from {
+				to = from
+			}
+			return Sequence{s[from:to]}, true, nil
+		}
+		return Sequence{s[from:]}, true, nil
+	case "empty":
+		return Sequence{len(args[0]) == 0}, true, nil
+	case "true":
+		return Sequence{true}, true, nil
+	case "false":
+		return Sequence{false}, true, nil
+	case "last":
+		return nil, true, &Error{Message: "last() is not supported; use count() over a bound sequence"}
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,32 @@
+package xq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQueryParserNeverPanics throws token soup at the XQuery parser.
+func TestQueryParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	words := []string{
+		"for", "let", "where", "return", "order", "by", "in", ":=", "$v",
+		"doc(\"d\")", "/", "//", "[", "]", "(", ")", "{", "}", "<a>", "</a>",
+		"\"s\"", "1", "+", "-", "*", "=", "!=", "and", "or", "if", "then",
+		"else", "some", "every", "satisfies", "|", "..", "@x", "name", ",",
+	}
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(10)
+		src := ""
+		for j := 0; j < n; j++ {
+			src += words[rng.Intn(len(words))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("query parser panicked on %q: %v", src, r)
+				}
+			}()
+			_, _ = parse(src)
+		}()
+	}
+}

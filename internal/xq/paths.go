@@ -1,0 +1,185 @@
+package xq
+
+// ExtractPaths returns the label chains a query's path expressions
+// traverse, rooted at doc() calls: the raw material for guard inference
+// (the paper's Section X names inferring a guard from a query as an open
+// problem; internal/infer builds on this extraction).
+//
+// Each chain lists element labels from the document root downward;
+// attribute steps keep their "@". Wildcards and text() steps end a chain.
+// Variable bindings extend the chain of the expression they iterate.
+func ExtractPaths(query string) ([][]string, error) {
+	ast, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	c := &pathCollector{env: map[string][]string{}}
+	c.walk(ast, nil)
+	return c.paths, nil
+}
+
+type pathCollector struct {
+	env   map[string][]string
+	paths [][]string
+}
+
+// record notes a traversed chain (deduplicated, prefix chains included so
+// the tree builder sees interior labels).
+func (c *pathCollector) record(chain []string) {
+	if len(chain) == 0 {
+		return
+	}
+	for _, p := range c.paths {
+		if equalChain(p, chain) {
+			return
+		}
+	}
+	c.paths = append(c.paths, append([]string(nil), chain...))
+}
+
+func equalChain(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chainOf resolves the chain an expression's result nodes sit on, or nil
+// when the expression is not a path (literals, arithmetic, ...). It also
+// records every chain it resolves.
+func (c *pathCollector) chainOf(e expr) []string {
+	switch x := e.(type) {
+	case *varRef:
+		return c.env[x.name]
+	case *funcCall:
+		if x.name == "doc" {
+			return []string{} // the document root: an empty, non-nil chain
+		}
+		for _, a := range x.args {
+			c.walk(a, nil)
+		}
+		return nil
+	case *pathExpr:
+		base := c.chainOf(x.base)
+		if base == nil {
+			c.walk(x.base, nil)
+			base = []string{}
+		}
+		chain := append([]string(nil), base...)
+		for _, st := range x.steps {
+			if st.name == "*" || st.name == "text()" {
+				break
+			}
+			name := st.name
+			if st.attr {
+				name = "@" + name
+			}
+			chain = append(chain, name)
+			c.record(chain)
+			for _, pred := range st.preds {
+				// Inside a predicate, "." (and bare relative steps) resolve
+				// to the step's chain.
+				saved, had := c.env["."]
+				c.env["."] = append([]string(nil), chain...)
+				c.walk(pred, chain)
+				if had {
+					c.env["."] = saved
+				} else {
+					delete(c.env, ".")
+				}
+			}
+		}
+		return chain
+	case *parentStep:
+		base := c.chainOf(x.base)
+		if len(base) > 0 {
+			return base[:len(base)-1]
+		}
+		return base
+	case *unionExpr:
+		c.chainOf(x.left)
+		c.chainOf(x.right)
+		return nil
+	}
+	c.walk(e, nil)
+	return nil
+}
+
+// walk visits an expression tree; ctx is the chain "." resolves to.
+func (c *pathCollector) walk(e expr, ctx []string) {
+	switch x := e.(type) {
+	case nil:
+	case *flworExpr:
+		saved := c.snapshot()
+		for _, cl := range x.clauses {
+			chain := c.chainOf(cl.in)
+			if chain != nil {
+				c.env[cl.name] = chain
+				c.env["."] = chain
+			} else {
+				delete(c.env, cl.name)
+			}
+		}
+		c.walk(x.where, c.env["."])
+		for _, o := range x.orderBy {
+			c.walk(o.key, c.env["."])
+		}
+		c.walk(x.ret, c.env["."])
+		c.restore(saved)
+	case *quantExpr:
+		saved := c.snapshot()
+		chain := c.chainOf(x.in)
+		if chain != nil {
+			c.env[x.name] = chain
+			c.env["."] = chain
+		}
+		c.walk(x.sat, c.env["."])
+		c.restore(saved)
+	case *pathExpr:
+		c.chainOf(x)
+	case *parentStep:
+		c.chainOf(x)
+	case *unionExpr:
+		c.chainOf(x.left)
+		c.chainOf(x.right)
+	case *binaryExpr:
+		c.walk(x.left, ctx)
+		c.walk(x.right, ctx)
+	case *negExpr:
+		c.walk(x.operand, ctx)
+	case *ifExpr:
+		c.walk(x.cond, ctx)
+		c.walk(x.then, ctx)
+		c.walk(x.els, ctx)
+	case *seqExpr:
+		for _, p := range x.parts {
+			c.walk(p, ctx)
+		}
+	case *funcCall:
+		c.chainOf(x)
+	case *elemConstructor:
+		for _, part := range x.content {
+			if part.expr != nil {
+				c.walk(part.expr, ctx)
+			}
+		}
+	case *varRef, *literal:
+		// Leaves without path structure (variable chains are consumed by
+		// chainOf at their use sites).
+	}
+}
+
+func (c *pathCollector) snapshot() map[string][]string {
+	s := make(map[string][]string, len(c.env))
+	for k, v := range c.env {
+		s[k] = v
+	}
+	return s
+}
+
+func (c *pathCollector) restore(s map[string][]string) { c.env = s }

@@ -1,0 +1,91 @@
+package xq
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractPathsBasics(t *testing.T) {
+	chains, err := ExtractPaths(`for $b in doc("d")/lib/book return $b/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"lib"}, {"lib", "book"}, {"lib", "book", "title"}}
+	if !reflect.DeepEqual(chains, want) {
+		t.Errorf("chains = %v, want %v", chains, want)
+	}
+}
+
+func TestExtractPathsPredicatesAndAttrs(t *testing.T) {
+	chains, err := ExtractPaths(`doc("d")/book[@year > 2000][author = "X"]/title`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(want ...string) bool {
+		for _, c := range chains {
+			if reflect.DeepEqual(c, want) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("book", "@year") || !has("book", "author") || !has("book", "title") {
+		t.Errorf("chains = %v", chains)
+	}
+}
+
+func TestExtractPathsWildcardStopsChain(t *testing.T) {
+	chains, err := ExtractPaths(`doc("d")/a/*/b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The wildcard ends the chain: only "a" is traversed with certainty.
+	if len(chains) != 1 || chains[0][0] != "a" {
+		t.Errorf("chains = %v", chains)
+	}
+}
+
+func TestExtractPathsLetChains(t *testing.T) {
+	chains, err := ExtractPaths(`let $x := doc("d")/a/b return $x/c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range chains {
+		if reflect.DeepEqual(c, []string{"a", "b", "c"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("let chain lost: %v", chains)
+	}
+}
+
+func TestExtractPathsConstructorContent(t *testing.T) {
+	chains, err := ExtractPaths(`for $a in doc("d")/x return <o>{$a/y}</o>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range chains {
+		if reflect.DeepEqual(c, []string{"x", "y"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("constructor chain lost: %v", chains)
+	}
+}
+
+func TestExtractPathsBadQuery(t *testing.T) {
+	if _, err := ExtractPaths("%%%"); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestErrorTypes(t *testing.T) {
+	_, err := New().Query(`$nope`)
+	if e, ok := err.(*Error); !ok || e.Error() == "" {
+		t.Errorf("error = %T %v", err, err)
+	}
+}
