@@ -12,12 +12,16 @@
 //	xmorph -store data.db shape name
 //	xmorph run-file doc.xml 'MORPH author [ name ]'
 //	xmorph explain 'MORPH author [ name publisher [ name ] ]'
+//	xmorph -store data.db run name 'MORPH title' --trace
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"xmorph/internal/algebra"
 	"xmorph/internal/core"
@@ -25,6 +29,7 @@ import (
 	"xmorph/internal/infer"
 	"xmorph/internal/kvstore"
 	"xmorph/internal/logical"
+	"xmorph/internal/obs"
 	"xmorph/internal/store"
 	"xmorph/internal/xmltree"
 )
@@ -36,16 +41,30 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress the reports, print only XML")
 	verify := flag.Bool("verify", false, "run-file: empirically compare closest graphs and quantify loss")
 	stream := flag.Bool("stream", false, "run: stream output without materializing the result tree")
+	trace := flag.Bool("trace", false, "print the pipeline span tree to stderr")
+	metrics := flag.Bool("metrics", false, "dump the metrics registry snapshot to stderr")
+	metricsFormat := flag.String("metrics-format", "text", "metrics dump format: text or json")
 	flag.Usage = usage
 	flag.Parse()
 
-	args := flag.Args()
+	o := options{store: *storePath, cache: *cache, indent: *indent, quiet: *quiet,
+		verify: *verify, stream: *stream,
+		trace: *trace, metrics: *metrics, metricsFormat: *metricsFormat}
+	args, err := extractTrailingFlags(flag.Args(), &o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmorph:", err)
+		os.Exit(2)
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-	if err := dispatch(options{store: *storePath, cache: *cache, indent: *indent, quiet: *quiet, verify: *verify, stream: *stream}, args); err != nil {
+	if err := dispatch(o, args); err != nil {
 		fmt.Fprintln(os.Stderr, "xmorph:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -70,6 +89,42 @@ flags:
 	flag.PrintDefaults()
 }
 
+// usageError marks bad invocations (wrong arity, unknown command); main
+// exits 2 for these, matching the no-arguments usage path, and 1 for
+// runtime failures.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// extractTrailingFlags lets the observability flags appear after the
+// positional arguments (`xmorph run doc guard --trace`), where the flag
+// package stops parsing. Only flags that change no command semantics are
+// accepted there; anything else must precede the command.
+func extractTrailingFlags(args []string, o *options) ([]string, error) {
+	out := args[:0:0]
+	for _, a := range args {
+		if len(out) > 0 && strings.HasPrefix(a, "-") {
+			switch name := strings.TrimLeft(a, "-"); {
+			case name == "trace":
+				o.trace = true
+			case name == "metrics":
+				o.metrics = true
+			case strings.HasPrefix(name, "metrics-format="):
+				o.metricsFormat = strings.TrimPrefix(name, "metrics-format=")
+			default:
+				return nil, usagef("flag %s must precede the command (only --trace, --metrics, --metrics-format may trail)", a)
+			}
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
 // options carries the CLI flags into dispatch (kept testable).
 type options struct {
 	store  string
@@ -78,17 +133,55 @@ type options struct {
 	quiet  bool
 	verify bool
 	stream bool
+
+	trace         bool
+	metrics       bool
+	metricsFormat string
+	// traceW/metricsW override the stderr sinks in tests; zeroDur
+	// redacts span durations for golden comparisons.
+	traceW   io.Writer
+	metricsW io.Writer
+	zeroDur  bool
 }
 
 func dispatch(o options, args []string) error {
 	storePath, cache, indent, quiet := o.store, o.cache, o.indent, o.quiet
+	var opened *store.Store
 	open := func() (*store.Store, error) {
-		return store.Open(storePath, &kvstore.Options{CachePages: cache})
+		st, err := store.Open(storePath, &kvstore.Options{CachePages: cache})
+		if err == nil {
+			opened = st
+		}
+		return st, err
 	}
+
+	var tr *obs.Trace
+	if o.trace {
+		tr = obs.New(args[0])
+	}
+	root := tr.Root()
+	defer func() {
+		if tr != nil {
+			tr.Finish()
+			w := o.traceW
+			if w == nil {
+				w = os.Stderr
+			}
+			if o.zeroDur {
+				io.WriteString(w, tr.TextZeroDurations())
+			} else {
+				io.WriteString(w, tr.Text())
+			}
+		}
+		if o.metrics {
+			dumpMetrics(o, opened)
+		}
+	}()
+
 	switch args[0] {
 	case "shred":
 		if len(args) != 3 {
-			return fmt.Errorf("usage: shred <name> <file.xml>")
+			return usagef("usage: shred <name> <file.xml>")
 		}
 		f, err := os.Open(args[2])
 		if err != nil {
@@ -100,7 +193,7 @@ func dispatch(o options, args []string) error {
 			return err
 		}
 		defer st.Close()
-		info, err := st.Shred(args[1], f)
+		info, err := st.ShredTraced(args[1], f, root)
 		if err != nil {
 			return err
 		}
@@ -124,7 +217,7 @@ func dispatch(o options, args []string) error {
 
 	case "shape":
 		if len(args) != 2 {
-			return fmt.Errorf("usage: shape <name>")
+			return usagef("usage: shape <name>")
 		}
 		st, err := open()
 		if err != nil {
@@ -140,7 +233,7 @@ func dispatch(o options, args []string) error {
 
 	case "run":
 		if len(args) != 3 {
-			return fmt.Errorf("usage: run <name> <guard>")
+			return usagef("usage: run <name> <guard>")
 		}
 		st, err := open()
 		if err != nil {
@@ -148,31 +241,37 @@ func dispatch(o options, args []string) error {
 		}
 		defer st.Close()
 		if o.stream {
+			ssp := root.Child("load-shape")
 			sh, err := st.Shape(args[1])
+			ssp.End()
 			if err != nil {
 				return err
 			}
-			checked, err := core.Check(args[2], sh)
+			checked, err := core.CheckTraced(args[2], sh, root)
 			if err != nil {
 				return err
 			}
+			dsp := root.Child("load-doc")
 			doc, err := st.Doc(args[1])
+			dsp.End()
 			if err != nil {
 				return err
 			}
 			if !quiet {
 				fmt.Fprintf(os.Stderr, "-- information-loss report --\n%s\n", checked.Loss)
 			}
-			n, err := checked.Stream(doc, os.Stdout)
+			before := st.Stats()
+			n, err := checked.StreamTraced(doc, os.Stdout, root)
 			if err != nil {
 				return err
 			}
+			root.Set("pages-read", st.Stats().BlocksRead-before.BlocksRead)
 			if !quiet {
 				fmt.Fprintf(os.Stderr, "\n-- streamed %d nodes --\n", n)
 			}
 			return nil
 		}
-		res, err := core.TransformStored(args[2], st, args[1])
+		res, err := core.TransformStoredTraced(args[2], st, args[1], root)
 		if err != nil {
 			return err
 		}
@@ -185,7 +284,7 @@ func dispatch(o options, args []string) error {
 
 	case "drop":
 		if len(args) != 2 {
-			return fmt.Errorf("usage: drop <name>")
+			return usagef("usage: drop <name>")
 		}
 		st, err := open()
 		if err != nil {
@@ -200,7 +299,7 @@ func dispatch(o options, args []string) error {
 
 	case "check":
 		if len(args) != 3 {
-			return fmt.Errorf("usage: check <name> <guard>")
+			return usagef("usage: check <name> <guard>")
 		}
 		st, err := open()
 		if err != nil {
@@ -211,7 +310,7 @@ func dispatch(o options, args []string) error {
 		if err != nil {
 			return err
 		}
-		checked, err := core.Check(args[2], sh)
+		checked, err := core.CheckTraced(args[2], sh, root)
 		if err != nil {
 			return err
 		}
@@ -222,18 +321,22 @@ func dispatch(o options, args []string) error {
 
 	case "run-file":
 		if len(args) != 3 {
-			return fmt.Errorf("usage: run-file <file.xml> <guard>")
+			return usagef("usage: run-file <file.xml> <guard>")
 		}
 		f, err := os.Open(args[1])
 		if err != nil {
 			return err
 		}
+		psp := root.Child("parse-xml")
 		doc, err := xmltree.Parse(f)
 		f.Close()
 		if err != nil {
+			psp.End()
 			return err
 		}
-		res, err := core.Transform(args[2], doc)
+		psp.Set("nodes", int64(doc.Size()))
+		psp.End()
+		res, err := core.TransformTraced(args[2], doc, root)
 		if err != nil {
 			return err
 		}
@@ -251,22 +354,26 @@ func dispatch(o options, args []string) error {
 
 	case "query":
 		if len(args) != 4 {
-			return fmt.Errorf("usage: query <name> <guard> <xquery>")
+			return usagef("usage: query <name> <guard> <xquery>")
 		}
 		st, err := open()
 		if err != nil {
 			return err
 		}
 		defer st.Close()
+		ssp := root.Child("load-shape")
 		sh, err := st.Shape(args[1])
+		ssp.End()
 		if err != nil {
 			return err
 		}
+		dsp := root.Child("load-doc")
 		doc, err := st.Doc(args[1])
+		dsp.End()
 		if err != nil {
 			return err
 		}
-		res, err := logical.EvaluateSource(args[3], args[2], args[1], sh, doc)
+		res, err := logical.EvaluateSourceTraced(args[3], args[2], args[1], sh, doc, root)
 		if err != nil {
 			return err
 		}
@@ -279,7 +386,7 @@ func dispatch(o options, args []string) error {
 
 	case "infer":
 		if len(args) != 2 {
-			return fmt.Errorf("usage: infer <query>")
+			return usagef("usage: infer <query>")
 		}
 		g, err := infer.FromQuery(args[1])
 		if err != nil {
@@ -290,7 +397,7 @@ func dispatch(o options, args []string) error {
 
 	case "explain":
 		if len(args) != 2 {
-			return fmt.Errorf("usage: explain <guard>")
+			return usagef("usage: explain <guard>")
 		}
 		prog, err := guard.Parse(args[1])
 		if err != nil {
@@ -299,5 +406,41 @@ func dispatch(o options, args []string) error {
 		fmt.Print(algebra.FromProgram(prog).String())
 		return nil
 	}
-	return fmt.Errorf("unknown command %q (run with no arguments for usage)", args[0])
+	return usagef("unknown command %q (run with no arguments for usage)", args[0])
+}
+
+// dumpMetrics mirrors the store's block-I/O, buffer-pool, and operation
+// counters into the default registry as gauges, then writes the full
+// snapshot (pipeline histograms included) to stderr.
+func dumpMetrics(o options, st *store.Store) {
+	w := o.metricsW
+	if w == nil {
+		w = os.Stderr
+	}
+	if st != nil {
+		s := st.Stats()
+		reg := obs.Default
+		reg.Gauge("kvstore_blocks_read").Set(float64(s.BlocksRead))
+		reg.Gauge("kvstore_blocks_written").Set(float64(s.BlocksWritten))
+		reg.Gauge("kvstore_cache_hits").Set(float64(s.CacheHits))
+		reg.Gauge("kvstore_cache_misses").Set(float64(s.CacheMisses))
+		reg.Gauge("kvstore_cache_evictions").Set(float64(s.Evictions))
+		reg.Gauge("kvstore_cache_hit_ratio").Set(s.HitRatio())
+		reg.Gauge("kvstore_gets").Set(float64(s.Gets))
+		reg.Gauge("kvstore_puts").Set(float64(s.Puts))
+		reg.Gauge("kvstore_deletes").Set(float64(s.Deletes))
+		reg.Gauge("kvstore_seeks").Set(float64(s.Seeks))
+	}
+	snap := obs.Default.Snapshot()
+	if o.metricsFormat == "json" {
+		raw, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintln(w, "xmorph: metrics:", err)
+			return
+		}
+		w.Write(raw)
+		io.WriteString(w, "\n")
+		return
+	}
+	io.WriteString(w, snap.Text())
 }

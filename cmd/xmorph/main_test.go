@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -196,5 +198,134 @@ func TestDispatchQuery(t *testing.T) {
 		return dispatch(o, []string{"query", "books", "MORPH ["})
 	}); err == nil {
 		t.Error("bad query usage accepted")
+	}
+}
+
+func TestUsageErrorsAreTyped(t *testing.T) {
+	o := opts(t)
+	usageCases := [][]string{
+		{"bogus"},
+		{"shred", "onlyname"},
+		{"check", "x"},
+		{"query", "books", "MORPH a"},
+		{"infer"},
+		{"explain"},
+	}
+	for _, args := range usageCases {
+		_, err := capture(t, func() error { return dispatch(o, args) })
+		var ue usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("dispatch(%v) = %v, want usageError", args, err)
+		}
+	}
+	// Runtime failures must NOT be usage errors (they exit 1, not 2).
+	_, err := capture(t, func() error { return dispatch(o, []string{"shape", "missing"}) })
+	if err == nil {
+		t.Fatal("shape missing succeeded")
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		t.Errorf("runtime failure classified as usage error: %v", err)
+	}
+}
+
+func TestExtractTrailingFlags(t *testing.T) {
+	var o options
+	args, err := extractTrailingFlags([]string{"run", "books", "MORPH a", "--trace", "-metrics", "--metrics-format=json"}, &o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || args[0] != "run" || args[2] != "MORPH a" {
+		t.Errorf("positionals = %v", args)
+	}
+	if !o.trace || !o.metrics || o.metricsFormat != "json" {
+		t.Errorf("flags not extracted: %+v", o)
+	}
+	if _, err := extractTrailingFlags([]string{"run", "books", "--quiet"}, &o); err == nil {
+		t.Error("unknown trailing flag accepted")
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	o := opts(t)
+	o.trace = true
+	o.zeroDur = true
+	var trace strings.Builder
+	o.traceW = &trace
+	xml := tempXML(t)
+	if _, err := capture(t, func() error {
+		return dispatch(o, []string{"run-file", xml, "MORPH author [ name title ]"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := trace.String()
+	golden := filepath.Join("testdata", "trace.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestMetricsDump(t *testing.T) {
+	o := opts(t)
+	o.metrics = true
+	var metrics strings.Builder
+	o.metricsW = &metrics
+	xml := tempXML(t)
+	if _, err := capture(t, func() error { return dispatch(o, []string{"shred", "books", xml}) }); err != nil {
+		t.Fatal(err)
+	}
+	out := metrics.String()
+	for _, want := range []string{"kvstore_blocks_written", "kvstore_cache_hit_ratio", "xmorph_transforms_total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics dump missing %q:\n%s", want, out)
+		}
+	}
+
+	o.metricsFormat = "json"
+	metrics.Reset()
+	if _, err := capture(t, func() error { return dispatch(o, []string{"docs"}) }); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(metrics.String()), &parsed); err != nil {
+		t.Errorf("metrics json does not parse: %v", err)
+	}
+}
+
+func TestTracedStoredRun(t *testing.T) {
+	o := opts(t)
+	o.trace = true
+	var trace strings.Builder
+	o.traceW = &trace
+	xml := tempXML(t)
+	if _, err := capture(t, func() error { return dispatch(o, []string{"shred", "books", xml}) }); err != nil {
+		t.Fatal(err)
+	}
+	trace.Reset()
+	if _, err := capture(t, func() error {
+		return dispatch(o, []string{"run", "books", "MORPH author [ name title ]"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := trace.String()
+	if !strings.HasPrefix(got, "run ") {
+		t.Errorf("trace root is not the run command:\n%s", got)
+	}
+	for _, want := range []string{"load-shape", "pages-read=", "compile", "typecheck", "loss-check", "render", "joins=", "nodes-out="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stored-run trace missing %q:\n%s", want, got)
+		}
 	}
 }

@@ -13,12 +13,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"xmorph/internal/bench"
+	"xmorph/internal/obs"
 )
 
 func main() {
@@ -28,7 +31,18 @@ func main() {
 	seed := flag.Int64("seed", 42, "generator seed")
 	cache := flag.Int("cache", 128, "store buffer pool pages")
 	workdir := flag.String("workdir", "", "directory for store files (default: temp)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// pprof registers itself on DefaultServeMux via the blank import.
+		http.HandleFunc("/metrics", metricsHandler)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "xmorphbench: debug server:", err)
+			}
+		}()
+	}
 
 	cfg := bench.DefaultConfig()
 	cfg.Seed = *seed
@@ -108,6 +122,24 @@ func main() {
 		}
 		fmt.Println(bench.AblationTable(rows))
 	}
+}
+
+// metricsHandler serves the default registry snapshot: text by default,
+// JSON with ?format=json.
+func metricsHandler(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Default.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		raw, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, snap.Text())
 }
 
 func fatal(err error) {

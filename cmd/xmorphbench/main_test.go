@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xmorph/internal/obs"
+)
 
 func TestParseFloats(t *testing.T) {
 	fs, err := parseFloats("0.1, 0.2,0.5")
@@ -19,5 +26,25 @@ func TestParseInts(t *testing.T) {
 	}
 	if _, err := parseInts("1,x"); err == nil {
 		t.Error("bad ints accepted")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	obs.Default.Counter("bench_test_hits").Add(7)
+
+	rec := httptest.NewRecorder()
+	metricsHandler(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "bench_test_hits 7") {
+		t.Errorf("text metrics missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	metricsHandler(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type = %q", ct)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &parsed); err != nil {
+		t.Errorf("metrics json does not parse: %v", err)
 	}
 }

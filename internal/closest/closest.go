@@ -13,25 +13,68 @@ package closest
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"xmorph/internal/xmltree"
 )
 
+// Recorder accumulates closest-join statistics: joins performed,
+// candidate nodes scanned on both inputs, and closest pairs kept. A nil
+// Recorder is a no-op that adds no allocations on the join hot path (a
+// benchmark guards this), so the recording variants stay compiled into
+// the renderer. Fields are updated atomically; the parallel renderer
+// shares one recorder across its join workers.
+type Recorder struct {
+	Joins      int64
+	Candidates int64
+	Pairs      int64
+}
+
+// record folds one join's inputs and output into the totals.
+func (r *Recorder) record(vs, ws, pairs int) {
+	if r == nil {
+		return
+	}
+	atomic.AddInt64(&r.Joins, 1)
+	atomic.AddInt64(&r.Candidates, int64(vs+ws))
+	atomic.AddInt64(&r.Pairs, int64(pairs))
+}
+
+// Snapshot returns a consistent-enough copy of the totals.
+func (r *Recorder) Snapshot() (joins, candidates, pairs int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	return atomic.LoadInt64(&r.Joins), atomic.LoadInt64(&r.Candidates), atomic.LoadInt64(&r.Pairs)
+}
+
 // TypeLCP returns the number of leading path components shared by the two
 // rooted type paths. The least common ancestor of a closest pair sits at
-// exactly this Dewey depth.
+// exactly this Dewey depth. It walks both strings component-wise without
+// allocating — it runs once per closest join, on the render hot path.
 func TypeLCP(t1, t2 string) int {
-	p1 := strings.Split(t1, xmltree.TypeSep)
-	p2 := strings.Split(t2, xmltree.TypeSep)
-	n := len(p1)
-	if len(p2) < n {
-		n = len(p2)
-	}
 	l := 0
-	for l < n && p1[l] == p2[l] {
+	for {
+		s1, r1, more1 := cutComponent(t1)
+		s2, r2, more2 := cutComponent(t2)
+		if s1 != s2 {
+			return l
+		}
 		l++
+		if !more1 || !more2 {
+			return l
+		}
+		t1, t2 = r1, r2
 	}
-	return l
+}
+
+// cutComponent splits off the leading type-path component; more reports
+// whether a separator (and hence a rest) followed it.
+func cutComponent(s string) (head, rest string, more bool) {
+	if i := strings.Index(s, xmltree.TypeSep); i >= 0 {
+		return s[:i], s[i+len(xmltree.TypeSep):], true
+	}
+	return s, "", false
 }
 
 // IsClosest reports whether v and w are closest (Definition 2): their tree
@@ -56,7 +99,16 @@ type Pair struct {
 // numbers share a prefix of exactly TypeLCP(typeof vs, typeof ws)
 // components, so the join is a single merge over the two sorted sequences
 // with a cross product inside each shared-prefix group — O(input + output).
-func Join(vs, ws []*xmltree.Node) []Pair {
+func Join(vs, ws []*xmltree.Node) []Pair { return JoinRec(vs, ws, nil) }
+
+// JoinRec is Join with optional statistics recording; rec may be nil.
+func JoinRec(vs, ws []*xmltree.Node, rec *Recorder) []Pair {
+	out := join(vs, ws)
+	rec.record(len(vs), len(ws), len(out))
+	return out
+}
+
+func join(vs, ws []*xmltree.Node) []Pair {
 	if len(vs) == 0 || len(ws) == 0 {
 		return nil
 	}
@@ -107,6 +159,25 @@ func Join(vs, ws []*xmltree.Node) []Pair {
 // V in document order. It allocates no pair slice; the renderer uses it to
 // pipeline joins (Section VII's streaming evaluation).
 func JoinWith(vs, ws []*xmltree.Node, fn func(v, w *xmltree.Node)) {
+	joinWith(vs, ws, fn)
+}
+
+// JoinWithRec is JoinWith with optional statistics recording; rec may be
+// nil, in which case this is exactly JoinWith (no extra allocations).
+func JoinWithRec(vs, ws []*xmltree.Node, rec *Recorder, fn func(v, w *xmltree.Node)) {
+	if rec == nil {
+		joinWith(vs, ws, fn)
+		return
+	}
+	pairs := 0
+	joinWith(vs, ws, func(v, w *xmltree.Node) {
+		pairs++
+		fn(v, w)
+	})
+	rec.record(len(vs), len(ws), pairs)
+}
+
+func joinWith(vs, ws []*xmltree.Node, fn func(v, w *xmltree.Node)) {
 	if len(vs) == 0 || len(ws) == 0 {
 		return
 	}

@@ -327,3 +327,92 @@ func TestCompareManufactured(t *testing.T) {
 		t.Error("manufactured vertex should make the transform additive")
 	}
 }
+
+func TestRecorderCountsJoins(t *testing.T) {
+	d := xmltree.MustParse(fig1a)
+	authors := d.NodesOfType("data.book.author")
+	names := d.NodesOfType("data.book.author.name")
+
+	rec := &Recorder{}
+	pairs := JoinRec(authors, names, rec)
+	JoinWithRec(authors, names, rec, func(v, w *xmltree.Node) {})
+
+	joins, cands, kept := rec.Snapshot()
+	if joins != 2 {
+		t.Errorf("joins = %d, want 2", joins)
+	}
+	wantCands := int64(2 * (len(authors) + len(names)))
+	if cands != wantCands {
+		t.Errorf("candidates = %d, want %d", cands, wantCands)
+	}
+	if kept != int64(2*len(pairs)) {
+		t.Errorf("pairs = %d, want %d", kept, 2*len(pairs))
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var rec *Recorder
+	rec.record(1, 2, 3)
+	if j, c, p := rec.Snapshot(); j != 0 || c != 0 || p != 0 {
+		t.Errorf("nil recorder snapshot = %d %d %d", j, c, p)
+	}
+}
+
+// TestJoinWithNilRecorderZeroAllocs guards the acceptance criterion that
+// instrumentation adds no allocations to the closest-join hot path when
+// tracing is off.
+func TestJoinWithNilRecorderZeroAllocs(t *testing.T) {
+	d := xmltree.MustParse(fig1a)
+	books := d.NodesOfType("data.book")
+	titles := d.NodesOfType("data.book.title")
+	sink := 0
+	fn := func(v, w *xmltree.Node) { sink++ }
+	allocs := testing.AllocsPerRun(200, func() {
+		JoinWithRec(books, titles, nil, fn)
+	})
+	if allocs != 0 {
+		t.Errorf("JoinWithRec with nil recorder allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkJoinWithNilRecorder(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	d := randomDoc(r)
+	var vs, ws []*xmltree.Node
+	// Pick the two largest type sequences for a meaningful merge.
+	for _, typ := range d.Types() {
+		ns := d.NodesOfType(typ)
+		if len(ns) > len(vs) {
+			vs, ws = ns, vs
+		} else if len(ns) > len(ws) {
+			ws = ns
+		}
+	}
+	fn := func(v, w *xmltree.Node) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinWithRec(vs, ws, nil, fn)
+	}
+}
+
+func BenchmarkJoinWithRecorder(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	d := randomDoc(r)
+	var vs, ws []*xmltree.Node
+	for _, typ := range d.Types() {
+		ns := d.NodesOfType(typ)
+		if len(ns) > len(vs) {
+			vs, ws = ns, vs
+		} else if len(ns) > len(ws) {
+			ws = ns
+		}
+	}
+	fn := func(v, w *xmltree.Node) {}
+	rec := &Recorder{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinWithRec(vs, ws, rec, fn)
+	}
+}

@@ -17,12 +17,24 @@ import (
 
 	"xmorph/internal/closest"
 	"xmorph/internal/guard"
+	"xmorph/internal/kvstore"
 	"xmorph/internal/loss"
+	"xmorph/internal/obs"
 	"xmorph/internal/render"
 	"xmorph/internal/semantics"
 	"xmorph/internal/shape"
 	"xmorph/internal/store"
 	"xmorph/internal/xmltree"
+)
+
+// Pipeline metrics, reported into the default registry on every compile
+// and render (a handful of atomic adds per query; always on). The CLI's
+// --metrics flag and xmorphbench's /metrics endpoint expose them.
+var (
+	metricTransforms     = obs.Default.Counter("xmorph_transforms_total")
+	metricCompileErrors  = obs.Default.Counter("xmorph_compile_errors_total")
+	metricCompileSeconds = obs.Default.Histogram("xmorph_compile_seconds", obs.DurationBuckets)
+	metricRenderSeconds  = obs.Default.Histogram("xmorph_render_seconds", obs.DurationBuckets)
 )
 
 // Checked is a compiled and loss-checked guard, ready to render.
@@ -38,20 +50,47 @@ type Checked struct {
 // information-loss analysis WITHOUT enforcing the guard's CAST mode — for
 // inspecting why a guard would be rejected. No data is read.
 func Analyze(guardSrc string, sh *shape.Shape) (*Checked, error) {
+	return AnalyzeTraced(guardSrc, sh, nil)
+}
+
+// AnalyzeTraced is Analyze under a parent span: it opens a "compile"
+// child covering the whole compile phase with "parse-guard", "typecheck"
+// (annotated with the resolved label count), and "loss-check" (annotated
+// with the typing verdict) below it. A nil parent is free.
+func AnalyzeTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
 	start := time.Now()
+	csp := parent.Child("compile")
+	defer csp.End()
+
+	psp := csp.Child("parse-guard")
 	prog, err := guard.Parse(guardSrc)
+	psp.End()
 	if err != nil {
+		metricCompileErrors.Inc()
 		return nil, err
 	}
+
+	tsp := csp.Child("typecheck")
 	plan, err := semantics.Compile(prog, sh)
+	tsp.End()
 	if err != nil {
+		metricCompileErrors.Inc()
 		return nil, err
 	}
+	tsp.Set("labels", int64(len(plan.Labels)))
+
+	lsp := csp.Child("loss-check")
+	rep := loss.Analyze(plan)
+	lsp.SetStr("verdict", rep.Verdict.String())
+	lsp.End()
+
+	compileTime := time.Since(start)
+	metricCompileSeconds.Observe(compileTime.Seconds())
 	return &Checked{
 		Program:     prog,
 		Plan:        plan,
-		Loss:        loss.Analyze(plan),
-		CompileTime: time.Since(start),
+		Loss:        rep,
+		CompileTime: compileTime,
 	}, nil
 }
 
@@ -59,11 +98,17 @@ func Analyze(guardSrc string, sh *shape.Shape) (*Checked, error) {
 // guards pass; CAST modifiers widen what is admitted (Section III). This
 // is the whole "compile" cost of Figure 10.
 func Check(guardSrc string, sh *shape.Shape) (*Checked, error) {
-	checked, err := Analyze(guardSrc, sh)
+	return CheckTraced(guardSrc, sh, nil)
+}
+
+// CheckTraced is Check under a parent span (see AnalyzeTraced).
+func CheckTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
+	checked, err := AnalyzeTraced(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
 	if err := loss.Enforce(checked.Program.Cast, checked.Loss); err != nil {
+		metricCompileErrors.Inc()
 		return nil, err
 	}
 	return checked, nil
@@ -102,25 +147,53 @@ func (c *Checked) LabelReport() string {
 // once regardless of how many operations the guard composes — the property
 // Figure 16 measures.
 func (c *Checked) Render(src render.Source) (*Result, error) {
+	return c.RenderTraced(src, nil)
+}
+
+// RenderTraced is Render under a parent span: it opens a "render" child
+// annotated with the closest-join statistics and output node count.
+func (c *Checked) RenderTraced(src render.Source, parent *obs.Span) (*Result, error) {
+	rsp := parent.Child("render")
+	res, err := c.renderOn(src, rsp)
+	rsp.End()
+	return res, err
+}
+
+// renderOn runs the render phase annotating rsp directly — for callers
+// (like the store-aware transform) that own the render span and fold
+// extra measurements (page I/O deltas) into it.
+func (c *Checked) renderOn(src render.Source, rsp *obs.Span) (*Result, error) {
 	start := time.Now()
-	out, err := render.Render(src, c.Plan.ComposedTarget())
+	out, err := render.RenderTraced(src, c.Plan.ComposedTarget(), rsp)
 	if err != nil {
 		return nil, err
 	}
+	renderTime := time.Since(start)
+	metricTransforms.Inc()
+	metricRenderSeconds.Observe(renderTime.Seconds())
 	return &Result{
 		Checked:    c,
 		Output:     out,
-		RenderTime: time.Since(start),
+		RenderTime: renderTime,
 	}, nil
 }
 
 // Transform compiles and runs a guard over an in-memory document.
 func Transform(guardSrc string, doc *xmltree.Document) (*Result, error) {
-	checked, err := Check(guardSrc, shape.FromDocument(doc))
+	return TransformTraced(guardSrc, doc, nil)
+}
+
+// TransformTraced is Transform under a parent span, covering shape
+// extraction, compile, and render.
+func TransformTraced(guardSrc string, doc *xmltree.Document, parent *obs.Span) (*Result, error) {
+	ssp := parent.Child("shape")
+	sh := shape.FromDocument(doc)
+	ssp.End()
+	checked, err := CheckTraced(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
-	return checked.Render(doc)
+	return checked.RenderTraced(doc, parent)
 }
 
 // TransformString parses an XML string and transforms it; convenience for
@@ -137,19 +210,46 @@ func TransformString(guardSrc, xmlSrc string) (*Result, error) {
 // shredded document (the shape record is tiny relative to the data) and
 // renders from the store's lazy type sequences.
 func TransformStored(guardSrc string, st *store.Store, docName string) (*Result, error) {
+	return TransformStoredTraced(guardSrc, st, docName, nil)
+}
+
+// TransformStoredTraced is TransformStored under a parent span. Each
+// phase span additionally carries the pages it read from the store, so a
+// trace shows where the block I/O of Figs. 11-12 actually happens:
+// load-shape touches the tiny AdornedShapes record, render drags in the
+// type sequences.
+func TransformStoredTraced(guardSrc string, st *store.Store, docName string, parent *obs.Span) (*Result, error) {
+	pagesRead := func(before kvstore.Stats) int64 { return st.Stats().BlocksRead - before.BlocksRead }
+
+	ssp := parent.Child("load-shape")
+	before := st.Stats()
 	sh, err := st.Shape(docName)
+	ssp.Set("pages-read", pagesRead(before))
+	ssp.End()
 	if err != nil {
 		return nil, err
 	}
-	checked, err := Check(guardSrc, sh)
+
+	checked, err := CheckTraced(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
+
+	dsp := parent.Child("load-doc")
+	before = st.Stats()
 	doc, err := st.Doc(docName)
+	dsp.Set("pages-read", pagesRead(before))
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
-	return checked.Render(doc)
+
+	rsp := parent.Child("render")
+	before = st.Stats()
+	res, rerr := checked.renderOn(doc, rsp)
+	rsp.Set("pages-read", pagesRead(before))
+	rsp.End()
+	return res, rerr
 }
 
 // Verify empirically compares the closest graphs of a source document and
@@ -166,5 +266,19 @@ func Verify(src, out *xmltree.Document) closest.Result {
 // the output tree (Section VII's streaming evaluation); it returns the
 // number of elements and attributes written.
 func (c *Checked) Stream(src render.Source, w io.Writer) (int, error) {
-	return render.Stream(src, c.Plan.ComposedTarget(), w)
+	return c.StreamTraced(src, w, nil)
+}
+
+// StreamTraced is Stream under a parent span: it opens a "stream" child
+// annotated with join statistics, nodes emitted, and bytes written.
+func (c *Checked) StreamTraced(src render.Source, w io.Writer, parent *obs.Span) (int, error) {
+	ssp := parent.Child("stream")
+	start := time.Now()
+	n, err := render.StreamTraced(src, c.Plan.ComposedTarget(), w, ssp)
+	ssp.End()
+	if err == nil {
+		metricTransforms.Inc()
+		metricRenderSeconds.Observe(time.Since(start).Seconds())
+	}
+	return n, err
 }

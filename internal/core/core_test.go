@@ -9,6 +9,7 @@ import (
 
 	"xmorph/internal/closest"
 	"xmorph/internal/loss"
+	"xmorph/internal/obs"
 	"xmorph/internal/shape"
 	"xmorph/internal/store"
 	"xmorph/internal/xmltree"
@@ -328,5 +329,45 @@ func TestCheckedStreamMatchesOutput(t *testing.T) {
 	}
 	if n != res.Output.Size() {
 		t.Errorf("stream count %d, output size %d", n, res.Output.Size())
+	}
+}
+
+func TestTransformStoredTracedSpans(t *testing.T) {
+	st := store.OpenMemory()
+	_, err := st.Shred("b", strings.NewReader(
+		`<data><book><title>X</title><author><name>V</name></author></book></data>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New("run")
+	res, err := TransformStoredTraced("MORPH author [ name title ]", st, "b", tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Size() == 0 {
+		t.Fatal("empty output")
+	}
+	tr.Finish()
+	text := tr.Text()
+	for _, span := range []string{"load-shape", "compile", "parse-guard", "typecheck", "loss-check", "load-doc", "render"} {
+		if !strings.Contains(text, span) {
+			t.Errorf("trace missing span %q:\n%s", span, text)
+		}
+	}
+	for _, attr := range []string{"pages-read=", "labels=", "verdict=strongly-typed", "joins=", "closest-pairs=", "nodes-out="} {
+		if !strings.Contains(text, attr) {
+			t.Errorf("trace missing annotation %q:\n%s", attr, text)
+		}
+	}
+}
+
+func TestUntracedPathUnchanged(t *testing.T) {
+	// A nil parent span must not panic anywhere in the traced pipeline.
+	st := store.OpenMemory()
+	if _, err := st.ShredTraced("b", strings.NewReader(`<data><t>x</t></data>`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TransformStoredTraced("CAST MUTATE data", st, "b", nil); err != nil {
+		t.Fatal(err)
 	}
 }

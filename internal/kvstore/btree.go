@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"sync/atomic"
 )
 
 // Maximum sizes; a leaf must fit at least two entries per page.
@@ -23,6 +24,12 @@ type DB struct {
 	pager *pager
 	root  uint32
 	path  string
+	// Operation counters, surfaced through Stats for the observability
+	// layer (updated atomically; the CLI may snapshot concurrently).
+	gets    int64
+	puts    int64
+	deletes int64
+	seeks   int64
 }
 
 // Options configure Open.
@@ -225,6 +232,7 @@ func (db *DB) writeNode(id uint32, n *node) error {
 
 // Get returns the value for key, or (nil, false, nil) when absent.
 func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	atomic.AddInt64(&db.gets, 1)
 	id := db.root
 	for {
 		n, err := db.readNode(id)
@@ -244,6 +252,7 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 
 // Put inserts or replaces a key.
 func (db *DB) Put(key, value []byte) error {
+	atomic.AddInt64(&db.puts, 1)
 	if len(key) == 0 || len(key) > MaxKeySize {
 		return fmt.Errorf("kvstore: key size %d out of range [1,%d]", len(key), MaxKeySize)
 	}
@@ -368,6 +377,7 @@ func (n *node) splitPoint() int {
 // rebalanced (space is reclaimed on compaction, which this store does not
 // implement — deletions in the XMorph workload are whole-store drops).
 func (db *DB) Delete(key []byte) error {
+	atomic.AddInt64(&db.deletes, 1)
 	id := db.root
 	for {
 		n, err := db.readNode(id)
@@ -406,8 +416,16 @@ func (db *DB) Close() error {
 	return nil
 }
 
-// Stats returns cumulative block I/O counters.
-func (db *DB) Stats() Stats { return db.pager.stats() }
+// Stats returns cumulative block I/O, buffer-pool, and operation
+// counters.
+func (db *DB) Stats() Stats {
+	s := db.pager.stats()
+	s.Gets = atomic.LoadInt64(&db.gets)
+	s.Puts = atomic.LoadInt64(&db.puts)
+	s.Deletes = atomic.LoadInt64(&db.deletes)
+	s.Seeks = atomic.LoadInt64(&db.seeks)
+	return s
+}
 
 // search finds the smallest index with keys[i] >= key, and whether it is an
 // exact match.

@@ -1,6 +1,9 @@
 package kvstore
 
-import "bytes"
+import (
+	"bytes"
+	"sync/atomic"
+)
 
 // Iterator walks keys in ascending order. It materializes its position as
 // a stack of (page, index) frames; pages are re-read through the buffer
@@ -25,6 +28,7 @@ type frame struct {
 
 // Seek positions the iterator at the smallest key >= target.
 func (db *DB) Seek(target []byte) *Iterator {
+	atomic.AddInt64(&db.seeks, 1)
 	it := &Iterator{db: db}
 	id := db.root
 	for {

@@ -428,3 +428,62 @@ func TestGetOnEmptyStore(t *testing.T) {
 		t.Errorf("empty get = %v %v", ok, err)
 	}
 }
+
+func TestBufferPoolAndOpCounters(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "bp.db"), &Options{CachePages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 3000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, _, err := db.Get([]byte(fmt.Sprintf("k%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Delete([]byte("k000000"))
+	for it := db.First(); it.Valid(); it.Next() {
+	}
+
+	st := db.Stats()
+	if st.Puts != 3000 {
+		t.Errorf("Puts = %d, want 3000", st.Puts)
+	}
+	if st.Gets != 100 {
+		t.Errorf("Gets = %d, want 100", st.Gets)
+	}
+	if st.Deletes != 1 {
+		t.Errorf("Deletes = %d, want 1", st.Deletes)
+	}
+	if st.Seeks != 1 {
+		t.Errorf("Seeks = %d, want 1", st.Seeks)
+	}
+	// 3000 entries across an 8-page pool must both hit and miss, and the
+	// pool must have evicted; misses equal pages read from the backing
+	// store.
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Errorf("hits=%d misses=%d, want both positive", st.CacheHits, st.CacheMisses)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions on an overflowing pool")
+	}
+	if st.CacheMisses != st.BlocksRead {
+		t.Errorf("misses=%d != blocks read=%d", st.CacheMisses, st.BlocksRead)
+	}
+	if r := st.HitRatio(); r <= 0 || r >= 1 {
+		t.Errorf("hit ratio = %f, want in (0,1)", r)
+	}
+}
+
+func TestHitRatioEmptyStats(t *testing.T) {
+	if r := (Stats{}).HitRatio(); r != 0 {
+		t.Errorf("zero stats hit ratio = %f, want 0", r)
+	}
+}

@@ -24,11 +24,35 @@ const magic = "XMKV1\x00\x00\x00"
 // Stats holds cumulative I/O counters. Reads and writes are whole pages
 // ("blocks" in the vmstat sense). IONanos accumulates wall time spent
 // inside file reads and writes; the benchmark harness derives the paper's
-// wait-percentage figure (Fig. 12) from it.
+// wait-percentage figure (Fig. 12) from it. The buffer-pool counters
+// (CacheHits/CacheMisses/Evictions) and the operation counters
+// (Gets/Puts/Deletes/Seeks) feed the observability layer's per-span
+// page-I/O accounting.
 type Stats struct {
 	BlocksRead    int64
 	BlocksWritten int64
 	IONanos       int64
+	// CacheHits/CacheMisses count page lookups served from / missing the
+	// buffer pool; Evictions counts pages pushed out by LRU pressure.
+	CacheHits   int64
+	CacheMisses int64
+	Evictions   int64
+	// Gets/Puts/Deletes/Seeks count B+tree operations (a Seek starts one
+	// ordered scan; each scan re-reads pages through the pool).
+	Gets    int64
+	Puts    int64
+	Deletes int64
+	Seeks   int64
+}
+
+// HitRatio is the buffer-pool hit ratio over page lookups, in [0, 1];
+// zero when no lookups happened yet.
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // pager manages the page file and the buffer pool.
@@ -44,6 +68,9 @@ type pager struct {
 	reads      int64
 	writes     int64
 	ioNanos    int64
+	hits       int64
+	misses     int64
+	evictions  int64
 }
 
 type cached struct {
@@ -92,12 +119,14 @@ func (p *pager) read(id uint32) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if c, ok := p.cache[id]; ok {
+		atomic.AddInt64(&p.hits, 1)
 		p.touch(c)
 		return c.buf, nil
 	}
 	if id >= p.npages {
 		return nil, fmt.Errorf("kvstore: page %d out of range (%d pages)", id, p.npages)
 	}
+	atomic.AddInt64(&p.misses, 1)
 	buf := make([]byte, PageSize)
 	if p.file != nil {
 		start := time.Now()
@@ -152,6 +181,7 @@ func (p *pager) insert(c *cached) {
 		}
 		p.unlink(victim)
 		delete(p.cache, victim.id)
+		atomic.AddInt64(&p.evictions, 1)
 		if victim.dirty {
 			p.flushLocked(victim)
 		}
@@ -239,6 +269,9 @@ func (p *pager) stats() Stats {
 		BlocksRead:    atomic.LoadInt64(&p.reads),
 		BlocksWritten: atomic.LoadInt64(&p.writes),
 		IONanos:       atomic.LoadInt64(&p.ioNanos),
+		CacheHits:     atomic.LoadInt64(&p.hits),
+		CacheMisses:   atomic.LoadInt64(&p.misses),
+		Evictions:     atomic.LoadInt64(&p.evictions),
 	}
 }
 

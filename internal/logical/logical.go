@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"xmorph/internal/core"
+	"xmorph/internal/obs"
 	"xmorph/internal/render"
 	"xmorph/internal/semantics"
 	"xmorph/internal/shape"
@@ -47,24 +48,41 @@ func Evaluate(query, guardSrc, docName string, doc *xmltree.Document) (*Result, 
 // store's lazy type sequences) with its adorned shape supplied separately.
 // Only the type sequences the pruned projection mentions are read.
 func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render.Source) (*Result, error) {
-	checked, err := core.Check(guardSrc, sh)
+	return EvaluateSourceTraced(query, guardSrc, docName, sh, doc, nil)
+}
+
+// EvaluateSourceTraced is EvaluateSource under a parent span: the guard
+// compile, the path-driven pruning (annotated with kept/total types), the
+// projected render, and the query evaluation each get a child span.
+func EvaluateSourceTraced(query, guardSrc, docName string, sh *shape.Shape, doc render.Source, parent *obs.Span) (*Result, error) {
+	checked, err := core.CheckTraced(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
 	tgt := checked.Plan.ComposedTarget()
 	total := countTypes(tgt)
 
+	psp := parent.Child("prune")
 	chains, err := xq.ExtractPaths(query)
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
 	pruned := Prune(tgt, chains)
 	kept := countTypes(pruned)
+	psp.Set("kept-types", int64(kept))
+	psp.Set("total-types", int64(total))
+	psp.End()
 
-	out, err := render.Render(doc, pruned)
+	rsp := parent.Child("render")
+	out, err := render.RenderTraced(doc, pruned, rsp)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
+
+	qsp := parent.Child("query")
+	defer qsp.End()
 	// The query addresses doc(docName); results are forests, so wrap.
 	wrapped, err := xmltree.ParseString("<xmorph-result>" + out.XML(false) + "</xmorph-result>")
 	if err != nil {
@@ -77,6 +95,7 @@ func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render
 	if err != nil {
 		return nil, err
 	}
+	qsp.Set("answer-bytes", int64(len(answer)))
 	return &Result{
 		Answer:        answer,
 		RenderedNodes: out.Size(),

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	cases := []struct {
+		name   string
+		values []float64
+		want   []int64 // len(bounds)+1, last is overflow
+	}{
+		{"empty", nil, []int64{0, 0, 0, 0}},
+		{"on the boundary lands in the lower bucket", []float64{1, 2, 4}, []int64{1, 1, 1, 0}},
+		{"just above a boundary lands in the next bucket", []float64{1.0001, 2.0001}, []int64{0, 1, 1, 0}},
+		{"below the first bound", []float64{0, 0.5}, []int64{2, 0, 0, 0}},
+		{"above the last bound overflows", []float64{4.0001, 100}, []int64{0, 0, 0, 2}},
+		{"mixed", []float64{0.5, 1.5, 3, 9}, []int64{1, 1, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(bounds)
+			for _, v := range tc.values {
+				h.Observe(v)
+			}
+			s := h.Snapshot()
+			if len(s.Counts) != len(tc.want) {
+				t.Fatalf("counts len = %d, want %d", len(s.Counts), len(tc.want))
+			}
+			for i, w := range tc.want {
+				if s.Counts[i] != w {
+					t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+				}
+			}
+			if s.Count != int64(len(tc.values)) {
+				t.Errorf("count = %d, want %d", s.Count, len(tc.values))
+			}
+		})
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	cases := []struct {
+		name   string
+		bounds []float64
+		obs    []float64
+		q      float64
+		want   float64
+		tol    float64
+	}{
+		{"single value p50", []float64{1, 2, 4}, []float64{1.5}, 0.50, 2, 0.5},
+		{"uniform first bucket p50 interpolates", []float64{10}, []float64{1, 2, 3, 4}, 0.50, 5, 0.01},
+		{"p100 of two buckets", []float64{1, 2}, []float64{0.5, 1.5}, 1.0, 2, 0.01},
+		{"overflow clamps to last bound", []float64{1, 2}, []float64{50, 60, 70}, 0.99, 2, 0.01},
+		{"p50 across buckets", []float64{1, 2, 4}, []float64{0.5, 0.6, 1.5, 3}, 0.50, 1, 0.01},
+		{"empty histogram", []float64{1, 2}, nil, 0.95, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.bounds)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			got := h.Snapshot().Quantile(tc.q)
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Errorf("quantile(%g) = %g, want %g +/- %g", tc.q, got, tc.want, tc.tol)
+			}
+		})
+	}
+}
+
+func TestHistogramSnapshotSumAndPercentiles(t *testing.T) {
+	h := NewHistogram(DurationBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002) // all in the (0.001, 0.0025] bucket
+	}
+	s := h.Snapshot()
+	if math.Abs(s.Sum-0.2) > 1e-9 {
+		t.Errorf("sum = %g, want 0.2", s.Sum)
+	}
+	for _, q := range []float64{s.P50, s.P95, s.P99} {
+		if q <= 0.001 || q > 0.0025 {
+			t.Errorf("quantile %g outside the observed bucket (0.001, 0.0025]", q)
+		}
+	}
+}
+
+func TestRegistrySnapshotTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(3)
+	r.Counter("queries_total").Inc()
+	r.Gauge("hit_ratio").Set(0.75)
+	r.GaugeFunc("pages", func() float64 { return 42 })
+	r.Histogram("lat", []float64{1, 10}).Observe(0.5)
+
+	s := r.Snapshot()
+	if s.Counters["queries_total"] != 4 {
+		t.Errorf("counter = %d, want 4", s.Counters["queries_total"])
+	}
+	if s.Gauges["hit_ratio"] != 0.75 || s.Gauges["pages"] != 42 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+
+	text := s.Text()
+	for _, want := range []string{"counter queries_total 4", "gauge hit_ratio 0.75", "gauge pages 42", "hist lat count=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text)
+		}
+	}
+
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["queries_total"] != 4 || back.Histograms["lat"].Count != 1 {
+		t.Errorf("JSON round-trip = %+v", back)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Reset()
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Errorf("counters after reset = %v", got.Counters)
+	}
+	if r.Counter("c").Value() != 0 {
+		t.Error("counter survived reset")
+	}
+}
+
+// TestConcurrentCountersAndSpans exercises the registry and a span tree
+// from many goroutines; run under -race this is the regression test for
+// the lock/atomic discipline.
+func TestConcurrentCountersAndSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := New("root")
+	root := tr.Root()
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("ops").Inc()
+				r.Gauge("last").Set(float64(i))
+				r.Histogram("lat", DurationBuckets).Observe(0.001)
+				sp := root.Child("work")
+				sp.Set("iter", int64(i))
+				sp.End()
+			}
+		}(w)
+	}
+	// Concurrent readers while writers run.
+	for rdr := 0; rdr < 2; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = r.Snapshot()
+				_ = tr.Text()
+				_, _ = tr.JSON()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+
+	if got := r.Counter("ops").Value(); got != workers*iters {
+		t.Errorf("ops = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("lat", DurationBuckets).Snapshot().Count; got != workers*iters {
+		t.Errorf("hist count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestNilTraceAndSpanAreNoOps(t *testing.T) {
+	var tr *Trace
+	sp := tr.Root()
+	if sp != nil {
+		t.Fatal("nil trace produced a span")
+	}
+	// None of these may panic.
+	sp.Set("k", 1)
+	sp.SetStr("k", "v")
+	sp.Child("x").End()
+	sp.End()
+	tr.Finish()
+	if tr.Text() != "" {
+		t.Error("nil trace rendered text")
+	}
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := sp.Child("hot")
+		c.Set("n", 42)
+		c.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil span path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeText(t *testing.T) {
+	tr := New("run")
+	root := tr.Root()
+	c := root.Child("compile")
+	c.Set("labels", 2)
+	c.SetStr("verdict", "strongly-typed")
+	g := c.Child("parse-guard")
+	g.End()
+	c.End()
+	rsp := root.Child("render")
+	rsp.Set("nodes-out", 7)
+	rsp.End()
+	tr.Finish()
+
+	got := tr.TextZeroDurations()
+	want := "run 0s\n" +
+		"  compile 0s labels=2 verdict=strongly-typed\n" +
+		"    parse-guard 0s\n" +
+		"  render 0s nodes-out=7\n"
+	if got != want {
+		t.Errorf("tree text:\n%q\nwant:\n%q", got, want)
+	}
+
+	raw, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"name": "parse-guard"`) {
+		t.Errorf("JSON missing nested span:\n%s", raw)
+	}
+}
+
+func BenchmarkNilSpanChild(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sp.Child("hot")
+		c.Set("n", int64(i))
+		c.End()
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"xmorph/internal/closest"
+	"xmorph/internal/obs"
 	"xmorph/internal/semantics"
 	"xmorph/internal/xmltree"
 )
@@ -15,10 +16,21 @@ import (
 // a worker pool computes them before the (sequential, document-ordered)
 // output pass begins. Output equals Render exactly.
 func RenderParallel(doc Source, tgt *semantics.Target) (*xmltree.Document, error) {
+	return RenderParallelTraced(doc, tgt, nil)
+}
+
+// RenderParallelTraced is RenderParallel with span annotations (see
+// RenderTraced); the recorder is shared across the prefetch workers.
+func RenderParallelTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
+	var rec *closest.Recorder
+	if sp != nil {
+		rec = &closest.Recorder{}
+	}
 	r := &renderer{
 		doc:   doc,
 		b:     xmltree.NewBuilder(),
-		joins: prefetchJoins(doc, tgt, runtime.GOMAXPROCS(0)),
+		joins: prefetchJoins(doc, tgt, runtime.GOMAXPROCS(0), rec),
+		rec:   rec,
 	}
 	emitted := false
 	for _, root := range tgt.Roots {
@@ -37,9 +49,15 @@ func RenderParallel(doc Source, tgt *semantics.Target) (*xmltree.Document, error
 		}
 	}
 	if !emitted {
+		annotateJoins(sp, rec, 0)
 		return &xmltree.Document{}, nil
 	}
-	return r.b.Document()
+	out, err := r.b.Document()
+	if err != nil {
+		return nil, err
+	}
+	annotateJoins(sp, rec, out.Size())
+	return out, nil
 }
 
 // joinEdges collects every (parent source type, child source type) pair
@@ -106,7 +124,7 @@ func joinEdges(tgt *semantics.Target) [][2]string {
 
 // prefetchJoins computes the grouped closest joins for all target edges
 // with a bounded worker pool.
-func prefetchJoins(doc Source, tgt *semantics.Target, workers int) map[joinKey]map[*xmltree.Node][]*xmltree.Node {
+func prefetchJoins(doc Source, tgt *semantics.Target, workers int, rec *closest.Recorder) map[joinKey]map[*xmltree.Node][]*xmltree.Node {
 	edges := joinEdges(tgt)
 	if workers < 1 {
 		workers = 1
@@ -123,7 +141,7 @@ func prefetchJoins(doc Source, tgt *semantics.Target, workers int) map[joinKey]m
 			defer wg.Done()
 			for e := range work {
 				m := map[*xmltree.Node][]*xmltree.Node{}
-				closest.JoinWith(doc.NodesOfType(e[0]), doc.NodesOfType(e[1]),
+				closest.JoinWithRec(doc.NodesOfType(e[0]), doc.NodesOfType(e[1]), rec,
 					func(p, c *xmltree.Node) { m[p] = append(m[p], c) })
 				mu.Lock()
 				results[joinKey{e[0], e[1]}] = m

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"xmorph/internal/closest"
+	"xmorph/internal/obs"
 	"xmorph/internal/semantics"
 	"xmorph/internal/xmltree"
 )
@@ -30,10 +31,24 @@ type Source interface {
 // carries Src provenance to the source vertex it was rendered from;
 // manufactured (NEW / TYPE-FILL) elements have no provenance.
 func Render(doc Source, tgt *semantics.Target) (*xmltree.Document, error) {
+	return RenderTraced(doc, tgt, nil)
+}
+
+// RenderTraced is Render with span annotations: when sp is non-nil it
+// records the closest-join statistics (joins, candidate nodes scanned,
+// closest pairs kept) and the output node count on sp. The span's
+// lifetime belongs to the caller (RenderTraced neither creates children
+// nor ends it); a nil sp adds no allocations.
+func RenderTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
+	var rec *closest.Recorder
+	if sp != nil {
+		rec = &closest.Recorder{}
+	}
 	r := &renderer{
 		doc:   doc,
 		b:     xmltree.NewBuilder(),
 		joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{},
+		rec:   rec,
 	}
 	emitted := false
 	for _, root := range tgt.Roots {
@@ -53,13 +68,27 @@ func Render(doc Source, tgt *semantics.Target) (*xmltree.Document, error) {
 	}
 	if !emitted {
 		// Legal: the target types may simply have no instances.
+		annotateJoins(sp, rec, 0)
 		return &xmltree.Document{}, nil
 	}
 	out, err := r.b.Document()
 	if err != nil {
 		return nil, fmt.Errorf("render: %w", err)
 	}
+	annotateJoins(sp, rec, out.Size())
 	return out, nil
+}
+
+// annotateJoins writes the join statistics and output size onto sp.
+func annotateJoins(sp *obs.Span, rec *closest.Recorder, nodesOut int) {
+	if sp == nil {
+		return
+	}
+	joins, candidates, pairs := rec.Snapshot()
+	sp.Set("joins", joins)
+	sp.Set("candidates", candidates)
+	sp.Set("closest-pairs", pairs)
+	sp.Set("nodes-out", int64(nodesOut))
 }
 
 type joinKey struct{ parent, child string }
@@ -70,6 +99,8 @@ type renderer struct {
 	// joins caches the grouped closest join for each (parent type, child
 	// type) pair: parent node -> closest child nodes in document order.
 	joins map[joinKey]map[*xmltree.Node][]*xmltree.Node
+	// rec accumulates join statistics for tracing; nil when untraced.
+	rec *closest.Recorder
 }
 
 // closestOf returns the child-type nodes closest to v, from the cached
@@ -79,7 +110,7 @@ func (r *renderer) closestOf(v *xmltree.Node, childType string) []*xmltree.Node 
 	m, ok := r.joins[key]
 	if !ok {
 		m = map[*xmltree.Node][]*xmltree.Node{}
-		closest.JoinWith(r.doc.NodesOfType(v.Type), r.doc.NodesOfType(childType),
+		closest.JoinWithRec(r.doc.NodesOfType(v.Type), r.doc.NodesOfType(childType), r.rec,
 			func(p, c *xmltree.Node) { m[p] = append(m[p], c) })
 		r.joins[key] = m
 	}

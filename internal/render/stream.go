@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"io"
 
+	"xmorph/internal/closest"
+	"xmorph/internal/obs"
 	"xmorph/internal/semantics"
 	"xmorph/internal/xmltree"
 )
@@ -18,9 +20,25 @@ import (
 // The byte output equals Render(...).XML(false). Stream returns the number
 // of elements and attributes written.
 func Stream(doc Source, tgt *semantics.Target, w io.Writer) (int, error) {
+	return StreamTraced(doc, tgt, w, nil)
+}
+
+// StreamTraced is Stream with span annotations: when sp is non-nil it
+// records join statistics, nodes emitted, and bytes written on sp. The
+// span's lifetime belongs to the caller; a nil sp changes nothing.
+func StreamTraced(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) (int, error) {
+	var (
+		rec *closest.Recorder
+		cw  *countingWriter
+	)
+	if sp != nil {
+		rec = &closest.Recorder{}
+		cw = &countingWriter{w: w}
+		w = cw
+	}
 	bw := bufio.NewWriter(w)
 	s := &streamer{
-		renderer: renderer{doc: doc, joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{}},
+		renderer: renderer{doc: doc, joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{}, rec: rec},
 		w:        bw,
 	}
 	for _, root := range tgt.Roots {
@@ -42,7 +60,24 @@ func Stream(doc Source, tgt *semantics.Target, w io.Writer) (int, error) {
 	if err := bw.Flush(); err != nil {
 		return s.count, err
 	}
+	if sp != nil {
+		annotateJoins(sp, rec, s.count)
+		sp.Set("bytes-out", cw.n)
+	}
 	return s.count, nil
+}
+
+// countingWriter counts bytes on their way to the sink (placed under the
+// bufio layer, so it sees flushed output only).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 type streamer struct {

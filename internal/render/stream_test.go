@@ -205,7 +205,7 @@ func TestJoinEdgesCoverage(t *testing.T) {
 			t.Fatal(err)
 		}
 		tgt := plan.ComposedTarget()
-		pre := prefetchJoins(doc, tgt, 2)
+		pre := prefetchJoins(doc, tgt, 2, nil)
 		// Run lazily and compare the key sets the renderer actually used.
 		lazy := &renderer{doc: doc, b: xmltree.NewBuilder(), joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{}}
 		for _, root := range tgt.Roots {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 
+	"xmorph/internal/obs"
 	"xmorph/internal/shape"
 	"xmorph/internal/xmltree"
 )
@@ -23,6 +24,17 @@ type ShredInfo struct {
 // aggregates the adorned shape's cardinalities (Section VIII's data
 // shredder). Memory use is bounded by document depth, not size.
 func (s *Store) Shred(name string, r io.Reader) (*ShredInfo, error) {
+	return s.ShredTraced(name, r, nil)
+}
+
+// ShredTraced is Shred under a parent span: it opens a "shred" child
+// annotated with the nodes and text characters shredded, the types
+// discovered, and the pages written to the store. A nil parent is free.
+func (s *Store) ShredTraced(name string, r io.Reader, parent *obs.Span) (*ShredInfo, error) {
+	sp := parent.Child("shred")
+	defer sp.End()
+	before := s.Stats()
+
 	if _, exists, err := s.docID(name); err != nil {
 		return nil, err
 	} else if exists {
@@ -54,6 +66,12 @@ func (s *Store) Shred(name string, r io.Reader) (*ShredInfo, error) {
 	}
 	if err := s.db.Sync(); err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		sp.Set("nodes", int64(sh.nodes))
+		sp.Set("chars", int64(sh.chars))
+		sp.Set("types", int64(len(sh.typeOrder)))
+		sp.Set("pages-written", s.Stats().BlocksWritten-before.BlocksWritten)
 	}
 	return &ShredInfo{Name: name, Types: len(sh.typeOrder), Nodes: sh.nodes}, nil
 }
@@ -99,6 +117,7 @@ type shredder struct {
 	edgeOrder   []edge
 	parentCount map[string]int
 	nodes       int
+	chars       int
 }
 
 // frame is one open element during the streaming parse.
@@ -196,6 +215,7 @@ func (sh *shredder) emit(typ string, dw xmltree.Dewey, value string) error {
 		sh.typeOrder = append(sh.typeOrder, typ)
 	}
 	sh.nodes++
+	sh.chars += len(value)
 	key := nodePrefix(sh.docID, tid)
 	full := make([]byte, len(key)+4*len(dw))
 	copy(full, key)

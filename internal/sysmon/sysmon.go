@@ -28,6 +28,10 @@ type Sample struct {
 	// HeapAlloc is live heap bytes; HeapSys is heap obtained from the OS.
 	HeapAlloc uint64
 	HeapSys   uint64
+	// HitRatio is the cumulative buffer-pool hit ratio (0-1) at sample
+	// time — the link between the vmstat-style series and the obs metrics
+	// layer: low hit ratios explain rising block-in counts.
+	HitRatio float64
 }
 
 // CumulativeBlocks is the Fig. 11 series value: all blocks in and out.
@@ -41,6 +45,7 @@ type Monitor struct {
 	samples  []Sample
 	stop     chan struct{}
 	done     chan struct{}
+	stopOnce sync.Once
 	start    time.Time
 	lastIO   int64
 	lastTime time.Time
@@ -104,12 +109,15 @@ func (m *Monitor) sample() {
 		WaitPct:       waitPct,
 		HeapAlloc:     ms.HeapAlloc,
 		HeapSys:       ms.HeapSys,
+		HitRatio:      st.HitRatio(),
 	})
 }
 
-// Stop takes a final sample and returns the timeline.
+// Stop takes a final sample and returns the timeline. Calling Stop more
+// than once is safe; later calls return the same timeline without
+// sampling again.
 func (m *Monitor) Stop() []Sample {
-	close(m.stop)
+	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -117,14 +125,15 @@ func (m *Monitor) Stop() []Sample {
 }
 
 // Table renders samples as the harness prints them: one row per sample
-// with elapsed ms, cumulative blocks, wait %, and heap MB.
+// with elapsed ms, cumulative blocks, wait %, heap MB, and buffer-pool
+// hit %.
 func Table(samples []Sample) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%10s %12s %12s %8s %10s\n", "elapsed", "blocks-in", "blocks-out", "wait%", "heap-MB")
+	fmt.Fprintf(&b, "%10s %12s %12s %8s %10s %8s\n", "elapsed", "blocks-in", "blocks-out", "wait%", "heap-MB", "hit%")
 	for _, s := range samples {
-		fmt.Fprintf(&b, "%10s %12d %12d %8.1f %10.1f\n",
+		fmt.Fprintf(&b, "%10s %12d %12d %8.1f %10.1f %8.1f\n",
 			s.Elapsed.Round(time.Millisecond), s.BlocksRead, s.BlocksWritten,
-			s.WaitPct, float64(s.HeapAlloc)/(1<<20))
+			s.WaitPct, float64(s.HeapAlloc)/(1<<20), 100*s.HitRatio)
 	}
 	return b.String()
 }

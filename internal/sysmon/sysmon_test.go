@@ -76,3 +76,42 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("heap MB missing:\n%s", out)
 	}
 }
+
+func TestMonitorDoubleStopIsIdempotent(t *testing.T) {
+	db := kvstore.OpenMemory(nil)
+	m := Start(time.Millisecond, db.Stats)
+	time.Sleep(3 * time.Millisecond)
+	first := m.Stop()
+	// A second Stop must not panic (regression: close of closed channel)
+	// and must return the same timeline.
+	second := m.Stop()
+	if len(first) == 0 || len(second) != len(first) {
+		t.Errorf("double stop: first=%d second=%d samples", len(first), len(second))
+	}
+}
+
+func TestSampleCarriesHitRatio(t *testing.T) {
+	db := kvstore.OpenMemory(&kvstore.Options{CachePages: 8})
+	for i := 0; i < 2000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%06d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read everything back so the pool records hits and misses.
+	for i := 0; i < 2000; i++ {
+		db.Get([]byte(fmt.Sprintf("k%06d", i)))
+	}
+	m := Start(time.Millisecond, db.Stats)
+	time.Sleep(2 * time.Millisecond)
+	samples := m.Stop()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	last := samples[len(samples)-1]
+	if last.HitRatio <= 0 || last.HitRatio > 1 {
+		t.Errorf("hit ratio = %f, want in (0,1]", last.HitRatio)
+	}
+	if out := Table(samples); !strings.Contains(out, "hit%") {
+		t.Errorf("table missing hit%% column:\n%s", out)
+	}
+}
