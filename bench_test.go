@@ -243,6 +243,116 @@ func BenchmarkClosestJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkHotpathShred compares the batched shredder (per-type sorted
+// runs flushed through PutBatch, B+tree sorted-insert fast path on)
+// against the per-chunk Put ablation — the before/after pair behind the
+// shred rows of BENCH_hotpath.json. Page writes are the headline metric.
+func BenchmarkHotpathShred(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.02, Seed: 42})
+	xml := doc.XML(false)
+	for _, variant := range []string{"batched", "per-chunk-put"} {
+		b.Run(variant, func(b *testing.B) {
+			dir := b.TempDir()
+			b.SetBytes(int64(len(xml)))
+			var written, fastHits int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				path := filepath.Join(dir, fmt.Sprintf("s%d.db", i))
+				opts := &kvstore.Options{CachePages: 128}
+				if variant == "per-chunk-put" {
+					opts.DisableFastPath = true
+					opts.BalancedSplitOnly = true
+				}
+				st, err := store.Open(path, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if variant == "per-chunk-put" {
+					st.SetUnbatchedShred(true)
+				}
+				if _, err := st.Shred("d", strings.NewReader(xml)); err != nil {
+					b.Fatal(err)
+				}
+				stats := st.Stats()
+				written += stats.BlocksWritten
+				fastHits += stats.FastPathHits
+				st.Close()
+				os.Remove(path)
+			}
+			b.ReportMetric(float64(written)/float64(b.N), "pages-written/op")
+			b.ReportMetric(float64(fastHits)/float64(b.N), "fastpath-hits/op")
+		})
+	}
+}
+
+// BenchmarkHotpathCachedJoin compares the CSR grouped join cache against
+// the map[*Node][]*Node layout it replaced: build the grouping once,
+// then look up every parent's partners. Allocs/op is the headline — the
+// CSR layout allocates a couple of slices where the map allocates one
+// bucket chain plus a slice per parent.
+func BenchmarkHotpathCachedJoin(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Factor: 0.02, Seed: 42})
+	auctions := doc.NodesOfType("site.open_auctions.open_auction")
+	bidders := doc.NodesOfType("site.open_auctions.open_auction.bidder")
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			g := closest.GroupJoin(auctions, bidders, nil)
+			for _, a := range auctions {
+				sink += len(g.Of(a))
+			}
+		}
+		_ = sink
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			m := map[*xmltree.Node][]*xmltree.Node{}
+			closest.JoinWith(auctions, bidders, func(p, c *xmltree.Node) { m[p] = append(m[p], c) })
+			for _, a := range auctions {
+				sink += len(m[a])
+			}
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkHotpathPutBatch compares one sorted PutBatch against the same
+// keys inserted with sequential Puts (fast path on) and with the fast
+// path disabled — isolating the kvstore layer of the hot-path overhaul.
+func BenchmarkHotpathPutBatch(b *testing.B) {
+	const n = 20000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%08d", i))
+		vals[i] = []byte(fmt.Sprintf("val-%d", i))
+	}
+	run := func(b *testing.B, disableFast bool, batch bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := kvstore.OpenMemory(&kvstore.Options{CachePages: 1 << 16, DisableFastPath: disableFast})
+			if batch {
+				if err := db.PutBatch(keys, vals); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				for j := range keys {
+					if err := db.Put(keys[j], vals[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			db.Close()
+		}
+	}
+	b.Run("putbatch", func(b *testing.B) { run(b, false, true) })
+	b.Run("put-fastpath", func(b *testing.B) { run(b, false, false) })
+	b.Run("put-slowpath", func(b *testing.B) { run(b, true, false) })
+}
+
 // BenchmarkShred measures the streaming shredder (the paper reports shred
 // cost separately from transformation cost).
 func BenchmarkShred(b *testing.B) {

@@ -8,6 +8,7 @@
 //	xmorphbench -exp fig10       # one experiment
 //	xmorphbench -exp fig14 -dblp 2000,4000,8000,16000
 //	xmorphbench -factors 0.05,0.1 -exp fig10
+//	xmorphbench -exp hotpath -json BENCH_hotpath.json
 package main
 
 import (
@@ -25,8 +26,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, all")
 	factors := flag.String("factors", "", "comma-separated XMark factors (default 0.01..0.05)")
+	hotFactors := flag.String("hotpath-factors", "", "comma-separated XMark factors for -exp hotpath (default 0.2,1.0)")
+	jsonOut := flag.String("json", "", "with -exp hotpath: also write the report to this file (e.g. BENCH_hotpath.json)")
 	dblpSizes := flag.String("dblp", "", "comma-separated DBLP publication counts")
 	seed := flag.Int64("seed", 42, "generator seed")
 	cache := flag.Int("cache", 128, "store buffer pool pages")
@@ -61,6 +64,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.DBLPSizes = ns
+	}
+	if *hotFactors != "" {
+		fs, err := parseFloats(*hotFactors)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.HotpathFactors = fs
 	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -121,6 +131,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(bench.AblationTable(rows))
+	}
+
+	// hotpath is opt-in (not part of "all"): its default factors shred an
+	// XMark factor-1 document twice and run for a couple of minutes.
+	if *exp == "hotpath" {
+		start := time.Now()
+		rows, err := bench.RunHotpath(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.HotpathTable(rows))
+		if *jsonOut != "" {
+			if err := bench.HotpathReportFor(cfg, rows).WriteJSON(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		fmt.Fprintf(os.Stderr, "hotpath suite took %v\n", time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -31,6 +31,10 @@ type Config struct {
 	// XMarkFactors are the Figure 10 benchmark factors. The paper uses
 	// 0.1-0.5; the default is one tenth of that.
 	XMarkFactors []float64
+	// HotpathFactors are the RunHotpath scales; empty means {0.2, 1.0}
+	// (the committed BENCH_hotpath.json numbers — CI smoke overrides with
+	// smaller factors).
+	HotpathFactors []float64
 	// DBLPSizes are Figure 14 publication counts per slice.
 	DBLPSizes []int
 	// Seed feeds the generators.

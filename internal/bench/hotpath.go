@@ -1,0 +1,277 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"xmorph/internal/closest"
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/store"
+	"xmorph/internal/xmltree"
+)
+
+// HotpathRow is one measurement of the shred → closest-join → render
+// pipeline. Rows come in before/after pairs where a design change has an
+// ablation knob: shred "per-chunk-put" vs "batched", cached-join "map"
+// vs "csr". The BENCH_hotpath.json trajectory accumulates these across
+// PRs.
+type HotpathRow struct {
+	Name         string  `json:"name"`
+	Variant      string  `json:"variant"`
+	Factor       float64 `json:"factor"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	PagesRead    int64   `json:"pages_read,omitempty"`
+	PagesWritten int64   `json:"pages_written,omitempty"`
+	HitRatio     float64 `json:"hit_ratio,omitempty"`
+	FastPathHits int64   `json:"fastpath_hits,omitempty"`
+	Note         string  `json:"note,omitempty"`
+}
+
+// HotpathReport is the BENCH_hotpath.json document.
+type HotpathReport struct {
+	Generated string       `json:"generated"`
+	GoVersion string       `json:"go_version"`
+	Factors   []float64    `json:"factors"`
+	Rows      []HotpathRow `json:"rows"`
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *HotpathReport) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// measure times reps calls of f and reports ns/op and heap allocs/op.
+func measure(reps int, f func() error) (nsPerOp, allocsPerOp float64, err error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return float64(elapsed.Nanoseconds()) / float64(reps),
+		float64(m1.Mallocs-m0.Mallocs) / float64(reps), nil
+}
+
+// RunHotpath measures the hot path at each cfg.HotpathFactors scale:
+//
+//   - shred: one streaming shred into a fresh store file, batched
+//     (per-type sorted runs through PutBatch, sorted-insert fast path on)
+//     vs the per-chunk Put ablation — page writes are the headline.
+//   - join: the raw sort-merge closest join over the two largest XMark
+//     sequences (auctions × bidders).
+//   - cached-join: building the grouped join cache plus one lookup per
+//     parent, CSR layout vs the map[*Node][]*Node layout it replaced —
+//     allocs/op is the headline.
+//   - render: the full stored transformation (compile + render +
+//     serialize) against a cold store, for the end-to-end trajectory.
+func RunHotpath(cfg Config) ([]HotpathRow, error) {
+	dir, cleanup, err := cfg.workdir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	var rows []HotpathRow
+	for _, factor := range cfg.hotpathFactors() {
+		doc := xmark.Generate(xmark.Config{Factor: factor, Seed: cfg.Seed})
+		xml := doc.XML(false)
+
+		// --- shred: batched vs per-chunk puts ---------------------------
+		for _, variant := range []string{"batched", "per-chunk-put"} {
+			path := filepath.Join(dir, fmt.Sprintf("hot-%g-%s.db", factor, variant))
+			os.Remove(path)
+			opts := &kvstore.Options{CachePages: cfg.CachePages}
+			if variant == "per-chunk-put" {
+				// The seed shredder: one Put per chunk, full descents,
+				// byte-balanced splits.
+				opts.DisableFastPath = true
+				opts.BalancedSplitOnly = true
+			}
+			st, err := store.Open(path, opts)
+			if err != nil {
+				return nil, err
+			}
+			if variant == "per-chunk-put" {
+				st.SetUnbatchedShred(true)
+			}
+			before := st.Stats()
+			ns, allocs, err := measure(1, func() error {
+				_, err := st.Shred("d", strings.NewReader(xml))
+				return err
+			})
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			after := st.Stats()
+			rows = append(rows, HotpathRow{
+				Name: "shred", Variant: variant, Factor: factor,
+				NsPerOp: ns, AllocsPerOp: allocs,
+				PagesRead:    after.BlocksRead - before.BlocksRead,
+				PagesWritten: after.BlocksWritten - before.BlocksWritten,
+				HitRatio:     after.HitRatio(),
+				FastPathHits: after.FastPathHits - before.FastPathHits,
+				Note:         fmt.Sprintf("%d nodes, %d bytes xml", doc.Size(), len(xml)),
+			})
+			if err := st.Close(); err != nil {
+				return nil, err
+			}
+			if variant == "per-chunk-put" {
+				os.Remove(path)
+			}
+		}
+
+		// --- join: raw sort-merge over the largest sequences ------------
+		auctions := doc.NodesOfType("site.open_auctions.open_auction")
+		bidders := doc.NodesOfType("site.open_auctions.open_auction.bidder")
+		reps := joinReps(len(auctions) + len(bidders))
+		var pairs int
+		ns, allocs, err := measure(reps, func() error {
+			pairs = len(closest.Join(auctions, bidders))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HotpathRow{
+			Name: "join", Variant: "sort-merge", Factor: factor,
+			NsPerOp: ns, AllocsPerOp: allocs,
+			Note: fmt.Sprintf("%d pairs from %dx%d", pairs, len(auctions), len(bidders)),
+		})
+
+		// --- cached-join: CSR vs map grouped layout ---------------------
+		ns, allocs, err = measure(reps, func() error {
+			g := closest.GroupJoin(auctions, bidders, nil)
+			sink := 0
+			for _, a := range auctions {
+				sink += len(g.Of(a))
+			}
+			_ = sink
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HotpathRow{
+			Name: "cached-join", Variant: "csr", Factor: factor,
+			NsPerOp: ns, AllocsPerOp: allocs,
+			Note: "GroupJoin build + one lookup per parent",
+		})
+		ns, allocs, err = measure(reps, func() error {
+			m := map[*xmltree.Node][]*xmltree.Node{}
+			closest.JoinWith(auctions, bidders, func(p, c *xmltree.Node) { m[p] = append(m[p], c) })
+			sink := 0
+			for _, a := range auctions {
+				sink += len(m[a])
+			}
+			_ = sink
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HotpathRow{
+			Name: "cached-join", Variant: "map", Factor: factor,
+			NsPerOp: ns, AllocsPerOp: allocs,
+			Note: "map[*Node][]*Node build + one lookup per parent (pre-CSR layout)",
+		})
+
+		// --- render: end-to-end stored transformation -------------------
+		path := filepath.Join(dir, fmt.Sprintf("hot-%g-batched.db", factor))
+		st, err := coldOpen(path, cfg.CachePages)
+		if err != nil {
+			return nil, err
+		}
+		before := st.Stats()
+		var outNodes int
+		ns, allocs, err = measure(1, func() error {
+			r, err := transformStoredDiscard(st, "d", Fig10Guard)
+			if err != nil {
+				return err
+			}
+			outNodes = r.nodes
+			return nil
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		after := st.Stats()
+		rows = append(rows, HotpathRow{
+			Name: "render", Variant: "csr-cache", Factor: factor,
+			NsPerOp: ns, AllocsPerOp: allocs,
+			PagesRead: after.BlocksRead - before.BlocksRead,
+			HitRatio:  after.HitRatio(),
+			Note:      fmt.Sprintf("%d output nodes, cold store", outNodes),
+		})
+		if err := st.Close(); err != nil {
+			return nil, err
+		}
+		os.Remove(path)
+	}
+	return rows, nil
+}
+
+// joinReps picks a repetition count that keeps per-factor join
+// measurements under roughly a second.
+func joinReps(inputs int) int {
+	switch {
+	case inputs > 200_000:
+		return 3
+	case inputs > 20_000:
+		return 10
+	default:
+		return 50
+	}
+}
+
+// hotpathFactors returns cfg.HotpathFactors or the default two scales.
+func (c *Config) hotpathFactors() []float64 {
+	if len(c.HotpathFactors) > 0 {
+		return c.HotpathFactors
+	}
+	return []float64{0.2, 1.0}
+}
+
+// HotpathReportFor wraps rows into the JSON report document.
+func HotpathReportFor(cfg Config, rows []HotpathRow) *HotpathReport {
+	return &HotpathReport{
+		Generated: "xmorphbench -exp hotpath -json",
+		GoVersion: runtime.Version(),
+		Factors:   cfg.hotpathFactors(),
+		Rows:      rows,
+	}
+}
+
+// HotpathTable renders the rows for stdout.
+func HotpathTable(rows []HotpathRow) string {
+	t := &Table{
+		Title:   "Hot path (shred / closest join / render)",
+		Columns: []string{"experiment", "variant", "factor", "ms/op", "allocs/op", "pg-read", "pg-write", "hit%", "fast-hits", "note"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name, r.Variant, fmt.Sprintf("%g", r.Factor),
+			f2(r.NsPerOp / 1e6), fmt.Sprintf("%.0f", r.AllocsPerOp),
+			fmt.Sprintf("%d", r.PagesRead), fmt.Sprintf("%d", r.PagesWritten),
+			f1(r.HitRatio * 100), fmt.Sprintf("%d", r.FastPathHits), r.Note,
+		})
+	}
+	return t.String()
+}

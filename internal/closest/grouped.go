@@ -1,0 +1,56 @@
+package closest
+
+import "xmorph/internal/xmltree"
+
+// Grouped is a closest join grouped by its left (parent) input in a
+// CSR-style layout: all closest partners live in one contiguous kids
+// slice, and offsets — indexed by the parent node's Ord — bounds each
+// parent's group. Compared to a map[*Node][]*Node it costs two
+// allocations per join instead of one map plus one slice per parent, a
+// lookup is an array index instead of a hash probe, and iterating a
+// parent's partners walks contiguous memory. The renderer caches one
+// Grouped per (parent type, child type) edge.
+//
+// The layout relies on Ord increasing along a type sequence, which both
+// sources guarantee: xmltree.Document numbers vertices in document
+// order, and store.Doc numbers each type sequence 0..n-1 as it loads.
+type Grouped struct {
+	// offsets has one entry per Ord in [0, maxParentOrd+1]; the partners
+	// of a parent p are kids[offsets[p.Ord]:offsets[p.Ord+1]]. Ords
+	// beyond the slice have no partners.
+	offsets []int32
+	// kids holds every closest partner, grouped by parent, each group in
+	// document order.
+	kids []*xmltree.Node
+}
+
+// GroupJoin runs the closest join of vs and ws (see Join) and groups the
+// pairs by parent into a CSR index. rec may be nil.
+func GroupJoin(vs, ws []*xmltree.Node, rec *Recorder) *Grouped {
+	g := &Grouped{}
+	last := -1
+	JoinWithRec(vs, ws, rec, func(p, c *xmltree.Node) {
+		// Pairs arrive grouped by parent in ascending Ord; open empty
+		// groups for every Ord skipped since the previous parent.
+		for last < p.Ord {
+			g.offsets = append(g.offsets, int32(len(g.kids)))
+			last++
+		}
+		g.kids = append(g.kids, c)
+	})
+	g.offsets = append(g.offsets, int32(len(g.kids)))
+	return g
+}
+
+// Of returns v's closest partners in document order. The slice aliases
+// the shared kids array; callers must not modify it. Lookup is O(1) and
+// allocation-free.
+func (g *Grouped) Of(v *xmltree.Node) []*xmltree.Node {
+	if g == nil || v.Ord < 0 || v.Ord+1 >= len(g.offsets) {
+		return nil
+	}
+	return g.kids[g.offsets[v.Ord]:g.offsets[v.Ord+1]]
+}
+
+// Pairs returns the total number of closest pairs in the join.
+func (g *Grouped) Pairs() int { return len(g.kids) }

@@ -1,0 +1,126 @@
+package closest
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmorph/internal/xmltree"
+)
+
+// groupedEqualsMap checks Grouped against the reference grouping built
+// from the pair-list join.
+func groupedEqualsMap(t *testing.T, vs, ws []*xmltree.Node) {
+	t.Helper()
+	g := GroupJoin(vs, ws, nil)
+	want := map[*xmltree.Node][]*xmltree.Node{}
+	for _, p := range Join(vs, ws) {
+		want[p.V] = append(want[p.V], p.W)
+	}
+	total := 0
+	for _, v := range vs {
+		got := g.Of(v)
+		exp := want[v]
+		if len(got) != len(exp) {
+			t.Fatalf("Of(%v) = %d partners, want %d", v.Dewey, len(got), len(exp))
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("Of(%v)[%d] = %v, want %v", v.Dewey, i, got[i].Dewey, exp[i].Dewey)
+			}
+		}
+		total += len(got)
+	}
+	if g.Pairs() != total {
+		t.Errorf("Pairs = %d, want %d", g.Pairs(), total)
+	}
+}
+
+func TestGroupJoinMatchesJoin(t *testing.T) {
+	d := xmltree.MustParse(fig1a)
+	types := d.Types()
+	for _, t1 := range types {
+		for _, t2 := range types {
+			groupedEqualsMap(t, d.NodesOfType(t1), d.NodesOfType(t2))
+		}
+	}
+}
+
+func TestGroupJoinRandomDocs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDoc(r)
+		types := d.Types()
+		for _, t1 := range types {
+			for _, t2 := range types {
+				groupedEqualsMap(t, d.NodesOfType(t1), d.NodesOfType(t2))
+			}
+		}
+	}
+}
+
+func TestGroupJoinEmptyInputs(t *testing.T) {
+	d := xmltree.MustParse(fig1a)
+	books := d.NodesOfType("data.book")
+	if g := GroupJoin(nil, books, nil); g.Pairs() != 0 {
+		t.Error("empty left input produced pairs")
+	}
+	g := GroupJoin(books, nil, nil)
+	if g.Pairs() != 0 {
+		t.Error("empty right input produced pairs")
+	}
+	for _, b := range books {
+		if got := g.Of(b); got != nil {
+			t.Errorf("Of on empty join = %v", got)
+		}
+	}
+	var nilG *Grouped
+	if nilG.Of(books[0]) != nil {
+		t.Error("nil Grouped must return no partners")
+	}
+}
+
+// TestGroupJoinReflexive: a same-type join groups each node with itself.
+func TestGroupJoinReflexive(t *testing.T) {
+	d := xmltree.MustParse(fig1a)
+	books := d.NodesOfType("data.book")
+	g := GroupJoin(books, books, nil)
+	for _, b := range books {
+		got := g.Of(b)
+		if len(got) != 1 || got[0] != b {
+			t.Errorf("reflexive Of(%v) = %v", b.Dewey, got)
+		}
+	}
+}
+
+// TestGroupJoinRecorder: grouping must feed the recorder exactly like
+// the streaming join does.
+func TestGroupJoinRecorder(t *testing.T) {
+	d := xmltree.MustParse(fig1a)
+	books := d.NodesOfType("data.book")
+	titles := d.NodesOfType("data.book.title")
+	rec := &Recorder{}
+	g := GroupJoin(books, titles, rec)
+	joins, candidates, pairs := rec.Snapshot()
+	if joins != 1 || candidates != int64(len(books)+len(titles)) || int(pairs) != g.Pairs() {
+		t.Errorf("recorder = %d joins, %d candidates, %d pairs (grouped %d)",
+			joins, candidates, pairs, g.Pairs())
+	}
+}
+
+// TestGroupJoinOfZeroAllocs guards the CSR design point: looking up a
+// parent's partners in a built join allocates nothing.
+func TestGroupJoinOfZeroAllocs(t *testing.T) {
+	d := xmltree.MustParse(fig1a)
+	books := d.NodesOfType("data.book")
+	titles := d.NodesOfType("data.book.title")
+	g := GroupJoin(books, titles, nil)
+	sink := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, b := range books {
+			sink += len(g.Of(b))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Grouped.Of allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,297 @@
+package kvstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// orderedKeys returns n distinct keys whose lexicographic order matches
+// their index order, plus matching values.
+func orderedKeys(n int) (keys, vals [][]byte) {
+	for i := 0; i < n; i++ {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, uint64(i))
+		keys = append(keys, k)
+		vals = append(vals, []byte(fmt.Sprintf("value-%d", i)))
+	}
+	return keys, vals
+}
+
+// pageImage dumps every page of the store as one byte slice, reading
+// through the buffer pool so dirty pages are included.
+func pageImage(t *testing.T, db *DB) []byte {
+	t.Helper()
+	var out []byte
+	for id := uint32(0); id < db.pager.npages; id++ {
+		buf, err := db.pager.read(id)
+		if err != nil {
+			t.Fatalf("read page %d: %v", id, err)
+		}
+		out = append(out, buf...)
+	}
+	return out
+}
+
+// insertionOrders yields the three orders the fast path must handle:
+// already sorted (every insert hits the cached right edge), reverse
+// sorted (every insert misses), and shuffled.
+func insertionOrders(n int) map[string][]int {
+	sorted := make([]int, n)
+	reverse := make([]int, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = i
+		reverse[i] = n - 1 - i
+	}
+	shuffled := append([]int(nil), sorted...)
+	rand.New(rand.NewSource(99)).Shuffle(n, func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	return map[string][]int{"sorted": sorted, "reverse": reverse, "random": shuffled}
+}
+
+// TestFastPathTreeIdentical: for sorted, reverse-sorted, and random
+// insert orders, the sorted-insert fast path must produce a tree
+// byte-identical to the plain root-to-leaf descent — the cache is a pure
+// shortcut, never a different insertion.
+func TestFastPathTreeIdentical(t *testing.T) {
+	const n = 3000
+	keys, vals := orderedKeys(n)
+	for name, order := range insertionOrders(n) {
+		fast := OpenMemory(nil)
+		slow := OpenMemory(&Options{DisableFastPath: true})
+		for _, i := range order {
+			if err := fast.Put(keys[i], vals[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := slow.Put(keys[i], vals[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if fast.pager.npages != slow.pager.npages {
+			t.Fatalf("%s: fast path grew %d pages, slow %d", name, fast.pager.npages, slow.pager.npages)
+		}
+		if !bytes.Equal(pageImage(t, fast), pageImage(t, slow)) {
+			t.Errorf("%s: fast-path tree differs from plain descent", name)
+		}
+		if name == "sorted" && fast.Stats().FastPathHits == 0 {
+			t.Error("sorted inserts never hit the fast path")
+		}
+		if slow.Stats().FastPathHits != 0 {
+			t.Errorf("%s: DisableFastPath still recorded %d hits", name, slow.Stats().FastPathHits)
+		}
+	}
+}
+
+// TestPutBatchMatchesSortedPuts: a shuffled PutBatch must build the same
+// physical tree as sequential Puts in key order (PutBatch sorts), and
+// the same logical content as sequential Puts in the original order.
+func TestPutBatchMatchesSortedPuts(t *testing.T) {
+	const n = 2500
+	keys, vals := orderedKeys(n)
+	for name, order := range insertionOrders(n) {
+		var bk, bv [][]byte
+		for _, i := range order {
+			bk = append(bk, keys[i])
+			bv = append(bv, vals[i])
+		}
+		batched := OpenMemory(nil)
+		if err := batched.PutBatch(bk, bv); err != nil {
+			t.Fatal(err)
+		}
+		sequential := OpenMemory(nil)
+		for i := 0; i < n; i++ {
+			if err := sequential.Put(keys[i], vals[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(pageImage(t, batched), pageImage(t, sequential)) {
+			t.Errorf("%s: PutBatch tree differs from sorted sequential Puts", name)
+		}
+		// The iterator must see every pair in order regardless of how the
+		// batch arrived.
+		i := 0
+		err := batched.Ascend(nil, nil, func(k, v []byte) bool {
+			if !bytes.Equal(k, keys[i]) || !bytes.Equal(v, vals[i]) {
+				t.Fatalf("%s: entry %d = %q/%q", name, i, k, v)
+			}
+			i++
+			return true
+		})
+		if err != nil || i != n {
+			t.Fatalf("%s: scan saw %d of %d entries (err %v)", name, i, n, err)
+		}
+		if got := batched.Stats().BatchedPuts; got != int64(n) {
+			t.Errorf("%s: BatchedPuts = %d, want %d", name, got, n)
+		}
+	}
+}
+
+// TestPutBatchDuplicatesLastWins: duplicate keys inside one batch apply
+// in input order, matching what sequential Puts would leave behind.
+func TestPutBatchDuplicatesLastWins(t *testing.T) {
+	db := OpenMemory(nil)
+	keys := [][]byte{[]byte("b"), []byte("a"), []byte("b"), []byte("a")}
+	vals := [][]byte{[]byte("b1"), []byte("a1"), []byte("b2"), []byte("a2")}
+	if err := db.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{"a": "a2", "b": "b2"} {
+		v, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Errorf("Get(%s) = %q %v %v, want %q", k, v, ok, err, want)
+		}
+	}
+}
+
+// TestPutBatchOverwrites: a batch replaces values already in the tree.
+func TestPutBatchOverwrites(t *testing.T) {
+	db := OpenMemory(nil)
+	if err := db.Put([]byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutBatch([][]byte{[]byte("k")}, [][]byte{[]byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := db.Get([]byte("k"))
+	if string(v) != "new" {
+		t.Errorf("Get after batch overwrite = %q", v)
+	}
+}
+
+// TestPutBatchValidation: mismatched slices and oversized entries are
+// rejected before anything is written.
+func TestPutBatchValidation(t *testing.T) {
+	db := OpenMemory(nil)
+	if err := db.PutBatch([][]byte{[]byte("k")}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	big := make([]byte, MaxKeySize+1)
+	if err := db.PutBatch([][]byte{[]byte("ok"), big}, [][]byte{[]byte("v"), []byte("v")}); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if _, ok, _ := db.Get([]byte("ok")); ok {
+		t.Error("failed batch left a partial write")
+	}
+}
+
+// TestDeleteKeepsFastPathCorrect: interleaving deletes with fast-path
+// inserts must not corrupt the tree (deletes never move separators, so
+// the cached leaf range stays valid).
+func TestDeleteKeepsFastPathCorrect(t *testing.T) {
+	db := OpenMemory(nil)
+	keys, vals := orderedKeys(2000)
+	for i := range keys {
+		if err := db.Put(keys[i], vals[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := db.Delete(keys[i/2]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Every key must be findable or verifiably deleted, in order.
+	var prev []byte
+	err := db.Ascend(nil, nil, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("keys out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentPutBatchAscendPrefix: writers batching into disjoint key
+// prefixes race readers scanning them; run with -race this guards the
+// DB-level locking. Each scan must see a consistent prefix: a sorted
+// sequence of fully-formed entries.
+func TestConcurrentPutBatchAscendPrefix(t *testing.T) {
+	db := OpenMemory(nil)
+	const writers, batches, perBatch = 4, 8, 64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				var keys, vals [][]byte
+				for i := 0; i < perBatch; i++ {
+					keys = append(keys, []byte(fmt.Sprintf("w%d/%05d", w, b*perBatch+i)))
+					vals = append(vals, []byte(fmt.Sprintf("v%d", i)))
+				}
+				if err := db.PutBatch(keys, vals); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < writers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			prefix := []byte(fmt.Sprintf("w%d/", r))
+			for i := 0; i < 20; i++ {
+				var prev []byte
+				err := db.AscendPrefix(prefix, func(k, v []byte) bool {
+					if prev != nil && bytes.Compare(prev, k) >= 0 {
+						t.Errorf("scan out of order under prefix %s", prefix)
+						return false
+					}
+					prev = append(prev[:0], k...)
+					return true
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	total := 0
+	_ = db.AscendPrefix([]byte("w"), func(k, v []byte) bool { total++; return true })
+	if want := writers * batches * perBatch; total != want {
+		t.Errorf("after concurrent batches: %d entries, want %d", total, want)
+	}
+}
+
+// TestPutBatchPersists: batched inserts survive close/reopen like
+// individual Puts do.
+func TestPutBatchPersists(t *testing.T) {
+	path := t.TempDir() + "/batch.db"
+	db, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := orderedKeys(1200)
+	if err := db.PutBatch(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	i := 0
+	err = db.Ascend(nil, nil, func(k, v []byte) bool {
+		if !bytes.Equal(k, keys[i]) || !bytes.Equal(v, vals[i]) {
+			t.Fatalf("entry %d = %q/%q after reopen", i, k, v)
+		}
+		i++
+		return true
+	})
+	if err != nil || i != len(keys) {
+		t.Fatalf("reopen scan saw %d entries (err %v)", i, err)
+	}
+}

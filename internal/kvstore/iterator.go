@@ -26,7 +26,10 @@ type frame struct {
 	idx int
 }
 
-// Seek positions the iterator at the smallest key >= target.
+// Seek positions the iterator at the smallest key >= target. The
+// iterator is not synchronized against writers; use Ascend/AscendPrefix
+// (which hold the store's read lock for the whole scan) when Puts may
+// run concurrently.
 func (db *DB) Seek(target []byte) *Iterator {
 	atomic.AddInt64(&db.seeks, 1)
 	it := &Iterator{db: db}
@@ -111,8 +114,12 @@ func (it *Iterator) Next() {
 }
 
 // Ascend calls fn for every key in [start, end) in order; a nil end means
-// "to the last key". fn returning false stops the scan.
+// "to the last key". fn returning false stops the scan. The scan holds
+// the store's read lock, so it sees a consistent tree even with
+// concurrent writers; fn must not mutate the store.
 func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	it := db.Seek(start)
 	for it.Valid() {
 		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
@@ -126,8 +133,11 @@ func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
 	return it.Err()
 }
 
-// AscendPrefix calls fn for every key with the given prefix, in order.
+// AscendPrefix calls fn for every key with the given prefix, in order,
+// under the store's read lock (see Ascend).
 func (db *DB) AscendPrefix(prefix []byte, fn func(k, v []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	it := db.Seek(prefix)
 	for it.Valid() {
 		if !bytes.HasPrefix(it.Key(), prefix) {

@@ -43,6 +43,11 @@ type Stats struct {
 	Puts    int64
 	Deletes int64
 	Seeks   int64
+	// FastPathHits counts Puts served by the sorted-insert leaf cache
+	// (no root-to-leaf descent); BatchedPuts counts Puts that arrived
+	// through PutBatch. Both are subsets of Puts.
+	FastPathHits int64
+	BatchedPuts  int64
 }
 
 // HitRatio is the buffer-pool hit ratio over page lookups, in [0, 1];

@@ -123,13 +123,15 @@ func joinEdges(tgt *semantics.Target) [][2]string {
 }
 
 // prefetchJoins computes the grouped closest joins for all target edges
-// with a bounded worker pool.
-func prefetchJoins(doc Source, tgt *semantics.Target, workers int, rec *closest.Recorder) map[joinKey]map[*xmltree.Node][]*xmltree.Node {
+// with a bounded worker pool. Each join lands in closest.Grouped's CSR
+// layout, so the sequential output pass that follows reads contiguous
+// partner groups instead of probing per-edge maps.
+func prefetchJoins(doc Source, tgt *semantics.Target, workers int, rec *closest.Recorder) map[joinKey]*closest.Grouped {
 	edges := joinEdges(tgt)
 	if workers < 1 {
 		workers = 1
 	}
-	results := make(map[joinKey]map[*xmltree.Node][]*xmltree.Node, len(edges))
+	results := make(map[joinKey]*closest.Grouped, len(edges))
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
@@ -140,11 +142,9 @@ func prefetchJoins(doc Source, tgt *semantics.Target, workers int, rec *closest.
 		go func() {
 			defer wg.Done()
 			for e := range work {
-				m := map[*xmltree.Node][]*xmltree.Node{}
-				closest.JoinWithRec(doc.NodesOfType(e[0]), doc.NodesOfType(e[1]), rec,
-					func(p, c *xmltree.Node) { m[p] = append(m[p], c) })
+				g := closest.GroupJoin(doc.NodesOfType(e[0]), doc.NodesOfType(e[1]), rec)
 				mu.Lock()
-				results[joinKey{e[0], e[1]}] = m
+				results[joinKey{e[0], e[1]}] = g
 				mu.Unlock()
 			}
 		}()

@@ -47,7 +47,7 @@ func RenderTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Doc
 	r := &renderer{
 		doc:   doc,
 		b:     xmltree.NewBuilder(),
-		joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{},
+		joins: map[joinKey]*closest.Grouped{},
 		rec:   rec,
 	}
 	emitted := false
@@ -97,8 +97,10 @@ type renderer struct {
 	doc Source
 	b   *xmltree.Builder
 	// joins caches the grouped closest join for each (parent type, child
-	// type) pair: parent node -> closest child nodes in document order.
-	joins map[joinKey]map[*xmltree.Node][]*xmltree.Node
+	// type) pair in closest.Grouped's CSR layout: one contiguous partner
+	// slice plus offsets indexed by the parent's Ord — no per-parent map
+	// entries, and a cached lookup allocates nothing.
+	joins map[joinKey]*closest.Grouped
 	// rec accumulates join statistics for tracing; nil when untraced.
 	rec *closest.Recorder
 }
@@ -107,14 +109,12 @@ type renderer struct {
 // sort-merge join of the two full type sequences.
 func (r *renderer) closestOf(v *xmltree.Node, childType string) []*xmltree.Node {
 	key := joinKey{v.Type, childType}
-	m, ok := r.joins[key]
+	g, ok := r.joins[key]
 	if !ok {
-		m = map[*xmltree.Node][]*xmltree.Node{}
-		closest.JoinWithRec(r.doc.NodesOfType(v.Type), r.doc.NodesOfType(childType), r.rec,
-			func(p, c *xmltree.Node) { m[p] = append(m[p], c) })
-		r.joins[key] = m
+		g = closest.GroupJoin(r.doc.NodesOfType(v.Type), r.doc.NodesOfType(childType), r.rec)
+		r.joins[key] = g
 	}
-	return m[v]
+	return g.Of(v)
 }
 
 // satisfies checks RESTRICT requirements: v must have a closest partner

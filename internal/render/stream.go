@@ -38,7 +38,7 @@ func StreamTraced(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) 
 	}
 	bw := bufio.NewWriter(w)
 	s := &streamer{
-		renderer: renderer{doc: doc, joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{}, rec: rec},
+		renderer: renderer{doc: doc, joins: map[joinKey]*closest.Grouped{}, rec: rec},
 		w:        bw,
 	}
 	for _, root := range tgt.Roots {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"xmorph/internal/closest"
 	"xmorph/internal/guard"
 	"xmorph/internal/semantics"
 	"xmorph/internal/shape"
@@ -207,7 +208,7 @@ func TestJoinEdgesCoverage(t *testing.T) {
 		tgt := plan.ComposedTarget()
 		pre := prefetchJoins(doc, tgt, 2, nil)
 		// Run lazily and compare the key sets the renderer actually used.
-		lazy := &renderer{doc: doc, b: xmltree.NewBuilder(), joins: map[joinKey]map[*xmltree.Node][]*xmltree.Node{}}
+		lazy := &renderer{doc: doc, b: xmltree.NewBuilder(), joins: map[joinKey]*closest.Grouped{}}
 		for _, root := range tgt.Roots {
 			if root.Source == "" {
 				lazy.emitWrapperRoot(root)

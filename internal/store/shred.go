@@ -68,10 +68,13 @@ func (s *Store) ShredTraced(name string, r io.Reader, parent *obs.Span) (*ShredI
 		return nil, err
 	}
 	if sp != nil {
+		after := s.Stats()
 		sp.Set("nodes", int64(sh.nodes))
 		sp.Set("chars", int64(sh.chars))
 		sp.Set("types", int64(len(sh.typeOrder)))
-		sp.Set("pages-written", s.Stats().BlocksWritten-before.BlocksWritten)
+		sp.Set("pages-written", after.BlocksWritten-before.BlocksWritten)
+		sp.Set("batched-puts", after.BatchedPuts-before.BatchedPuts)
+		sp.Set("fastpath-hits", after.FastPathHits-before.FastPathHits)
 	}
 	return &ShredInfo{Name: name, Types: len(sh.typeOrder), Nodes: sh.nodes}, nil
 }
@@ -108,6 +111,18 @@ type cardAgg struct {
 	first      bool
 }
 
+// shredFlushBytes bounds the memory the shredder buffers before pushing
+// its per-type runs through PutBatch.
+const shredFlushBytes = 1 << 20
+
+// typeRun is one type's buffered node records. Per-type keys are
+// generated in document order — two nodes of one rooted type are never
+// ancestor and descendant, so element close order equals document order
+// — which means every run is already sorted when it reaches PutBatch.
+type typeRun struct {
+	keys, vals [][]byte
+}
+
 type shredder struct {
 	store       *Store
 	docID       uint32
@@ -118,6 +133,10 @@ type shredder struct {
 	parentCount map[string]int
 	nodes       int
 	chars       int
+	// runs buffers node records per type (index = typeID); buffered
+	// tracks their total bytes for the flush threshold.
+	runs     []typeRun
+	buffered int
 }
 
 // frame is one open element during the streaming parse.
@@ -196,6 +215,25 @@ func (sh *shredder) run(r io.Reader) error {
 	if len(stack) != 0 {
 		return fmt.Errorf("store: shred: unexpected end of input inside <%s>", stack[len(stack)-1].typ)
 	}
+	return sh.flush()
+}
+
+// flush pushes every buffered type run through PutBatch, in typeID
+// order. Node keys are prefixed by typeID, so consecutive runs extend
+// one globally ascending key sequence — nearly every insert lands on the
+// B+tree's cached leaf.
+func (sh *shredder) flush() error {
+	for tid := range sh.runs {
+		r := &sh.runs[tid]
+		if len(r.keys) == 0 {
+			continue
+		}
+		if err := sh.store.db.PutBatch(r.keys, r.vals); err != nil {
+			return err
+		}
+		r.keys, r.vals = r.keys[:0], r.vals[:0]
+	}
+	sh.buffered = 0
 	return nil
 }
 
@@ -222,7 +260,23 @@ func (sh *shredder) emit(typ string, dw xmltree.Dewey, value string) error {
 	for i, c := range dw {
 		binary.BigEndian.PutUint32(full[len(key)+4*i:], uint32(c))
 	}
-	return sh.store.putBlob(full, []byte(value))
+	if sh.store.unbatchedShred {
+		return sh.store.putBlob(full, []byte(value))
+	}
+	for int(tid) >= len(sh.runs) {
+		sh.runs = append(sh.runs, typeRun{})
+	}
+	r := &sh.runs[tid]
+	var err error
+	r.keys, r.vals, err = appendBlobChunks(r.keys, r.vals, full, []byte(value))
+	if err != nil {
+		return err
+	}
+	sh.buffered += len(full) + len(value)
+	if sh.buffered >= shredFlushBytes {
+		return sh.flush()
+	}
+	return nil
 }
 
 // foldFrame folds one closed parent's child counts into the shape

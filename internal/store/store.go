@@ -37,6 +37,10 @@ const chunkSize = 1400
 // Store is a shredded-document store.
 type Store struct {
 	db *kvstore.DB
+	// unbatchedShred forces Shred to issue one Put per chunk instead of
+	// accumulating per-type sorted runs for PutBatch — the pre-batching
+	// behaviour, kept for ablation benchmarks.
+	unbatchedShred bool
 }
 
 // Open opens (or creates) a store file.
@@ -61,6 +65,10 @@ func (s *Store) Sync() error { return s.db.Sync() }
 
 // Stats returns the underlying block I/O counters.
 func (s *Store) Stats() kvstore.Stats { return s.db.Stats() }
+
+// SetUnbatchedShred toggles the per-chunk Put shredding path (ablation
+// benchmarks compare it against the default batched runs).
+func (s *Store) SetUnbatchedShred(v bool) { s.unbatchedShred = v }
 
 func docKey(name string) []byte { return append([]byte{'D'}, name...) }
 
@@ -91,16 +99,19 @@ func nodeKey(docID, typeID uint32, dewey xmltree.Dewey, chunk uint16) []byte {
 	return k
 }
 
-// putBlob stores an arbitrarily large value across chunked keys.
-func (s *Store) putBlob(key []byte, val []byte) error {
+// appendBlobChunks appends the chunked records of one blob to the
+// parallel key/value slices: chunk i of a value lives under key+i, and
+// chunk 0 carries a 2-byte chunk-count header. putBlob writes the same
+// records individually; the shredder accumulates them into per-type
+// sorted runs for PutBatch.
+func appendBlobChunks(keys, vals [][]byte, key, val []byte) ([][]byte, [][]byte, error) {
 	n := (len(val) + chunkSize - 1) / chunkSize
 	if n == 0 {
 		n = 1
 	}
 	if n > 1<<16-1 {
-		return fmt.Errorf("store: blob too large (%d bytes)", len(val))
+		return keys, vals, fmt.Errorf("store: blob too large (%d bytes)", len(val))
 	}
-	// Header chunk records the chunk count.
 	for i := 0; i < n; i++ {
 		lo := i * chunkSize
 		hi := lo + chunkSize
@@ -117,7 +128,20 @@ func (s *Store) putBlob(key []byte, val []byte) error {
 			copy(hdr[2:], chunk)
 			chunk = hdr
 		}
-		if err := s.db.Put(ck, chunk); err != nil {
+		keys = append(keys, ck)
+		vals = append(vals, chunk)
+	}
+	return keys, vals, nil
+}
+
+// putBlob stores an arbitrarily large value across chunked keys.
+func (s *Store) putBlob(key []byte, val []byte) error {
+	keys, vals, err := appendBlobChunks(nil, nil, key, val)
+	if err != nil {
+		return err
+	}
+	for i := range keys {
+		if err := s.db.Put(keys[i], vals[i]); err != nil {
 			return err
 		}
 	}
@@ -328,7 +352,17 @@ func (d *Doc) NodesOfType(t string) []*xmltree.Node {
 		nodes []*xmltree.Node
 		cur   *xmltree.Node
 		curDw string
+		// Chunked values accumulate in one sized builder per node instead
+		// of repeated string concatenation (which is O(chunks²)).
+		vb      strings.Builder
+		pending bool
 	)
+	finish := func() {
+		if pending {
+			cur.Value = vb.String()
+			pending = false
+		}
+	}
 	_ = d.store.db.AscendPrefix(prefix, func(k, v []byte) bool {
 		if len(k) != len(prefix)+4*depth+2 {
 			return true // malformed; skip defensively
@@ -336,33 +370,53 @@ func (d *Doc) NodesOfType(t string) []*xmltree.Node {
 		dwBytes := k[len(prefix) : len(prefix)+4*depth]
 		chunk := binary.BigEndian.Uint16(k[len(k)-2:])
 		if chunk == 0 {
+			finish()
+			if len(v) < 2 {
+				return true
+			}
 			dw := make(xmltree.Dewey, depth)
 			for i := 0; i < depth; i++ {
 				dw[i] = int(binary.BigEndian.Uint32(dwBytes[i*4:]))
 			}
-			if len(v) < 2 {
-				return true
-			}
-			cur = &xmltree.Node{Name: name, Type: t, Dewey: dw, Attr: attr, Value: string(v[2:]), Ord: len(nodes)}
+			cur = &xmltree.Node{Name: name, Type: t, Dewey: dw, Attr: attr, Ord: len(nodes)}
 			curDw = string(dwBytes)
 			nodes = append(nodes, cur)
-		} else if cur != nil && string(dwBytes) == curDw {
-			cur.Value += string(v)
+			if n := int(binary.BigEndian.Uint16(v)); n > 1 {
+				// Multi-chunk value: reserve for every full chunk plus the
+				// (possibly short) last one, then stream chunks in.
+				pending = true
+				vb.Reset()
+				vb.Grow((n-1)*chunkSize + len(v) - 2)
+				vb.Write(v[2:])
+			} else {
+				cur.Value = string(v[2:])
+			}
+		} else if pending && string(dwBytes) == curDw {
+			vb.Write(v)
 		}
 		return true
 	})
+	finish()
 	d.mu.Lock()
 	d.cache[t] = nodes
 	d.mu.Unlock()
 	return nodes
 }
 
-// Size returns the total number of stored vertices across all types.
+// Size returns the total number of stored vertices across all types. It
+// counts header chunks in one key scan over the document's node range —
+// no values are decoded and nothing is materialized or cached.
 func (d *Doc) Size() int {
+	prefix := make([]byte, 5)
+	prefix[0] = 'N'
+	binary.BigEndian.PutUint32(prefix[1:], d.id)
 	n := 0
-	for _, t := range d.types {
-		n += len(d.NodesOfType(t))
-	}
+	_ = d.store.db.AscendPrefix(prefix, func(k, v []byte) bool {
+		if len(k) >= 2 && binary.BigEndian.Uint16(k[len(k)-2:]) == 0 {
+			n++
+		}
+		return true
+	})
 	return n
 }
 
