@@ -9,6 +9,8 @@
 //	xmorphbench -exp fig14 -dblp 2000,4000,8000,16000
 //	xmorphbench -factors 0.05,0.1 -exp fig10
 //	xmorphbench -exp hotpath -json BENCH_hotpath.json
+//	xmorphbench -exp concurrency -json BENCH_concurrency.json
+//	xmorphbench -exp concurrency -clients 1,4 -conc-factors 0.05 -conc-window 1s
 package main
 
 import (
@@ -26,10 +28,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, all")
 	factors := flag.String("factors", "", "comma-separated XMark factors (default 0.01..0.05)")
 	hotFactors := flag.String("hotpath-factors", "", "comma-separated XMark factors for -exp hotpath (default 0.2,1.0)")
-	jsonOut := flag.String("json", "", "with -exp hotpath: also write the report to this file (e.g. BENCH_hotpath.json)")
+	jsonOut := flag.String("json", "", "with -exp hotpath/concurrency: also write the report to this file (e.g. BENCH_hotpath.json)")
+	concFactors := flag.String("conc-factors", "", "comma-separated XMark factors for -exp concurrency (default 0.2,1.0)")
+	clients := flag.String("clients", "", "comma-separated client counts for -exp concurrency (default 1,2,4,8)")
+	concWindow := flag.Duration("conc-window", 0, "measurement window per concurrency cell (default 3s)")
+	concCache := flag.Int("conc-cache", 0, "buffer pool pages for -exp concurrency (default 4096)")
 	dblpSizes := flag.String("dblp", "", "comma-separated DBLP publication counts")
 	seed := flag.Int64("seed", 42, "generator seed")
 	cache := flag.Int("cache", 128, "store buffer pool pages")
@@ -72,6 +78,22 @@ func main() {
 		}
 		cfg.HotpathFactors = fs
 	}
+	if *concFactors != "" {
+		fs, err := parseFloats(*concFactors)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ConcFactors = fs
+	}
+	if *clients != "" {
+		ns, err := parseInts(*clients)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ConcClients = ns
+	}
+	cfg.ConcWindow = *concWindow
+	cfg.ConcCachePages = *concCache
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -149,6 +171,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 		}
 		fmt.Fprintf(os.Stderr, "hotpath suite took %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// concurrency is opt-in (not part of "all"): its default factors shred
+	// an XMark factor-1 document and run fixed multi-second windows.
+	if *exp == "concurrency" {
+		start := time.Now()
+		rows, err := bench.RunConcurrency(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.ConcurrencyTable(rows))
+		if *jsonOut != "" {
+			if err := bench.ConcurrencyReportFor(cfg, rows).WriteJSON(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		fmt.Fprintf(os.Stderr, "concurrency suite took %v\n", time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -37,6 +37,20 @@ type Config struct {
 	HotpathFactors []float64
 	// DBLPSizes are Figure 14 publication counts per slice.
 	DBLPSizes []int
+	// ConcFactors are the RunConcurrency scales; empty means {0.2, 1.0}
+	// (the committed BENCH_concurrency.json numbers).
+	ConcFactors []float64
+	// ConcClients are the RunConcurrency client counts; empty means
+	// {1, 2, 4, 8}.
+	ConcClients []int
+	// ConcWindow is the fixed wall-clock measurement window per
+	// concurrency cell; zero means 3s.
+	ConcWindow time.Duration
+	// ConcCachePages sizes the shared buffer pool for RunConcurrency;
+	// zero means 512 (2 MiB) — sized so the default small factor runs
+	// fully cached (pure lock scaling) while the large factor keeps the
+	// pool under pressure (read-ahead and eviction active).
+	ConcCachePages int
 	// Seed feeds the generators.
 	Seed int64
 	// CachePages bounds the store's buffer pool, keeping runs I/O-bound

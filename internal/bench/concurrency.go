@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/obs"
+	"xmorph/internal/store"
+)
+
+// ConcurrencyRow is one benchmark cell: a client count running the read
+// query mix against one shared store for a fixed window. Rows come in
+// "readahead" / "no-readahead" variant pairs at one client, and a
+// "readahead" scaling series across client counts.
+type ConcurrencyRow struct {
+	Factor     float64 `json:"factor"`
+	Clients    int     `json:"clients"`
+	Variant    string  `json:"variant"`
+	Queries    int64   `json:"queries"`
+	QPS        float64 `json:"qps"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	HitRatio   float64 `json:"hit_ratio"`
+	PagesRead  int64   `json:"pages_read"`
+	ReadAheads int64   `json:"read_aheads"`
+	// Speedup is QPS relative to the 1-client cell of the same factor and
+	// variant; 1.0 for the 1-client cell itself.
+	Speedup float64 `json:"speedup"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// ConcurrencyReport is the BENCH_concurrency.json document. CPUs and
+// GOMAXPROCS record the host parallelism the speedup column is bounded
+// by — on a single-core host the speedup at N clients cannot exceed ~1.
+type ConcurrencyReport struct {
+	Generated  string           `json:"generated"`
+	GoVersion  string           `json:"go_version"`
+	CPUs       int              `json:"cpus"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	WindowSec  float64          `json:"window_sec"`
+	Factors    []float64        `json:"factors"`
+	Clients    []int            `json:"clients"`
+	Rows       []ConcurrencyRow `json:"rows"`
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *ConcurrencyReport) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// concQueries is the read-only query mix every client cycles through,
+// offset by its client id so concurrent clients start on different
+// queries. Each query opens a fresh Doc view, so nothing is memoized
+// across queries — every query re-reads the store through the buffer
+// pool, which is the contention the benchmark is about.
+var concQueries = []struct {
+	Name string
+	Run  func(st *store.Store, name string) error
+}{
+	{"morph-auction", func(st *store.Store, name string) error {
+		_, err := transformStoredDiscard(st, name, "CAST MORPH open_auction [ initial current quantity ]")
+		return err
+	}},
+	{"morph-person", func(st *store.Store, name string) error {
+		_, err := transformStoredDiscard(st, name, "CAST MORPH person [ name emailaddress ]")
+		return err
+	}},
+	{"dump-bidders", func(st *store.Store, name string) error {
+		doc, err := st.Doc(name)
+		if err != nil {
+			return err
+		}
+		ns := doc.NodesOfType("site.open_auctions.open_auction.bidder")
+		if len(ns) == 0 {
+			return fmt.Errorf("no bidder nodes in %s", name)
+		}
+		sink := 0
+		for _, n := range ns {
+			sink += len(n.Text())
+		}
+		_ = sink
+		return nil
+	}},
+}
+
+// runConcCell runs one (clients, window) cell against an open store and
+// returns the filled row (Speedup left zero for the caller).
+func runConcCell(st *store.Store, name string, clients int, window time.Duration, factor float64, variant string) (ConcurrencyRow, error) {
+	hist := obs.NewHistogram(obs.DurationBuckets)
+	var queries atomic.Int64
+	var firstErr atomic.Value
+	before := st.Stats()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Since(start) < window; i++ {
+				q := concQueries[i%len(concQueries)]
+				t0 := time.Now()
+				if err := q.Run(st, name); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s: %w", q.Name, err))
+					return
+				}
+				hist.Observe(time.Since(t0).Seconds())
+				queries.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return ConcurrencyRow{}, err
+	}
+
+	after := st.Stats()
+	snap := hist.Snapshot()
+	n := queries.Load()
+	// Hit ratio over this cell's lookups only, not the store's lifetime.
+	delta := kvstore.Stats{
+		CacheHits:   after.CacheHits - before.CacheHits,
+		CacheMisses: after.CacheMisses - before.CacheMisses,
+	}
+	row := ConcurrencyRow{
+		Factor: factor, Clients: clients, Variant: variant,
+		Queries:    n,
+		QPS:        float64(n) / elapsed.Seconds(),
+		P50Ms:      snap.P50 * 1e3,
+		P95Ms:      snap.P95 * 1e3,
+		P99Ms:      snap.P99 * 1e3,
+		HitRatio:   delta.HitRatio(),
+		PagesRead:  after.BlocksRead - before.BlocksRead,
+		ReadAheads: after.ReadAheads - before.ReadAheads,
+	}
+	if n > 0 {
+		row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(n)
+	}
+	return row, nil
+}
+
+// RunConcurrency measures read-path scalability: at each factor it shreds
+// one XMark document into a store file, then runs the query mix from 1,
+// 2, 4, 8... concurrent clients (cfg.ConcClients) against one shared
+// store for a fixed wall-clock window each, reporting throughput, tail
+// latency, and buffer-pool behaviour. A DisableReadAhead ablation runs
+// at one client per factor — read-ahead is a per-scan I/O policy, so one
+// client isolates it from the scaling series.
+//
+// All clients share the store's buffer pool and the DB read lock; the
+// store itself is opened once per variant and stays warm across cells,
+// so cells measure steady-state contention, not cold I/O.
+func RunConcurrency(cfg Config) ([]ConcurrencyRow, error) {
+	dir, cleanup, err := cfg.workdir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	var rows []ConcurrencyRow
+	for _, factor := range cfg.concFactors() {
+		doc := xmark.Generate(xmark.Config{Factor: factor, Seed: cfg.Seed})
+		name := fmt.Sprintf("conc-%g", factor)
+		path, _, xmlBytes, err := prepareStore(dir, name, doc, cfg.concCachePages())
+		if err != nil {
+			return nil, err
+		}
+
+		for _, variant := range []string{"readahead", "no-readahead"} {
+			opts := &kvstore.Options{CachePages: cfg.concCachePages()}
+			if variant == "no-readahead" {
+				opts.DisableReadAhead = true
+			}
+			st, err := store.Open(path, opts)
+			if err != nil {
+				return nil, err
+			}
+			// Warm up: one pass of the mix, unmeasured, so every cell sees
+			// the same steady-state pool.
+			for _, q := range concQueries {
+				if err := q.Run(st, name); err != nil {
+					st.Close()
+					return nil, err
+				}
+			}
+			clients := cfg.concClients()
+			if variant == "no-readahead" {
+				clients = []int{1}
+			}
+			var base float64
+			for _, nc := range clients {
+				row, err := runConcCell(st, name, nc, cfg.concWindow(), factor, variant)
+				if err != nil {
+					st.Close()
+					return nil, err
+				}
+				if nc == clients[0] {
+					base = row.QPS
+				}
+				if base > 0 {
+					row.Speedup = row.QPS / base
+				}
+				row.Note = fmt.Sprintf("%d nodes, %d bytes xml", doc.Size(), xmlBytes)
+				rows = append(rows, row)
+			}
+			if err := st.Close(); err != nil {
+				return nil, err
+			}
+		}
+		os.Remove(path)
+	}
+	return rows, nil
+}
+
+func (c *Config) concFactors() []float64 {
+	if len(c.ConcFactors) > 0 {
+		return c.ConcFactors
+	}
+	return []float64{0.2, 1.0}
+}
+
+func (c *Config) concClients() []int {
+	if len(c.ConcClients) > 0 {
+		return c.ConcClients
+	}
+	return []int{1, 2, 4, 8}
+}
+
+func (c *Config) concWindow() time.Duration {
+	if c.ConcWindow > 0 {
+		return c.ConcWindow
+	}
+	return 3 * time.Second
+}
+
+func (c *Config) concCachePages() int {
+	if c.ConcCachePages > 0 {
+		return c.ConcCachePages
+	}
+	return 512
+}
+
+// ConcurrencyReportFor wraps rows into the JSON report document.
+func ConcurrencyReportFor(cfg Config, rows []ConcurrencyRow) *ConcurrencyReport {
+	return &ConcurrencyReport{
+		Generated:  "xmorphbench -exp concurrency -json",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		WindowSec:  cfg.concWindow().Seconds(),
+		Factors:    cfg.concFactors(),
+		Clients:    cfg.concClients(),
+		Rows:       rows,
+	}
+}
+
+// ConcurrencyTable renders the rows for stdout.
+func ConcurrencyTable(rows []ConcurrencyRow) string {
+	t := &Table{
+		Title:   "Concurrent reads (shared store, fixed window per cell)",
+		Columns: []string{"factor", "clients", "variant", "queries", "qps", "p50ms", "p95ms", "p99ms", "hit%", "pg-read", "read-ahead", "speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", r.Factor), fmt.Sprintf("%d", r.Clients), r.Variant,
+			fmt.Sprintf("%d", r.Queries), f2(r.QPS),
+			f1(r.P50Ms), f1(r.P95Ms), f1(r.P99Ms),
+			f1(r.HitRatio * 100), fmt.Sprintf("%d", r.PagesRead),
+			fmt.Sprintf("%d", r.ReadAheads), f2(r.Speedup),
+		})
+	}
+	return t.String()
+}

@@ -26,7 +26,7 @@ func orderedKeys(n int) (keys, vals [][]byte) {
 func pageImage(t *testing.T, db *DB) []byte {
 	t.Helper()
 	var out []byte
-	for id := uint32(0); id < db.pager.npages; id++ {
+	for id := uint32(0); id < db.pager.npages.Load(); id++ {
 		buf, err := db.pager.read(id)
 		if err != nil {
 			t.Fatalf("read page %d: %v", id, err)
@@ -71,8 +71,8 @@ func TestFastPathTreeIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if fast.pager.npages != slow.pager.npages {
-			t.Fatalf("%s: fast path grew %d pages, slow %d", name, fast.pager.npages, slow.pager.npages)
+		if fast.pager.npages.Load() != slow.pager.npages.Load() {
+			t.Fatalf("%s: fast path grew %d pages, slow %d", name, fast.pager.npages.Load(), slow.pager.npages.Load())
 		}
 		if !bytes.Equal(pageImage(t, fast), pageImage(t, slow)) {
 			t.Errorf("%s: fast-path tree differs from plain descent", name)

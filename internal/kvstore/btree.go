@@ -44,6 +44,7 @@ type DB struct {
 	fastHigh      []byte // nil = unbounded above
 	noFastPath    bool   // Options.DisableFastPath (ablation benchmarks, tests)
 	balancedSplit bool   // Options.BalancedSplitOnly (ablation benchmarks)
+	readAhead     int    // leaf pages a scan prefetches; 0 disables
 	fastHits      int64
 	batchedPuts   int64
 
@@ -70,6 +71,36 @@ type Options struct {
 	// with this set; the knob exists so ablation benchmarks can measure
 	// the pre-overhaul write amplification.
 	BalancedSplitOnly bool
+	// ReadAheadPages is how many leaf pages an ordered scan prefetches
+	// into the buffer pool ahead of its cursor, following leaf sibling
+	// pointers (default 8). Read-ahead triggers when a scan crosses from
+	// one leaf into the next, so point lookups and scans that end inside
+	// their first leaf never prefetch.
+	ReadAheadPages int
+	// DisableReadAhead turns scan read-ahead off entirely; the physical
+	// scan result is identical either way (a test guards this). The knob
+	// exists for ablation benchmarks, mirroring BalancedSplitOnly.
+	DisableReadAhead bool
+}
+
+// defaultReadAhead is the scan read-ahead depth when Options leave it
+// unset.
+const defaultReadAhead = 8
+
+// resolveOptions applies opts to the DB's tuning fields.
+func (db *DB) resolveOptions(opts *Options) {
+	db.readAhead = defaultReadAhead
+	if opts == nil {
+		return
+	}
+	db.noFastPath = opts.DisableFastPath
+	db.balancedSplit = opts.BalancedSplitOnly
+	if opts.ReadAheadPages > 0 {
+		db.readAhead = opts.ReadAheadPages
+	}
+	if opts.DisableReadAhead {
+		db.readAhead = 0
+	}
 }
 
 // Open opens (or creates) a store file.
@@ -88,11 +119,8 @@ func Open(path string, opts *Options) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{pager: p, path: path}
-	if opts != nil {
-		db.noFastPath = opts.DisableFastPath
-		db.balancedSplit = opts.BalancedSplitOnly
-	}
-	if p.npages == 0 {
+	db.resolveOptions(opts)
+	if p.npages.Load() == 0 {
 		if err := db.initialize(); err != nil {
 			f.Close()
 			return nil, err
@@ -113,10 +141,7 @@ func OpenMemory(opts *Options) *DB {
 	}
 	p, _ := newPager(nil, capacity)
 	db := &DB{pager: p}
-	if opts != nil {
-		db.noFastPath = opts.DisableFastPath
-		db.balancedSplit = opts.BalancedSplitOnly
-	}
+	db.resolveOptions(opts)
 	if err := db.initialize(); err != nil {
 		panic(err) // cannot fail in memory
 	}
@@ -140,7 +165,7 @@ func (db *DB) writeHeader() error {
 	buf := make([]byte, PageSize)
 	copy(buf, magic)
 	binary.BigEndian.PutUint32(buf[8:], db.root)
-	binary.BigEndian.PutUint32(buf[12:], db.pager.npages)
+	binary.BigEndian.PutUint32(buf[12:], db.pager.npages.Load())
 	return db.pager.write(0, buf)
 }
 
@@ -153,8 +178,8 @@ func (db *DB) loadHeader() error {
 		return fmt.Errorf("kvstore: bad magic (corrupt or not a store file)")
 	}
 	db.root = binary.BigEndian.Uint32(buf[8:])
-	if db.root == 0 || db.root >= db.pager.npages {
-		return fmt.Errorf("kvstore: corrupt header: root page %d of %d", db.root, db.pager.npages)
+	if db.root == 0 || db.root >= db.pager.npages.Load() {
+		return fmt.Errorf("kvstore: corrupt header: root page %d of %d", db.root, db.pager.npages.Load())
 	}
 	return nil
 }
@@ -162,6 +187,7 @@ func (db *DB) loadHeader() error {
 // node is the in-memory form of a tree page.
 type node struct {
 	typ      byte
+	next     uint32 // leaves only: right sibling page id, 0 = none
 	keys     [][]byte
 	vals     [][]byte // leaves only
 	children []uint32 // internal only, len(keys)+1
@@ -170,6 +196,9 @@ type node struct {
 // size returns the serialized byte size.
 func (n *node) size() int {
 	sz := 3 // type + nkeys
+	if n.typ == pageLeaf {
+		sz += 4 // sibling pointer
+	}
 	for i, k := range n.keys {
 		sz += 2 + len(k)
 		if n.typ == pageLeaf {
@@ -190,7 +219,12 @@ func (n *node) serialize() ([]byte, error) {
 	buf[0] = n.typ
 	binary.BigEndian.PutUint16(buf[1:], uint16(len(n.keys)))
 	off := 3
-	if n.typ == pageInternal {
+	if n.typ == pageLeaf {
+		// The sibling pointer lives at a fixed offset so the read-ahead
+		// chain walk can follow it without decoding entries.
+		binary.BigEndian.PutUint32(buf[off:], n.next)
+		off += 4
+	} else {
 		for _, c := range n.children {
 			binary.BigEndian.PutUint32(buf[off:], c)
 			off += 4
@@ -219,6 +253,10 @@ func deserialize(buf []byte) (*node, error) {
 	}
 	nkeys := int(binary.BigEndian.Uint16(buf[1:]))
 	off := 3
+	if n.typ == pageLeaf {
+		n.next = binary.BigEndian.Uint32(buf[off:])
+		off += 4
+	}
 	if n.typ == pageInternal {
 		n.children = make([]uint32, nkeys+1)
 		for i := range n.children {
@@ -511,8 +549,11 @@ func (db *DB) finishInsert(id uint32, n *node, insertAt int) ([]byte, uint32, er
 	var left, rightN *node
 	if n.typ == pageLeaf {
 		// Right half starts at mid; its first key is promoted (copied).
+		// The new right leaf inherits the sibling pointer and the left
+		// leaf links to it (below, once its page id exists), keeping the
+		// scan read-ahead chain intact across splits.
 		left = &node{typ: pageLeaf, keys: n.keys[:mid], vals: n.vals[:mid]}
-		rightN = &node{typ: pageLeaf, keys: n.keys[mid:], vals: n.vals[mid:]}
+		rightN = &node{typ: pageLeaf, next: n.next, keys: n.keys[mid:], vals: n.vals[mid:]}
 		promoted = append([]byte(nil), n.keys[mid]...)
 	} else {
 		// The middle key moves up.
@@ -521,6 +562,9 @@ func (db *DB) finishInsert(id uint32, n *node, insertAt int) ([]byte, uint32, er
 		rightN = &node{typ: pageInternal, keys: n.keys[mid+1:], children: n.children[mid+1:]}
 	}
 	rightID := db.pager.alloc()
+	if n.typ == pageLeaf {
+		left.next = rightID
+	}
 	if err := db.writeNode(id, left); err != nil {
 		return nil, 0, err
 	}
@@ -540,6 +584,9 @@ func (db *DB) finishInsert(id uint32, n *node, insertAt int) ([]byte, uint32, er
 func (n *node) splitPoint() int {
 	total := n.size()
 	acc := 3
+	if n.typ == pageLeaf {
+		acc = 7 // header + sibling pointer
+	}
 	for i, k := range n.keys {
 		entry := 2 + len(k)
 		if n.typ == pageLeaf {

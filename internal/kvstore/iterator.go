@@ -87,8 +87,27 @@ func (it *Iterator) settle() {
 			return
 		}
 		it.stack = append(it.stack, frame{id: top.n.children[top.idx], n: child, idx: 0})
+		if child.typ == pageLeaf {
+			// The scan just crossed into a new leaf, so it is provably
+			// sequential: prefetch the next leaves along the sibling
+			// chain into the buffer pool ahead of the cursor. Seek's
+			// initial leaf never prefetches — a scan that ends inside
+			// its first leaf (point-ish lookups, early callback stops)
+			// reads nothing beyond its own root-to-leaf path.
+			it.db.maybeReadAhead(child)
+		}
 	}
 	it.valid = false
+}
+
+// maybeReadAhead prefetches up to db.readAhead leaf pages following n's
+// sibling chain. It runs under whatever lock the scan holds (Ascend and
+// AscendPrefix hold the store's read lock), so the chain is stable.
+func (db *DB) maybeReadAhead(n *node) {
+	if db.readAhead <= 0 || n.next == 0 {
+		return
+	}
+	db.pager.readAhead(n.next, db.readAhead, pageLeaf)
 }
 
 // Valid reports whether the iterator is positioned at an entry.

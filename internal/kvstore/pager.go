@@ -1,9 +1,10 @@
 // Package kvstore is a single-file, page-oriented B+tree key-value store —
 // the storage substrate standing in for BerkeleyDB Java Edition in the
 // paper's architecture (Section VIII). It provides ordered iteration
-// (needed for the TypeToSequence scans of the renderer), a buffer pool
-// with LRU eviction, and block read/write counters that the benchmark
-// harness samples to regenerate the paper's vmstat figures (Figs. 11-12).
+// (needed for the TypeToSequence scans of the renderer), a sharded buffer
+// pool with per-shard LRU eviction, scan read-ahead over leaf sibling
+// pointers, and block read/write counters that the benchmark harness
+// samples to regenerate the paper's vmstat figures (Figs. 11-12).
 package kvstore
 
 import (
@@ -19,7 +20,15 @@ import (
 // PageSize is the fixed on-disk page size.
 const PageSize = 4096
 
-const magic = "XMKV1\x00\x00\x00"
+const magic = "XMKV2\x00\x00\x00"
+
+// numShards is the buffer-pool shard count (a power of two). Pages hash
+// to shards by id, so sequentially allocated sibling leaves — what a
+// range scan walks — land on different shards and concurrent readers of
+// different pages never serialize on one mutex. 16 shards keep per-shard
+// LRU lists long enough to approximate a global LRU at the default pool
+// sizes while covering any realistic reader parallelism.
+const numShards = 16
 
 // Stats holds cumulative I/O counters. Reads and writes are whole pages
 // ("blocks" in the vmstat sense). IONanos accumulates wall time spent
@@ -27,16 +36,23 @@ const magic = "XMKV1\x00\x00\x00"
 // wait-percentage figure (Fig. 12) from it. The buffer-pool counters
 // (CacheHits/CacheMisses/Evictions) and the operation counters
 // (Gets/Puts/Deletes/Seeks) feed the observability layer's per-span
-// page-I/O accounting.
+// page-I/O accounting. Every counter is maintained with atomics, so a
+// snapshot never takes a pool or tree lock.
 type Stats struct {
 	BlocksRead    int64
 	BlocksWritten int64
 	IONanos       int64
 	// CacheHits/CacheMisses count page lookups served from / missing the
-	// buffer pool; Evictions counts pages pushed out by LRU pressure.
+	// buffer pool; Evictions counts pages pushed out by LRU pressure. A
+	// read-ahead probe that fetches a page counts as a miss (and a block
+	// read), and the scan's subsequent touch of that page as a hit; a
+	// probe that finds the page already resident counts nothing.
 	CacheHits   int64
 	CacheMisses int64
 	Evictions   int64
+	// ReadAheads counts leaf pages fetched into the pool by scan
+	// read-ahead (a subset of CacheMisses/BlocksRead).
+	ReadAheads int64
 	// Gets/Puts/Deletes/Seeks count B+tree operations (a Seek starts one
 	// ordered scan; each scan re-reads pages through the pool).
 	Gets    int64
@@ -60,22 +76,40 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
-// pager manages the page file and the buffer pool.
-type pager struct {
-	mu    sync.Mutex
-	file  *os.File // nil for the memory backend
-	mem   [][]byte // memory backend pages
-	cache map[uint32]*cached
-	// lru is a doubly linked list of cached pages, most recent at head.
-	head, tail *cached
+// shard is one slice of the buffer pool: its own page map, LRU list, and
+// capacity, guarded by its own mutex. The pad keeps hot shard headers on
+// separate cache lines.
+type shard struct {
+	mu         sync.Mutex
+	cache      map[uint32]*cached
+	head, tail *cached // LRU list, most recent at head
 	capacity   int
-	npages     uint32
-	reads      int64
-	writes     int64
-	ioNanos    int64
-	hits       int64
-	misses     int64
-	evictions  int64
+	_          [24]byte
+}
+
+// pager manages the page file and the sharded buffer pool.
+//
+// Locking: each page id maps to exactly one shard and every access to a
+// page's cache entry happens under that shard's mutex; at most one shard
+// mutex is ever held at a time (read-ahead walks the leaf chain one page
+// — one shard lock — at a time), so shard locks cannot deadlock. npages
+// and all counters are atomics. The mem slice and file growth (alloc)
+// are serialized by the DB's write lock: alloc is only reached from
+// mutations, which the B+tree runs under db.mu held exclusively, while
+// readers (holding db.mu read-locked) only index mem at existing pages.
+type pager struct {
+	file   *os.File // nil for the memory backend
+	mem    [][]byte // memory backend pages
+	npages atomic.Uint32
+	shards [numShards]shard
+
+	reads      atomic.Int64
+	writes     atomic.Int64
+	ioNanos    atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	readAheads atomic.Int64
 }
 
 type cached struct {
@@ -89,7 +123,15 @@ func newPager(f *os.File, capacity int) (*pager, error) {
 	if capacity < 8 {
 		capacity = 8
 	}
-	p := &pager{file: f, cache: map[uint32]*cached{}, capacity: capacity}
+	p := &pager{file: f}
+	perShard := (capacity + numShards - 1) / numShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range p.shards {
+		p.shards[i].cache = map[uint32]*cached{}
+		p.shards[i].capacity = perShard
+	}
 	if f != nil {
 		fi, err := f.Stat()
 		if err != nil {
@@ -98,22 +140,26 @@ func newPager(f *os.File, capacity int) (*pager, error) {
 		if fi.Size()%PageSize != 0 {
 			return nil, fmt.Errorf("kvstore: file size %d is not page aligned (truncated or corrupt)", fi.Size())
 		}
-		p.npages = uint32(fi.Size() / PageSize)
+		p.npages.Store(uint32(fi.Size() / PageSize))
 	}
 	return p, nil
 }
 
-// alloc appends a fresh zeroed page and returns its id.
+func (p *pager) shardOf(id uint32) *shard { return &p.shards[id&(numShards-1)] }
+
+// alloc appends a fresh zeroed page and returns its id. Callers hold the
+// DB write lock (allocation only happens during mutations), which is
+// what serializes npages growth against the mem slice append.
 func (p *pager) alloc() uint32 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	id := p.npages
-	p.npages++
+	id := p.npages.Add(1) - 1
 	c := &cached{id: id, buf: make([]byte, PageSize), dirty: true}
-	p.insert(c)
 	if p.file == nil {
 		p.mem = append(p.mem, nil)
 	}
+	s := p.shardOf(id)
+	s.mu.Lock()
+	p.insertLocked(s, c)
+	s.mu.Unlock()
 	return id
 }
 
@@ -121,148 +167,197 @@ func (p *pager) alloc() uint32 {
 // pager calls unless it pins the cache by holding no more than capacity
 // pages (the B+tree copies what it needs).
 func (p *pager) read(id uint32) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if c, ok := p.cache[id]; ok {
-		atomic.AddInt64(&p.hits, 1)
-		p.touch(c)
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cache[id]; ok {
+		p.hits.Add(1)
+		p.touchLocked(s, c)
 		return c.buf, nil
 	}
-	if id >= p.npages {
-		return nil, fmt.Errorf("kvstore: page %d out of range (%d pages)", id, p.npages)
+	p.misses.Add(1)
+	c, err := p.fetchLocked(s, id)
+	if err != nil {
+		return nil, err
 	}
-	atomic.AddInt64(&p.misses, 1)
+	return c.buf, nil
+}
+
+// fetchLocked loads a page absent from the pool from the backing store
+// and inserts it. Callers hold s.mu and have counted the miss.
+func (p *pager) fetchLocked(s *shard, id uint32) (*cached, error) {
+	if id >= p.npages.Load() {
+		return nil, fmt.Errorf("kvstore: page %d out of range (%d pages)", id, p.npages.Load())
+	}
 	buf := make([]byte, PageSize)
 	if p.file != nil {
 		start := time.Now()
 		_, err := p.file.ReadAt(buf, int64(id)*PageSize)
-		atomic.AddInt64(&p.ioNanos, int64(time.Since(start)))
+		p.ioNanos.Add(int64(time.Since(start)))
 		if err != nil && err != io.EOF {
 			return nil, fmt.Errorf("kvstore: read page %d: %w", id, err)
 		}
 	} else if p.mem[id] != nil {
 		copy(buf, p.mem[id])
 	}
-	atomic.AddInt64(&p.reads, 1)
+	p.reads.Add(1)
 	c := &cached{id: id, buf: buf}
-	p.insert(c)
-	return c.buf, nil
+	p.insertLocked(s, c)
+	return c, nil
+}
+
+// readAhead walks the leaf sibling chain starting at page id, pulling up
+// to k leaves into the pool ahead of a scan cursor. Pages already
+// resident cost one map lookup; absent pages are fetched and counted as
+// ReadAheads (plus the usual miss/block-read). The walk stops at the end
+// of the chain, at a non-leaf page (possible only on corruption), or on
+// any I/O error — read-ahead is advisory, so errors are left for the
+// scan itself to rediscover and report. It locks one shard at a time.
+func (p *pager) readAhead(id uint32, k int, leafType byte) {
+	for i := 0; i < k && id != 0; i++ {
+		if id >= p.npages.Load() {
+			return
+		}
+		s := p.shardOf(id)
+		s.mu.Lock()
+		c, ok := s.cache[id]
+		if !ok {
+			var err error
+			p.misses.Add(1)
+			c, err = p.fetchLocked(s, id)
+			if err != nil {
+				s.mu.Unlock()
+				return
+			}
+			p.readAheads.Add(1)
+		}
+		if c.buf[0] != leafType {
+			s.mu.Unlock()
+			return
+		}
+		id = binary.BigEndian.Uint32(c.buf[3:7])
+		s.mu.Unlock()
+	}
 }
 
 // write replaces a page's contents and marks it dirty.
 func (p *pager) write(id uint32, buf []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if c, ok := p.cache[id]; ok {
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.cache[id]; ok {
 		copy(c.buf, buf)
 		c.dirty = true
-		p.touch(c)
+		p.touchLocked(s, c)
 		return nil
 	}
-	if id >= p.npages {
+	if id >= p.npages.Load() {
 		return fmt.Errorf("kvstore: write page %d out of range", id)
 	}
 	c := &cached{id: id, buf: append(make([]byte, 0, PageSize), buf...), dirty: true}
-	p.insert(c)
+	p.insertLocked(s, c)
 	return nil
 }
 
-// insert adds a page at the LRU head, evicting if over capacity. Callers
-// hold p.mu.
-func (p *pager) insert(c *cached) {
-	p.cache[c.id] = c
-	c.next = p.head
-	if p.head != nil {
-		p.head.prev = c
+// insertLocked adds a page at the shard's LRU head, evicting if over
+// capacity. Callers hold s.mu.
+func (p *pager) insertLocked(s *shard, c *cached) {
+	s.cache[c.id] = c
+	c.next = s.head
+	if s.head != nil {
+		s.head.prev = c
 	}
-	p.head = c
-	if p.tail == nil {
-		p.tail = c
+	s.head = c
+	if s.tail == nil {
+		s.tail = c
 	}
-	for len(p.cache) > p.capacity {
-		victim := p.tail
+	for len(s.cache) > s.capacity {
+		victim := s.tail
 		if victim == nil {
 			break
 		}
-		p.unlink(victim)
-		delete(p.cache, victim.id)
-		atomic.AddInt64(&p.evictions, 1)
+		s.unlink(victim)
+		delete(s.cache, victim.id)
+		p.evictions.Add(1)
 		if victim.dirty {
-			p.flushLocked(victim)
+			p.flushLocked(s, victim)
 		}
 	}
 }
 
-func (p *pager) touch(c *cached) {
-	if p.head == c {
+func (p *pager) touchLocked(s *shard, c *cached) {
+	if s.head == c {
 		return
 	}
-	p.unlink(c)
-	c.next = p.head
+	s.unlink(c)
+	c.next = s.head
 	c.prev = nil
-	if p.head != nil {
-		p.head.prev = c
+	if s.head != nil {
+		s.head.prev = c
 	}
-	p.head = c
-	if p.tail == nil {
-		p.tail = c
+	s.head = c
+	if s.tail == nil {
+		s.tail = c
 	}
 }
 
-func (p *pager) unlink(c *cached) {
+func (s *shard) unlink(c *cached) {
 	if c.prev != nil {
 		c.prev.next = c.next
-	} else if p.head == c {
-		p.head = c.next
+	} else if s.head == c {
+		s.head = c.next
 	}
 	if c.next != nil {
 		c.next.prev = c.prev
-	} else if p.tail == c {
-		p.tail = c.prev
+	} else if s.tail == c {
+		s.tail = c.prev
 	}
 	c.prev, c.next = nil, nil
 }
 
-// flushLocked writes one page back. Callers hold p.mu.
-func (p *pager) flushLocked(c *cached) {
+// flushLocked writes one page back. Callers hold s.mu.
+func (p *pager) flushLocked(s *shard, c *cached) {
 	if p.file != nil {
 		// Errors here surface on Sync/Close via a re-write; eviction keeps
 		// the page dirty in memory on failure.
 		start := time.Now()
 		_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
-		atomic.AddInt64(&p.ioNanos, int64(time.Since(start)))
+		p.ioNanos.Add(int64(time.Since(start)))
 		if err != nil {
-			p.cache[c.id] = c // keep it so Sync can retry
+			s.cache[c.id] = c // keep it so Sync can retry
 			return
 		}
 	} else {
 		p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
 	}
-	atomic.AddInt64(&p.writes, 1)
+	p.writes.Add(1)
 	c.dirty = false
 }
 
-// sync flushes every dirty page.
+// sync flushes every dirty page, locking one shard at a time.
 func (p *pager) sync() error {
-	p.mu.Lock()
-	for _, c := range p.cache {
-		if c.dirty {
-			if p.file != nil {
-				start := time.Now()
-				_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
-				atomic.AddInt64(&p.ioNanos, int64(time.Since(start)))
-				if err != nil {
-					p.mu.Unlock()
-					return fmt.Errorf("kvstore: sync page %d: %w", c.id, err)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, c := range s.cache {
+			if c.dirty {
+				if p.file != nil {
+					start := time.Now()
+					_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
+					p.ioNanos.Add(int64(time.Since(start)))
+					if err != nil {
+						s.mu.Unlock()
+						return fmt.Errorf("kvstore: sync page %d: %w", c.id, err)
+					}
+				} else {
+					p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
 				}
-			} else {
-				p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
+				p.writes.Add(1)
+				c.dirty = false
 			}
-			atomic.AddInt64(&p.writes, 1)
-			c.dirty = false
 		}
+		s.mu.Unlock()
 	}
-	p.mu.Unlock()
 	if p.file != nil {
 		return p.file.Sync()
 	}
@@ -271,13 +366,12 @@ func (p *pager) sync() error {
 
 func (p *pager) stats() Stats {
 	return Stats{
-		BlocksRead:    atomic.LoadInt64(&p.reads),
-		BlocksWritten: atomic.LoadInt64(&p.writes),
-		IONanos:       atomic.LoadInt64(&p.ioNanos),
-		CacheHits:     atomic.LoadInt64(&p.hits),
-		CacheMisses:   atomic.LoadInt64(&p.misses),
-		Evictions:     atomic.LoadInt64(&p.evictions),
+		BlocksRead:    p.reads.Load(),
+		BlocksWritten: p.writes.Load(),
+		IONanos:       p.ioNanos.Load(),
+		CacheHits:     p.hits.Load(),
+		CacheMisses:   p.misses.Load(),
+		Evictions:     p.evictions.Load(),
+		ReadAheads:    p.readAheads.Load(),
 	}
 }
-
-var _ = binary.BigEndian // used by btree.go page codecs
