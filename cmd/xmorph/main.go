@@ -37,6 +37,7 @@ import (
 func main() {
 	storePath := flag.String("store", "xmorph.db", "store file for shredded documents")
 	cache := flag.Int("cache", 256, "buffer pool size in pages")
+	durability := flag.Bool("durability", false, "crash-safe commits: write-ahead log every Sync (see DESIGN.md Durability)")
 	indent := flag.Bool("indent", true, "pretty-print output XML")
 	quiet := flag.Bool("quiet", false, "suppress the reports, print only XML")
 	verify := flag.Bool("verify", false, "run-file: empirically compare closest graphs and quantify loss")
@@ -47,7 +48,8 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 
-	o := options{store: *storePath, cache: *cache, indent: *indent, quiet: *quiet,
+	o := options{store: *storePath, cache: *cache, durability: *durability,
+		indent: *indent, quiet: *quiet,
 		verify: *verify, stream: *stream,
 		trace: *trace, metrics: *metrics, metricsFormat: *metricsFormat}
 	args, err := extractTrailingFlags(flag.Args(), &o)
@@ -127,12 +129,13 @@ func extractTrailingFlags(args []string, o *options) ([]string, error) {
 
 // options carries the CLI flags into dispatch (kept testable).
 type options struct {
-	store  string
-	cache  int
-	indent bool
-	quiet  bool
-	verify bool
-	stream bool
+	store      string
+	cache      int
+	durability bool
+	indent     bool
+	quiet      bool
+	verify     bool
+	stream     bool
 
 	trace         bool
 	metrics       bool
@@ -148,7 +151,7 @@ func dispatch(o options, args []string) error {
 	storePath, cache, indent, quiet := o.store, o.cache, o.indent, o.quiet
 	var opened *store.Store
 	open := func() (*store.Store, error) {
-		st, err := store.Open(storePath, &kvstore.Options{CachePages: cache})
+		st, err := store.Open(storePath, &kvstore.Options{CachePages: cache, Durability: o.durability})
 		if err == nil {
 			opened = st
 		}
@@ -430,6 +433,9 @@ func dumpMetrics(o options, st *store.Store) {
 		reg.Gauge("kvstore_puts").Set(float64(s.Puts))
 		reg.Gauge("kvstore_deletes").Set(float64(s.Deletes))
 		reg.Gauge("kvstore_seeks").Set(float64(s.Seeks))
+		reg.Gauge("kvstore_wal_bytes").Set(float64(s.WALBytes))
+		reg.Gauge("kvstore_wal_commits").Set(float64(s.WALCommits))
+		reg.Gauge("kvstore_recoveries").Set(float64(s.Recoveries))
 	}
 	snap := obs.Default.Snapshot()
 	if o.metricsFormat == "json" {

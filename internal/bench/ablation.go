@@ -151,7 +151,7 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 		return nil, err
 	}
 	defer cleanup()
-	path, _, _, err := prepareStore(dir, "abl-xmark", doc, 256)
+	path, _, _, err := prepareStore(dir, "abl-xmark", doc, 256, cfg.Durability)
 	if err != nil {
 		return nil, err
 	}

@@ -53,6 +53,11 @@ type Config struct {
 	ConcCachePages int
 	// Seed feeds the generators.
 	Seed int64
+	// Durability opens every store file with the write-ahead log enabled,
+	// measuring the crash-safe configuration instead of the default.
+	// RunHotpath additionally runs its own WAL ablation regardless of
+	// this setting.
+	Durability bool
 	// CachePages bounds the store's buffer pool, keeping runs I/O-bound
 	// like the paper's cold-cache setup.
 	CachePages int
@@ -86,11 +91,12 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // prepareStore generates a document, shreds it into a fresh store file,
 // and returns the store path plus shred time and raw XML size.
-func prepareStore(dir, name string, doc *xmltree.Document, cachePages int) (path string, shred time.Duration, bytes int, err error) {
+func prepareStore(dir, name string, doc *xmltree.Document, cachePages int, durable bool) (path string, shred time.Duration, bytes int, err error) {
 	xml := doc.XML(false)
 	path = filepath.Join(dir, name+".db")
 	os.Remove(path)
-	st, err := store.Open(path, &kvstore.Options{CachePages: cachePages})
+	os.Remove(path + ".wal")
+	st, err := store.Open(path, &kvstore.Options{CachePages: cachePages, Durability: durable})
 	if err != nil {
 		return "", 0, 0, err
 	}
@@ -108,8 +114,8 @@ func prepareStore(dir, name string, doc *xmltree.Document, cachePages int) (path
 
 // coldOpen reopens a store with an empty buffer pool — the paper clears
 // the cache before every run.
-func coldOpen(path string, cachePages int) (*store.Store, error) {
-	return store.Open(path, &kvstore.Options{CachePages: cachePages})
+func coldOpen(path string, cachePages int, durable bool) (*store.Store, error) {
+	return store.Open(path, &kvstore.Options{CachePages: cachePages, Durability: durable})
 }
 
 // storedRun is one measured transformation.
@@ -140,8 +146,8 @@ func transformStoredDiscard(st *store.Store, name, guard string) (*storedRun, er
 }
 
 // runStored is transformStoredDiscard against a cold-opened store.
-func runStored(path, name, guard string, cachePages int) (compile, renderT time.Duration, outNodes int, err error) {
-	st, err := coldOpen(path, cachePages)
+func runStored(path, name, guard string, cachePages int, durable bool) (compile, renderT time.Duration, outNodes int, err error) {
+	st, err := coldOpen(path, cachePages, durable)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -157,8 +163,8 @@ func runStored(path, name, guard string, cachePages int) (compile, renderT time.
 // document in document order and serialize it (the paper notes eXist's
 // timing "is essentially that of reading the document from disk to a
 // String object").
-func runBaseline(path, name string, cachePages int) (time.Duration, error) {
-	st, err := coldOpen(path, cachePages)
+func runBaseline(path, name string, cachePages int, durable bool) (time.Duration, error) {
+	st, err := coldOpen(path, cachePages, durable)
 	if err != nil {
 		return 0, err
 	}

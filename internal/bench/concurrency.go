@@ -175,7 +175,7 @@ func RunConcurrency(cfg Config) ([]ConcurrencyRow, error) {
 	for _, factor := range cfg.concFactors() {
 		doc := xmark.Generate(xmark.Config{Factor: factor, Seed: cfg.Seed})
 		name := fmt.Sprintf("conc-%g", factor)
-		path, _, xmlBytes, err := prepareStore(dir, name, doc, cfg.concCachePages())
+		path, _, xmlBytes, err := prepareStore(dir, name, doc, cfg.concCachePages(), cfg.Durability)
 		if err != nil {
 			return nil, err
 		}

@@ -42,13 +42,13 @@ func RunFig10(cfg Config) ([]Fig10Row, error) {
 	for _, f := range cfg.XMarkFactors {
 		doc := xmark.Generate(xmark.Config{Factor: f, Seed: cfg.Seed})
 		name := fmt.Sprintf("xmark-%g", f)
-		path, shred, bytes, err := prepareStore(dir, name, doc, cfg.CachePages)
+		path, shred, bytes, err := prepareStore(dir, name, doc, cfg.CachePages, cfg.Durability)
 		if err != nil {
 			return nil, err
 		}
 
 		// Monitored run: reopen cold, attach sysmon, transform.
-		st, err := coldOpen(path, cfg.CachePages)
+		st, err := coldOpen(path, cfg.CachePages, cfg.Durability)
 		if err != nil {
 			return nil, err
 		}
@@ -60,7 +60,7 @@ func RunFig10(cfg Config) ([]Fig10Row, error) {
 			return nil, err
 		}
 
-		baseline, err := runBaseline(path, name, cfg.CachePages)
+		baseline, err := runBaseline(path, name, cfg.CachePages, cfg.Durability)
 		if err != nil {
 			return nil, err
 		}

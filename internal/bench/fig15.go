@@ -89,12 +89,12 @@ func RunFig15(cfg Config) ([]Fig15Row, error) {
 	var rows []Fig15Row
 	for _, ds := range fig15Datasets {
 		doc := ds.Build(cfg)
-		path, _, _, err := prepareStore(dir, "f15-"+ds.Name, doc, cfg.CachePages)
+		path, _, _, err := prepareStore(dir, "f15-"+ds.Name, doc, cfg.CachePages, cfg.Durability)
 		if err != nil {
 			return nil, err
 		}
 		for _, sh := range ds.Shapes {
-			_, renderT, outNodes, err := runStored(path, "f15-"+ds.Name, sh.Guard, cfg.CachePages)
+			_, renderT, outNodes, err := runStored(path, "f15-"+ds.Name, sh.Guard, cfg.CachePages, cfg.Durability)
 			if err != nil {
 				return nil, fmt.Errorf("fig15 %s/%s: %w", ds.Name, sh.Name, err)
 			}

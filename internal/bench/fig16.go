@@ -43,13 +43,13 @@ func RunFig16(cfg Config) ([]Fig16Row, error) {
 	defer cleanup()
 
 	doc := xmark.Generate(xmark.Config{Factor: 0.03, Seed: cfg.Seed})
-	path, _, _, err := prepareStore(dir, "f16-xmark", doc, cfg.CachePages)
+	path, _, _, err := prepareStore(dir, "f16-xmark", doc, cfg.CachePages, cfg.Durability)
 	if err != nil {
 		return nil, err
 	}
 	var rows []Fig16Row
 	for _, op := range Fig16Ops {
-		compile, renderT, outNodes, err := runStored(path, "f16-xmark", op.Guard, cfg.CachePages)
+		compile, renderT, outNodes, err := runStored(path, "f16-xmark", op.Guard, cfg.CachePages, cfg.Durability)
 		if err != nil {
 			return nil, fmt.Errorf("fig16 %s: %w", op.Name, err)
 		}

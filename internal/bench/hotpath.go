@@ -31,6 +31,7 @@ type HotpathRow struct {
 	PagesWritten int64   `json:"pages_written,omitempty"`
 	HitRatio     float64 `json:"hit_ratio,omitempty"`
 	FastPathHits int64   `json:"fastpath_hits,omitempty"`
+	WALBytes     int64   `json:"wal_bytes,omitempty"`
 	Note         string  `json:"note,omitempty"`
 }
 
@@ -92,16 +93,23 @@ func RunHotpath(cfg Config) ([]HotpathRow, error) {
 		doc := xmark.Generate(xmark.Config{Factor: factor, Seed: cfg.Seed})
 		xml := doc.XML(false)
 
-		// --- shred: batched vs per-chunk puts ---------------------------
-		for _, variant := range []string{"batched", "per-chunk-put"} {
+		// --- shred: batched vs per-chunk puts vs batched+wal ------------
+		// The "batched+wal" row is the durability ablation: identical
+		// workload with the write-ahead log on, so the extra page writes
+		// and wal_bytes quantify the WAL's write amplification.
+		for _, variant := range []string{"batched", "batched+wal", "per-chunk-put"} {
 			path := filepath.Join(dir, fmt.Sprintf("hot-%g-%s.db", factor, variant))
 			os.Remove(path)
+			os.Remove(path + ".wal")
 			opts := &kvstore.Options{CachePages: cfg.CachePages}
-			if variant == "per-chunk-put" {
+			switch variant {
+			case "per-chunk-put":
 				// The seed shredder: one Put per chunk, full descents,
 				// byte-balanced splits.
 				opts.DisableFastPath = true
 				opts.BalancedSplitOnly = true
+			case "batched+wal":
+				opts.Durability = true
 			}
 			st, err := store.Open(path, opts)
 			if err != nil {
@@ -127,13 +135,15 @@ func RunHotpath(cfg Config) ([]HotpathRow, error) {
 				PagesWritten: after.BlocksWritten - before.BlocksWritten,
 				HitRatio:     after.HitRatio(),
 				FastPathHits: after.FastPathHits - before.FastPathHits,
+				WALBytes:     after.WALBytes - before.WALBytes,
 				Note:         fmt.Sprintf("%d nodes, %d bytes xml", doc.Size(), len(xml)),
 			})
 			if err := st.Close(); err != nil {
 				return nil, err
 			}
-			if variant == "per-chunk-put" {
+			if variant != "batched" {
 				os.Remove(path)
+				os.Remove(path + ".wal")
 			}
 		}
 
@@ -194,7 +204,7 @@ func RunHotpath(cfg Config) ([]HotpathRow, error) {
 
 		// --- render: end-to-end stored transformation -------------------
 		path := filepath.Join(dir, fmt.Sprintf("hot-%g-batched.db", factor))
-		st, err := coldOpen(path, cfg.CachePages)
+		st, err := coldOpen(path, cfg.CachePages, cfg.Durability)
 		if err != nil {
 			return nil, err
 		}
@@ -263,14 +273,15 @@ func HotpathReportFor(cfg Config, rows []HotpathRow) *HotpathReport {
 func HotpathTable(rows []HotpathRow) string {
 	t := &Table{
 		Title:   "Hot path (shred / closest join / render)",
-		Columns: []string{"experiment", "variant", "factor", "ms/op", "allocs/op", "pg-read", "pg-write", "hit%", "fast-hits", "note"},
+		Columns: []string{"experiment", "variant", "factor", "ms/op", "allocs/op", "pg-read", "pg-write", "hit%", "fast-hits", "wal-kb", "note"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			r.Name, r.Variant, fmt.Sprintf("%g", r.Factor),
 			f2(r.NsPerOp / 1e6), fmt.Sprintf("%.0f", r.AllocsPerOp),
 			fmt.Sprintf("%d", r.PagesRead), fmt.Sprintf("%d", r.PagesWritten),
-			f1(r.HitRatio * 100), fmt.Sprintf("%d", r.FastPathHits), r.Note,
+			f1(r.HitRatio * 100), fmt.Sprintf("%d", r.FastPathHits),
+			fmt.Sprintf("%d", r.WALBytes/1024), r.Note,
 		})
 	}
 	return t.String()

@@ -34,6 +34,13 @@ type DB struct {
 	root  uint32
 	path  string
 
+	// Last header image written (or loaded): writeHeader skips the page
+	// write when root and page count are unchanged, so an empty Sync
+	// dirties nothing and commits nothing. Guarded by mu (write).
+	hdrValid  bool
+	hdrRoot   uint32
+	hdrNpages uint32
+
 	// Sorted-insert fast path: the leaf that served the last Put plus the
 	// separator bounds [fastLow, fastHigh) routing to it. When the next
 	// key still falls in that range and the insert cannot split, the
@@ -81,6 +88,20 @@ type Options struct {
 	// scan result is identical either way (a test guards this). The knob
 	// exists for ablation benchmarks, mirroring BalancedSplitOnly.
 	DisableReadAhead bool
+	// Durability enables the write-ahead-log commit protocol: Sync
+	// records every dirty page image plus a commit marker in <path>.wal
+	// (fsynced) before any in-place page write, and empties the log once
+	// the in-place writes are on stable storage, so a crash or torn
+	// write at any point leaves the store recoverable to its last
+	// committed state. Between Syncs dirty pages are pinned in memory
+	// instead of being flushed on eviction. Ignored by OpenMemory.
+	// Independent of this flag, Open always replays (or discards) a
+	// leftover <path>.wal — see wal.go for the protocol.
+	Durability bool
+	// FS overrides the filesystem the store and its log live on
+	// (default: the real OS filesystem). The fault-injection tests pass
+	// a FaultFS to fail or tear specific writes and simulate crashes.
+	FS VFS
 }
 
 // defaultReadAhead is the scan read-ahead depth when Options leave it
@@ -103,20 +124,38 @@ func (db *DB) resolveOptions(opts *Options) {
 	}
 }
 
-// Open opens (or creates) a store file.
+// Open opens (or creates) a store file. Before anything is read, a
+// leftover write-ahead log from an interrupted durable commit is
+// replayed (complete) or discarded (incomplete), so the store always
+// reopens to its last committed state.
 func Open(path string, opts *Options) (*DB, error) {
 	capacity := 256
 	if opts != nil && opts.CachePages > 0 {
 		capacity = opts.CachePages
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fs := VFS(osFS{})
+	if opts != nil && opts.FS != nil {
+		fs = opts.FS
+	}
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	replayed, err := recoverWAL(fs, path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
 	}
 	p, err := newPager(f, capacity)
 	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	p.fs = fs
+	p.walPath = walSuffix(path)
+	p.durable = opts != nil && opts.Durability
+	if replayed {
+		p.recoveries.Store(1)
 	}
 	db := &DB{pager: p, path: path}
 	db.resolveOptions(opts)
@@ -162,11 +201,19 @@ func (db *DB) initialize() error {
 }
 
 func (db *DB) writeHeader() error {
+	np := db.pager.npages.Load()
+	if db.hdrValid && db.hdrRoot == db.root && db.hdrNpages == np {
+		return nil
+	}
 	buf := make([]byte, PageSize)
 	copy(buf, magic)
 	binary.BigEndian.PutUint32(buf[8:], db.root)
-	binary.BigEndian.PutUint32(buf[12:], db.pager.npages.Load())
-	return db.pager.write(0, buf)
+	binary.BigEndian.PutUint32(buf[12:], np)
+	if err := db.pager.write(0, buf); err != nil {
+		return err
+	}
+	db.hdrValid, db.hdrRoot, db.hdrNpages = true, db.root, np
+	return nil
 }
 
 func (db *DB) loadHeader() error {
@@ -181,6 +228,9 @@ func (db *DB) loadHeader() error {
 	if db.root == 0 || db.root >= db.pager.npages.Load() {
 		return fmt.Errorf("kvstore: corrupt header: root page %d of %d", db.root, db.pager.npages.Load())
 	}
+	// Record the header as stored (not as derived from the file size), so
+	// the skip in writeHeader never leaves a stale image on disk.
+	db.hdrValid, db.hdrRoot, db.hdrNpages = true, db.root, binary.BigEndian.Uint32(buf[12:])
 	return nil
 }
 
@@ -643,15 +693,12 @@ func (db *DB) Sync() error {
 	return db.pager.sync()
 }
 
-// Close syncs and releases the file.
+// Close syncs and releases the file handles (store and log).
 func (db *DB) Close() error {
 	if err := db.Sync(); err != nil {
 		return err
 	}
-	if db.pager.file != nil {
-		return db.pager.file.Close()
-	}
-	return nil
+	return db.pager.close()
 }
 
 // Stats returns cumulative block I/O, buffer-pool, and operation

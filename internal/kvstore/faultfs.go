@@ -1,0 +1,278 @@
+package kvstore
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every FaultFS operation after a simulated
+// crash fired, until ClearFaults "reboots" the filesystem.
+var ErrCrashed = errors.New("kvstore: simulated crash")
+
+// ErrInjected is the default error returned by a write that FailWrite
+// targeted.
+var ErrInjected = errors.New("kvstore: injected write error")
+
+// FaultFS is an in-memory VFS with deterministic fault injection, built
+// for the crash-point sweep harness and the recovery tests. Files live
+// entirely in memory with two images each: the current contents (what
+// the OS page cache would hold) and the last-synced contents (what
+// stable storage holds). Mutating operations — WriteAt and Truncate —
+// are numbered globally in call order, so a test can:
+//
+//   - FailWrite(n): return an I/O error from mutation #n (nothing
+//     applied), after which the filesystem keeps working — a transient
+//     device error.
+//   - CrashAfter(n, tear, dropUnsynced): "crash" at mutation #n. The
+//     first tear bytes of that write reach the file (a torn page write);
+//     with dropUnsynced, every file additionally reverts to its
+//     last-synced image (write-back cache lost). Every later operation
+//     returns ErrCrashed until ClearFaults simulates the reboot.
+//
+// Because mutation numbering depends only on the workload, replaying the
+// same workload with a different crash index sweeps every intermediate
+// on-disk state a real crash could expose (modulo write reordering
+// between syncs, which dropUnsynced bounds from the other extreme).
+type FaultFS struct {
+	mu     sync.Mutex
+	files  map[string]*faultFile
+	writes int64
+
+	failAt  int64
+	failErr error
+
+	crashAt      int64
+	tear         int
+	dropUnsynced bool
+	crashed      bool
+}
+
+// NewFaultFS returns an empty in-memory filesystem with no faults armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{files: map[string]*faultFile{}, failAt: -1, crashAt: -1}
+}
+
+// FailWrite arms a transient error on mutation #n (0-based, counting
+// every WriteAt and Truncate across all files). The targeted mutation
+// applies nothing and returns err (ErrInjected when nil); later
+// mutations proceed normally.
+func (fs *FaultFS) FailWrite(n int64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	fs.failAt, fs.failErr = n, err
+}
+
+// CrashAfter arms a crash at mutation #n: the first tear bytes of that
+// write are applied (torn write; tear is clamped to the write size and
+// ignored for Truncate), then the filesystem enters the crashed state.
+// With dropUnsynced, all contents written since each file's last Sync
+// are lost at the crash. ClearFaults simulates the post-crash reboot.
+func (fs *FaultFS) CrashAfter(n int64, tear int, dropUnsynced bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt, fs.tear, fs.dropUnsynced = n, tear, dropUnsynced
+}
+
+// ClearFaults disarms all faults and leaves the crashed state, keeping
+// the post-crash file images — the disk as a rebooted process sees it.
+func (fs *FaultFS) ClearFaults() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failAt, fs.crashAt, fs.crashed = -1, -1, false
+}
+
+// Writes returns the number of mutations attempted so far (the sweep
+// range for CrashAfter).
+func (fs *FaultFS) Writes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes
+}
+
+// Crashed reports whether an armed crash has fired.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// FileBytes returns a copy of a file's current contents (nil if the file
+// does not exist). It works in the crashed state — it is how the harness
+// inspects the post-crash disk.
+func (fs *FaultFS) FileBytes(name string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), f.buf...)
+}
+
+// WriteFile creates (or replaces) a file with contents that count as
+// already synced, without consuming a mutation number — for seeding a
+// pre-existing on-disk state.
+func (fs *FaultFS) WriteFile(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = &faultFile{
+		fs:     fs,
+		buf:    append([]byte(nil), data...),
+		synced: append([]byte(nil), data...),
+	}
+}
+
+// OpenFile implements VFS. Supported flags: os.O_CREATE, os.O_TRUNC
+// (others are ignored; all files are read-write).
+func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	f, ok := fs.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+		}
+		f = &faultFile{fs: fs}
+		fs.files[name] = f
+	} else if flag&os.O_TRUNC != 0 {
+		f.buf = nil
+	}
+	return f, nil
+}
+
+// Remove implements VFS.
+func (fs *FaultFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrCrashed
+	}
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// crashLocked enters the crashed state, dropping unsynced data if armed
+// so. Callers hold fs.mu.
+func (fs *FaultFS) crashLocked() {
+	fs.crashed = true
+	if fs.dropUnsynced {
+		for _, f := range fs.files {
+			f.buf = append(f.buf[:0:0], f.synced...)
+		}
+	}
+}
+
+// faultFile is one in-memory file; all state is guarded by fs.mu.
+type faultFile struct {
+	fs     *FaultFS
+	buf    []byte // current contents
+	synced []byte // contents at the last Sync
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if off >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	idx := f.fs.writes
+	f.fs.writes++
+	if idx == f.fs.failAt {
+		return 0, f.fs.failErr
+	}
+	if idx == f.fs.crashAt {
+		tear := f.fs.tear
+		if tear > len(p) {
+			tear = len(p)
+		}
+		f.applyLocked(p[:tear], off)
+		f.fs.crashLocked()
+		return tear, ErrCrashed
+	}
+	f.applyLocked(p, off)
+	return len(p), nil
+}
+
+// applyLocked copies p into the file at off, zero-extending as needed.
+func (f *faultFile) applyLocked(p []byte, off int64) {
+	if need := off + int64(len(p)); need > int64(len(f.buf)) {
+		grown := make([]byte, need)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	copy(f.buf[off:], p)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return ErrCrashed
+	}
+	idx := f.fs.writes
+	f.fs.writes++
+	if idx == f.fs.failAt {
+		return f.fs.failErr
+	}
+	if idx == f.fs.crashAt {
+		// The truncate itself is lost in the crash.
+		f.fs.crashLocked()
+		return ErrCrashed
+	}
+	if size <= int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	return nil
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return ErrCrashed
+	}
+	f.synced = append(f.synced[:0:0], f.buf...)
+	return nil
+}
+
+func (f *faultFile) Close() error { return nil }
+
+func (f *faultFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return 0, ErrCrashed
+	}
+	return int64(len(f.buf)), nil
+}

@@ -1,0 +1,63 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWALReplay throws arbitrary bytes at the recovery path as a log
+// file: Open must never panic, and — the protocol's core promise — must
+// never report a commit that was not fully written. The seeds include a
+// real complete log, so the fuzzer's mutations explore truncations and
+// corruptions of genuine batches, where the interesting prefix oracle
+// applies: any strict prefix of a valid log must be discarded.
+func FuzzWALReplay(f *testing.F) {
+	base, validWAL := durableCommitScenario(f)
+
+	f.Add([]byte{})
+	f.Add([]byte(walMagic))
+	f.Add([]byte("XMWAL1\x00\x00P garbage that is far too short"))
+	f.Add(validWAL)
+	f.Add(validWAL[:len(validWAL)/2])
+	f.Add(append(append([]byte{}, validWAL...), validWAL...)) // two batches
+	flipped := append([]byte{}, validWAL...)
+	flipped[len(flipped)-3] ^= 0xff // corrupt the commit CRC
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, wal []byte) {
+		fs := NewFaultFS()
+		fs.WriteFile("f.db", base)
+		fs.WriteFile("f.db.wal", wal)
+		db, err := Open("f.db", &Options{FS: fs})
+		if err != nil {
+			t.Fatalf("Open failed on arbitrary wal: %v", err)
+		}
+		defer db.Close()
+		recovered := db.Stats().Recoveries > 0
+
+		// A strict prefix of the valid log is an interrupted commit: it
+		// must never replay.
+		if len(wal) < len(validWAL) && bytes.HasPrefix(validWAL, wal) && recovered {
+			t.Fatalf("replayed an incomplete commit (prefix %d/%d bytes)", len(wal), len(validWAL))
+		}
+		// The untouched valid log must replay.
+		if bytes.Equal(wal, validWAL) && !recovered {
+			t.Fatal("complete valid log was discarded")
+		}
+		if !recovered {
+			// Nothing replayed, so the store must be the pristine base:
+			// the committed key is intact and readable.
+			if v, ok, err := db.Get([]byte("alpha")); err != nil || !ok || string(v) != "1" {
+				t.Fatalf("discarded log corrupted committed state: %q %v %v", v, ok, err)
+			}
+			if got := fs.FileBytes("f.db"); !bytes.Equal(got, base) {
+				t.Fatalf("discarded log modified the store file (%d bytes, want %d)", len(got), len(base))
+			}
+		}
+		// Replay (when it happens) only applies checksum-valid batches;
+		// the log must be emptied either way.
+		if leftover := fs.FileBytes("f.db.wal"); len(leftover) != 0 {
+			t.Fatalf("wal not emptied after open: %d bytes", len(leftover))
+		}
+	})
+}

@@ -3,15 +3,16 @@
 // paper's architecture (Section VIII). It provides ordered iteration
 // (needed for the TypeToSequence scans of the renderer), a sharded buffer
 // pool with per-shard LRU eviction, scan read-ahead over leaf sibling
-// pointers, and block read/write counters that the benchmark harness
-// samples to regenerate the paper's vmstat figures (Figs. 11-12).
+// pointers, an optional write-ahead log that makes Sync a crash-atomic
+// commit (see wal.go), and block read/write counters that the benchmark
+// harness samples to regenerate the paper's vmstat figures (Figs. 11-12).
 package kvstore
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,12 @@ const magic = "XMKV2\x00\x00\x00"
 // LRU lists long enough to approximate a global LRU at the default pool
 // sizes while covering any realistic reader parallelism.
 const numShards = 16
+
+// evictScan bounds how far past a dirty LRU tail a durable-mode eviction
+// looks for a clean victim before giving up and letting the shard run
+// over capacity (dirty pages are pinned between commits; see
+// insertLocked).
+const evictScan = 8
 
 // Stats holds cumulative I/O counters. Reads and writes are whole pages
 // ("blocks" in the vmstat sense). IONanos accumulates wall time spent
@@ -53,6 +60,13 @@ type Stats struct {
 	// ReadAheads counts leaf pages fetched into the pool by scan
 	// read-ahead (a subset of CacheMisses/BlocksRead).
 	ReadAheads int64
+	// WALBytes counts bytes appended to the write-ahead log (durable
+	// stores only); WALCommits counts Syncs that completed the full
+	// log-then-in-place commit protocol. Recoveries is 1 when Open found
+	// a complete log from an interrupted commit and replayed it, else 0.
+	WALBytes   int64
+	WALCommits int64
+	Recoveries int64
 	// Gets/Puts/Deletes/Seeks count B+tree operations (a Seek starts one
 	// ordered scan; each scan re-reads pages through the pool).
 	Gets    int64
@@ -97,11 +111,27 @@ type shard struct {
 // are serialized by the DB's write lock: alloc is only reached from
 // mutations, which the B+tree runs under db.mu held exclusively, while
 // readers (holding db.mu read-locked) only index mem at existing pages.
+// sync also runs under the exclusive DB lock, which is what lets it
+// collect the dirty set and clear dirty flags without racing anyone.
 type pager struct {
-	file   *os.File // nil for the memory backend
+	file   File     // nil for the memory backend
 	mem    [][]byte // memory backend pages
 	npages atomic.Uint32
 	shards [numShards]shard
+
+	// Durability state: fs opens the write-ahead log lazily at walPath
+	// (the full <path>.wal name); durable gates the commit protocol and
+	// the dirty-page pinning in insertLocked.
+	fs      VFS
+	walPath string
+	wal     File
+	durable bool
+
+	// evictErr records the first write error hit while evicting a dirty
+	// page (the page stays cached and dirty); the next sync surfaces it
+	// after re-flushing, so a torn eviction is never silently absorbed.
+	evictMu  sync.Mutex
+	evictErr error
 
 	reads      atomic.Int64
 	writes     atomic.Int64
@@ -110,6 +140,9 @@ type pager struct {
 	misses     atomic.Int64
 	evictions  atomic.Int64
 	readAheads atomic.Int64
+	walBytes   atomic.Int64
+	walCommits atomic.Int64
+	recoveries atomic.Int64
 }
 
 type cached struct {
@@ -119,7 +152,7 @@ type cached struct {
 	prev, next *cached
 }
 
-func newPager(f *os.File, capacity int) (*pager, error) {
+func newPager(f File, capacity int) (*pager, error) {
 	if capacity < 8 {
 		capacity = 8
 	}
@@ -133,14 +166,14 @@ func newPager(f *os.File, capacity int) (*pager, error) {
 		p.shards[i].capacity = perShard
 	}
 	if f != nil {
-		fi, err := f.Stat()
+		size, err := f.Size()
 		if err != nil {
 			return nil, err
 		}
-		if fi.Size()%PageSize != 0 {
-			return nil, fmt.Errorf("kvstore: file size %d is not page aligned (truncated or corrupt)", fi.Size())
+		if size%PageSize != 0 {
+			return nil, fmt.Errorf("kvstore: file size %d is not page aligned (truncated or corrupt)", size)
 		}
-		p.npages.Store(uint32(fi.Size() / PageSize))
+		p.npages.Store(uint32(size / PageSize))
 	}
 	return p, nil
 }
@@ -261,6 +294,17 @@ func (p *pager) write(id uint32, buf []byte) error {
 
 // insertLocked adds a page at the shard's LRU head, evicting if over
 // capacity. Callers hold s.mu.
+//
+// Eviction policy: a clean victim is simply dropped. A dirty victim is
+// flushed in place first — except under the durability protocol, where
+// in-place writes are only legal inside a commit, so dirty pages are
+// pinned: the scan skips up to evictScan dirty tail entries looking for
+// a clean victim and otherwise lets the shard exceed capacity until the
+// next Sync unpins everything (memory is bounded by the volume of
+// mutations between commits). A dirty flush that fails keeps the page
+// cached and dirty, records the error for the next sync to surface, and
+// stops evicting — retrying the same doomed write once per insert is
+// wasted I/O.
 func (p *pager) insertLocked(s *shard, c *cached) {
 	s.cache[c.id] = c
 	c.next = s.head
@@ -273,16 +317,52 @@ func (p *pager) insertLocked(s *shard, c *cached) {
 	}
 	for len(s.cache) > s.capacity {
 		victim := s.tail
+		if p.durable {
+			for scanned := 0; victim != nil && victim.dirty && scanned < evictScan; scanned++ {
+				victim = victim.prev
+			}
+			if victim == nil || victim.dirty {
+				return
+			}
+		}
 		if victim == nil {
 			break
+		}
+		if victim.dirty {
+			if err := p.flushLocked(victim); err != nil {
+				p.noteEvictErr(victim.id, err)
+				return
+			}
 		}
 		s.unlink(victim)
 		delete(s.cache, victim.id)
 		p.evictions.Add(1)
-		if victim.dirty {
-			p.flushLocked(s, victim)
-		}
 	}
+}
+
+// noteEvictErr records the first eviction write failure for the next
+// sync to surface.
+func (p *pager) noteEvictErr(id uint32, err error) {
+	p.evictMu.Lock()
+	if p.evictErr == nil {
+		p.evictErr = fmt.Errorf("evict page %d: %w", id, err)
+	}
+	p.evictMu.Unlock()
+}
+
+// takeEvictErr returns and clears the recorded eviction failure, wrapped
+// for the Sync caller. The failed page has just been re-flushed and
+// fsynced by the caller, so the data is safe — but the caller still
+// learns the device misbehaved and can decide whether to trust it.
+func (p *pager) takeEvictErr() error {
+	p.evictMu.Lock()
+	err := p.evictErr
+	p.evictErr = nil
+	p.evictMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("kvstore: deferred eviction write error (page since rewritten and synced): %w", err)
+	}
+	return nil
 }
 
 func (p *pager) touchLocked(s *shard, c *cached) {
@@ -315,53 +395,91 @@ func (s *shard) unlink(c *cached) {
 	c.prev, c.next = nil, nil
 }
 
-// flushLocked writes one page back. Callers hold s.mu.
-func (p *pager) flushLocked(s *shard, c *cached) {
+// flushLocked writes one page back to the backing store (page stays
+// cached; the caller decides whether to evict). Callers hold the page's
+// shard mutex.
+func (p *pager) flushLocked(c *cached) error {
 	if p.file != nil {
-		// Errors here surface on Sync/Close via a re-write; eviction keeps
-		// the page dirty in memory on failure.
 		start := time.Now()
 		_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
 		p.ioNanos.Add(int64(time.Since(start)))
 		if err != nil {
-			s.cache[c.id] = c // keep it so Sync can retry
-			return
+			return err
 		}
 	} else {
 		p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
 	}
 	p.writes.Add(1)
 	c.dirty = false
+	return nil
 }
 
-// sync flushes every dirty page, locking one shard at a time.
+// sync makes every dirty page durable. It runs under the DB's exclusive
+// lock, so the dirty set is stable: collect it (sorted by page id, for a
+// deterministic write order the crash sweep can replay), commit it to
+// the write-ahead log when durability is on, write the pages in place,
+// fsync, and finally truncate the log. Any deferred eviction write error
+// is surfaced after the flush succeeds.
 func (p *pager) sync() error {
+	var dirty []*cached
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
 		for _, c := range s.cache {
 			if c.dirty {
-				if p.file != nil {
-					start := time.Now()
-					_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
-					p.ioNanos.Add(int64(time.Since(start)))
-					if err != nil {
-						s.mu.Unlock()
-						return fmt.Errorf("kvstore: sync page %d: %w", c.id, err)
-					}
-				} else {
-					p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
-				}
-				p.writes.Add(1)
-				c.dirty = false
+				dirty = append(dirty, c)
 			}
 		}
 		s.mu.Unlock()
 	}
-	if p.file != nil {
-		return p.file.Sync()
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+	if p.file == nil {
+		for _, c := range dirty {
+			p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
+			p.writes.Add(1)
+			c.dirty = false
+		}
+		return nil
 	}
-	return nil
+	if p.durable && len(dirty) > 0 {
+		if err := p.walCommit(dirty); err != nil {
+			return err
+		}
+	}
+	for _, c := range dirty {
+		start := time.Now()
+		_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
+		p.ioNanos.Add(int64(time.Since(start)))
+		if err != nil {
+			return fmt.Errorf("kvstore: sync page %d: %w", c.id, err)
+		}
+		p.writes.Add(1)
+		c.dirty = false
+	}
+	if err := p.file.Sync(); err != nil {
+		return err
+	}
+	if p.durable && len(dirty) > 0 {
+		if err := p.walReset(); err != nil {
+			return err
+		}
+	}
+	return p.takeEvictErr()
+}
+
+// close releases the file handles (the DB syncs first).
+func (p *pager) close() error {
+	var first error
+	if p.wal != nil {
+		first = p.wal.Close()
+		p.wal = nil
+	}
+	if p.file != nil {
+		if err := p.file.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (p *pager) stats() Stats {
@@ -373,5 +491,8 @@ func (p *pager) stats() Stats {
 		CacheMisses:   p.misses.Load(),
 		Evictions:     p.evictions.Load(),
 		ReadAheads:    p.readAheads.Load(),
+		WALBytes:      p.walBytes.Load(),
+		WALCommits:    p.walCommits.Load(),
+		Recoveries:    p.recoveries.Load(),
 	}
 }

@@ -1,0 +1,53 @@
+package kvstore
+
+import (
+	"io"
+	"os"
+)
+
+// File is the filesystem surface the pager and write-ahead log need from
+// an open file. *os.File satisfies it via the osFile wrapper; FaultFS
+// provides an in-memory implementation with deterministic fault
+// injection. Positional reads and writes only — the store never relies
+// on a file offset.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Size() (int64, error)
+}
+
+// VFS opens and removes files. It is the seam between the store and the
+// operating system: production code uses the passthrough OS
+// implementation, tests inject FaultFS to fail or tear specific writes
+// and to simulate crashes that drop unsynced data.
+type VFS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Remove(name string) error
+}
+
+// osFS is the production VFS: a thin passthrough to the os package.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// osFile adapts *os.File to File (Size via Stat).
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,250 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Write-ahead log: the commit protocol that makes Sync atomic.
+//
+// A durable store keeps a sidecar log at <path>.wal. Sync first appends
+// every dirty page image to the log, each protected by a CRC, followed
+// by a commit record naming the batch size and the committed file length
+// — and fsyncs the log. Only then are the pages written in place in the
+// store file and fsynced, after which the log is truncated. Open replays
+// the log before reading anything: a log whose commit record (and every
+// page record it covers) checks out is re-applied to the store file — the
+// in-place phase may have been interrupted anywhere, including mid-page —
+// while a log that ends early or fails a checksum is discarded, because
+// the store file is untouched until the commit record is durable. Either
+// way the store reopens to exactly the last committed state.
+//
+// Layout (integers big-endian, CRC-32C):
+//
+//	header: "XMWAL1\x00\x00"
+//	'P' pageID:u32 crc:u32 data:[PageSize]   crc over pageID+data
+//	'C' count:u32 npages:u32 crc:u32         crc over count+npages
+//
+// The log normally holds one batch (it is truncated after every
+// successful Sync), but replay accepts any number of complete batches in
+// order — a truncate that failed mid-crash leaves the previous batch in
+// front of the next.
+
+const walMagic = "XMWAL1\x00\x00"
+
+const (
+	walPageRec   = 'P'
+	walCommitRec = 'C'
+
+	walPageRecSize   = 9 + PageSize
+	walCommitRecSize = 13
+)
+
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// walSuffix turns a store path into its log path.
+func walSuffix(path string) string { return path + ".wal" }
+
+// walEncodePage builds one page record for page id holding data
+// (PageSize bytes).
+func walEncodePage(id uint32, data []byte) []byte {
+	rec := make([]byte, walPageRecSize)
+	rec[0] = walPageRec
+	binary.BigEndian.PutUint32(rec[1:], id)
+	copy(rec[9:], data)
+	crc := crc32.Update(0, walTable, rec[1:5])
+	crc = crc32.Update(crc, walTable, rec[9:])
+	binary.BigEndian.PutUint32(rec[5:], crc)
+	return rec
+}
+
+// walEncodeCommit builds the commit record for a batch of count pages
+// committing a store file of npages pages.
+func walEncodeCommit(count, npages uint32) []byte {
+	rec := make([]byte, walCommitRecSize)
+	rec[0] = walCommitRec
+	binary.BigEndian.PutUint32(rec[1:], count)
+	binary.BigEndian.PutUint32(rec[5:], npages)
+	binary.BigEndian.PutUint32(rec[9:], crc32.Checksum(rec[1:9], walTable))
+	return rec
+}
+
+// walPage is one replayable page image (data aliases the parsed buffer).
+type walPage struct {
+	id   uint32
+	data []byte
+}
+
+// walBatch is one complete, checksum-valid commit.
+type walBatch struct {
+	npages uint32
+	pages  []walPage
+}
+
+// parseWAL decodes the complete batches at the front of data, stopping
+// at the first malformed, checksum-failing, or incomplete record — the
+// crash tail. basePages is the store file's current page count; it
+// bounds each batch's committed length (a commit can grow the file by at
+// most its own batch, since every appended page is dirty at commit), so
+// a corrupt length cannot balloon replay. Everything after the last
+// complete batch is discarded by the caller.
+func parseWAL(data []byte, basePages int64) []walBatch {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil
+	}
+	off := len(walMagic)
+	maxPages := basePages
+	var batches []walBatch
+	var pending []walPage
+	for off < len(data) {
+		switch data[off] {
+		case walPageRec:
+			if off+walPageRecSize > len(data) {
+				return batches
+			}
+			rec := data[off : off+walPageRecSize]
+			id := binary.BigEndian.Uint32(rec[1:])
+			crc := crc32.Update(0, walTable, rec[1:5])
+			crc = crc32.Update(crc, walTable, rec[9:])
+			if crc != binary.BigEndian.Uint32(rec[5:]) {
+				return batches
+			}
+			pending = append(pending, walPage{id: id, data: rec[9:]})
+			off += walPageRecSize
+		case walCommitRec:
+			if off+walCommitRecSize > len(data) {
+				return batches
+			}
+			rec := data[off : off+walCommitRecSize]
+			if crc32.Checksum(rec[1:9], walTable) != binary.BigEndian.Uint32(rec[9:]) {
+				return batches
+			}
+			count := binary.BigEndian.Uint32(rec[1:])
+			npages := binary.BigEndian.Uint32(rec[5:])
+			if int(count) != len(pending) || int64(npages) > maxPages+int64(count) {
+				return batches
+			}
+			for _, pg := range pending {
+				if pg.id >= npages {
+					return batches
+				}
+			}
+			batches = append(batches, walBatch{npages: npages, pages: pending})
+			pending = nil
+			maxPages = int64(npages)
+			off += walCommitRecSize
+		default:
+			return batches
+		}
+	}
+	return batches
+}
+
+// recoverWAL replays the store's log into the open store file, if one is
+// present: complete batches are re-applied (idempotently — the in-place
+// phase writes the same bytes) and the file is truncated to each batch's
+// committed length; an incomplete tail is discarded. The log is emptied
+// afterwards in both cases. It returns whether any batch was replayed.
+// Recovery runs on every Open, durable or not, so a store crashed under
+// -durability reopens consistent even without the flag.
+func recoverWAL(fs VFS, path string, db File) (bool, error) {
+	w, err := fs.OpenFile(walSuffix(path), os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	defer w.Close()
+	sz, err := w.Size()
+	if err != nil {
+		return false, fmt.Errorf("kvstore: wal size: %w", err)
+	}
+	if sz == 0 {
+		return false, nil
+	}
+	data := make([]byte, sz)
+	if _, err := w.ReadAt(data, 0); err != nil {
+		return false, fmt.Errorf("kvstore: read wal: %w", err)
+	}
+	dbSize, err := db.Size()
+	if err != nil {
+		return false, err
+	}
+	batches := parseWAL(data, dbSize/PageSize)
+	for _, b := range batches {
+		for _, pg := range b.pages {
+			if _, err := db.WriteAt(pg.data, int64(pg.id)*PageSize); err != nil {
+				return false, fmt.Errorf("kvstore: replay page %d: %w", pg.id, err)
+			}
+		}
+		if err := db.Truncate(int64(b.npages) * PageSize); err != nil {
+			return false, fmt.Errorf("kvstore: replay truncate: %w", err)
+		}
+	}
+	if len(batches) > 0 {
+		if err := db.Sync(); err != nil {
+			return false, fmt.Errorf("kvstore: replay sync: %w", err)
+		}
+	}
+	if err := w.Truncate(0); err != nil {
+		return false, fmt.Errorf("kvstore: reset wal: %w", err)
+	}
+	if err := w.Sync(); err != nil {
+		return false, fmt.Errorf("kvstore: reset wal: %w", err)
+	}
+	return len(batches) > 0, nil
+}
+
+// walCommit makes a batch of dirty pages durable in the log: header,
+// one page record each, commit record, fsync. Called by pager.sync
+// before any in-place write; the log was left empty by the previous
+// commit (or recovery), so the batch starts at offset 0.
+func (p *pager) walCommit(dirty []*cached) error {
+	if p.wal == nil {
+		w, err := p.fs.OpenFile(p.walPath, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("kvstore: open wal: %w", err)
+		}
+		p.wal = w
+	}
+	off := int64(0)
+	put := func(rec []byte) error {
+		if _, err := p.wal.WriteAt(rec, off); err != nil {
+			return fmt.Errorf("kvstore: wal write: %w", err)
+		}
+		off += int64(len(rec))
+		p.walBytes.Add(int64(len(rec)))
+		return nil
+	}
+	if err := put([]byte(walMagic)); err != nil {
+		return err
+	}
+	for _, c := range dirty {
+		if err := put(walEncodePage(c.id, c.buf)); err != nil {
+			return err
+		}
+	}
+	if err := put(walEncodeCommit(uint32(len(dirty)), p.npages.Load())); err != nil {
+		return err
+	}
+	if err := p.wal.Sync(); err != nil {
+		return fmt.Errorf("kvstore: wal sync: %w", err)
+	}
+	return nil
+}
+
+// walReset empties the log after a successful in-place phase, completing
+// the commit.
+func (p *pager) walReset() error {
+	if err := p.wal.Truncate(0); err != nil {
+		return fmt.Errorf("kvstore: truncate wal: %w", err)
+	}
+	if err := p.wal.Sync(); err != nil {
+		return fmt.Errorf("kvstore: truncate wal: %w", err)
+	}
+	p.walCommits.Add(1)
+	return nil
+}
