@@ -34,11 +34,11 @@ func prepare(b *testing.B, name string, doc *xmltree.Document) prepared {
 	b.Helper()
 	dir := b.TempDir()
 	path := filepath.Join(dir, name+".db")
-	st, err := store.Open(path, &kvstore.Options{CachePages: 256})
+	st, err := store.Open(path, store.WithKVOptions(&kvstore.Options{CachePages: 256}))
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := st.Shred(name, strings.NewReader(doc.XML(false))); err != nil {
+	if _, err := st.Shred(name, strings.NewReader(doc.XML(false)), nil); err != nil {
 		b.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -49,7 +49,7 @@ func prepare(b *testing.B, name string, doc *xmltree.Document) prepared {
 
 func (p prepared) open(b *testing.B) *store.Store {
 	b.Helper()
-	st, err := store.Open(p.path, &kvstore.Options{CachePages: 256})
+	st, err := store.Open(p.path, store.WithKVOptions(&kvstore.Options{CachePages: 256}))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func (p prepared) transform(b *testing.B, guard string) {
 	b.Helper()
 	st := p.open(b)
 	defer st.Close()
-	res, err := core.TransformStored(guard, st, p.name)
+	res, err := core.TransformStored(guard, st, p.name, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func BenchmarkFig10(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Check(bench.Fig10Guard, sh); err != nil {
+				if _, err := core.Check(bench.Fig10Guard, sh, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -263,14 +263,15 @@ func BenchmarkHotpathShred(b *testing.B) {
 					opts.DisableFastPath = true
 					opts.BalancedSplitOnly = true
 				}
-				st, err := store.Open(path, opts)
+				sopts := []store.Option{store.WithKVOptions(opts)}
+				if variant == "per-chunk-put" {
+					sopts = append(sopts, store.WithUnbatchedShred())
+				}
+				st, err := store.Open(path, sopts...)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if variant == "per-chunk-put" {
-					st.SetUnbatchedShred(true)
-				}
-				if _, err := st.Shred("d", strings.NewReader(xml)); err != nil {
+				if _, err := st.Shred("d", strings.NewReader(xml), nil); err != nil {
 					b.Fatal(err)
 				}
 				stats := st.Stats()
@@ -363,11 +364,11 @@ func BenchmarkShred(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		path := filepath.Join(dir, fmt.Sprintf("s%d.db", i))
-		st, err := store.Open(path, nil)
+		st, err := store.Open(path, store.WithKVOptions(nil))
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := st.Shred("d", strings.NewReader(xml)); err != nil {
+		if _, err := st.Shred("d", strings.NewReader(xml), nil); err != nil {
 			b.Fatal(err)
 		}
 		st.Close()

@@ -13,9 +13,13 @@
 //	xmorph run-file doc.xml 'MORPH author [ name ]'
 //	xmorph explain 'MORPH author [ name publisher [ name ] ]'
 //	xmorph -store data.db run name 'MORPH title' --trace
+//
+// Every command drives the unified engine facade (internal/engine) — the
+// same pipeline the xmorphd daemon serves.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,15 +27,8 @@ import (
 	"os"
 	"strings"
 
-	"xmorph/internal/algebra"
-	"xmorph/internal/core"
-	"xmorph/internal/guard"
-	"xmorph/internal/infer"
-	"xmorph/internal/kvstore"
-	"xmorph/internal/logical"
+	"xmorph/internal/engine"
 	"xmorph/internal/obs"
-	"xmorph/internal/store"
-	"xmorph/internal/xmltree"
 )
 
 func main() {
@@ -148,14 +145,17 @@ type options struct {
 }
 
 func dispatch(o options, args []string) error {
-	storePath, cache, indent, quiet := o.store, o.cache, o.indent, o.quiet
-	var opened *store.Store
-	open := func() (*store.Store, error) {
-		st, err := store.Open(storePath, &kvstore.Options{CachePages: cache, Durability: o.durability})
+	ctx := context.Background()
+	indent, quiet := o.indent, o.quiet
+	var opened *engine.Engine
+	open := func() (*engine.Engine, error) {
+		eng, err := engine.Open(o.store,
+			engine.WithCachePages(o.cache),
+			engine.WithDurability(o.durability))
 		if err == nil {
-			opened = st
+			opened = eng
 		}
-		return st, err
+		return eng, err
 	}
 
 	var tr *obs.Trace
@@ -191,12 +191,12 @@ func dispatch(o options, args []string) error {
 			return err
 		}
 		defer f.Close()
-		st, err := open()
+		eng, err := open()
 		if err != nil {
 			return err
 		}
-		defer st.Close()
-		info, err := st.ShredTraced(args[1], f, root)
+		defer eng.Close()
+		info, err := eng.Shred(ctx, args[1], f, root)
 		if err != nil {
 			return err
 		}
@@ -204,12 +204,12 @@ func dispatch(o options, args []string) error {
 		return nil
 
 	case "docs":
-		st, err := open()
+		eng, err := open()
 		if err != nil {
 			return err
 		}
-		defer st.Close()
-		names, err := st.Documents()
+		defer eng.Close()
+		names, err := eng.Docs()
 		if err != nil {
 			return err
 		}
@@ -222,12 +222,12 @@ func dispatch(o options, args []string) error {
 		if len(args) != 2 {
 			return usagef("usage: shape <name>")
 		}
-		st, err := open()
+		eng, err := open()
 		if err != nil {
 			return err
 		}
-		defer st.Close()
-		sh, err := st.Shape(args[1])
+		defer eng.Close()
+		sh, err := eng.Shape(ctx, args[1], root)
 		if err != nil {
 			return err
 		}
@@ -238,43 +238,30 @@ func dispatch(o options, args []string) error {
 		if len(args) != 3 {
 			return usagef("usage: run <name> <guard>")
 		}
-		st, err := open()
+		eng, err := open()
 		if err != nil {
 			return err
 		}
-		defer st.Close()
+		defer eng.Close()
 		if o.stream {
-			ssp := root.Child("load-shape")
-			sh, err := st.Shape(args[1])
-			ssp.End()
-			if err != nil {
-				return err
-			}
-			checked, err := core.CheckTraced(args[2], sh, root)
-			if err != nil {
-				return err
-			}
-			dsp := root.Child("load-doc")
-			doc, err := st.Doc(args[1])
-			dsp.End()
+			checked, err := eng.Check(ctx, args[1], args[2], root)
 			if err != nil {
 				return err
 			}
 			if !quiet {
 				fmt.Fprintf(os.Stderr, "-- information-loss report --\n%s\n", checked.Loss)
 			}
-			before := st.Stats()
-			n, err := checked.StreamTraced(doc, os.Stdout, root)
+			res, err := eng.Run(ctx, args[1], args[2], engine.RunOpts{Span: root, StreamTo: os.Stdout})
 			if err != nil {
 				return err
 			}
-			root.Set("pages-read", st.Stats().BlocksRead-before.BlocksRead)
+			root.Set("pages-read", res.PagesRead)
 			if !quiet {
-				fmt.Fprintf(os.Stderr, "\n-- streamed %d nodes --\n", n)
+				fmt.Fprintf(os.Stderr, "\n-- streamed %d nodes --\n", res.Streamed)
 			}
 			return nil
 		}
-		res, err := core.TransformStoredTraced(args[2], st, args[1], root)
+		res, err := eng.Run(ctx, args[1], args[2], engine.RunOpts{Span: root})
 		if err != nil {
 			return err
 		}
@@ -289,12 +276,12 @@ func dispatch(o options, args []string) error {
 		if len(args) != 2 {
 			return usagef("usage: drop <name>")
 		}
-		st, err := open()
+		eng, err := open()
 		if err != nil {
 			return err
 		}
-		defer st.Close()
-		if err := st.Drop(args[1]); err != nil {
+		defer eng.Close()
+		if err := eng.Drop(ctx, args[1]); err != nil {
 			return err
 		}
 		fmt.Printf("dropped %q\n", args[1])
@@ -304,16 +291,12 @@ func dispatch(o options, args []string) error {
 		if len(args) != 3 {
 			return usagef("usage: check <name> <guard>")
 		}
-		st, err := open()
+		eng, err := open()
 		if err != nil {
 			return err
 		}
-		defer st.Close()
-		sh, err := st.Shape(args[1])
-		if err != nil {
-			return err
-		}
-		checked, err := core.CheckTraced(args[2], sh, root)
+		defer eng.Close()
+		checked, err := eng.Check(ctx, args[1], args[2], root)
 		if err != nil {
 			return err
 		}
@@ -330,16 +313,8 @@ func dispatch(o options, args []string) error {
 		if err != nil {
 			return err
 		}
-		psp := root.Child("parse-xml")
-		doc, err := xmltree.Parse(f)
+		res, err := engine.TransformReader(args[2], f, root)
 		f.Close()
-		if err != nil {
-			psp.End()
-			return err
-		}
-		psp.Set("nodes", int64(doc.Size()))
-		psp.End()
-		res, err := core.TransformTraced(args[2], doc, root)
 		if err != nil {
 			return err
 		}
@@ -347,7 +322,7 @@ func dispatch(o options, args []string) error {
 			fmt.Fprintf(os.Stderr, "-- information-loss report --\n%s\n", res.Loss)
 		}
 		if o.verify {
-			r := core.Verify(doc, res.Output)
+			r := engine.Verify(res.Source, res.Output)
 			fmt.Fprintf(os.Stderr, "-- empirical verification --\n")
 			fmt.Fprintf(os.Stderr, "source: %d vertices, %d closest edges\n", r.SrcVertices, r.SrcEdges)
 			fmt.Fprintf(os.Stderr, "lost: %d vertices, %d edges (%.1f%% of the source)\n", r.LostVertices, r.LostEdges, r.LossPct())
@@ -359,24 +334,12 @@ func dispatch(o options, args []string) error {
 		if len(args) != 4 {
 			return usagef("usage: query <name> <guard> <xquery>")
 		}
-		st, err := open()
+		eng, err := open()
 		if err != nil {
 			return err
 		}
-		defer st.Close()
-		ssp := root.Child("load-shape")
-		sh, err := st.Shape(args[1])
-		ssp.End()
-		if err != nil {
-			return err
-		}
-		dsp := root.Child("load-doc")
-		doc, err := st.Doc(args[1])
-		dsp.End()
-		if err != nil {
-			return err
-		}
-		res, err := logical.EvaluateSourceTraced(args[3], args[2], args[1], sh, doc, root)
+		defer eng.Close()
+		res, err := eng.Query(ctx, args[1], args[2], args[3], root)
 		if err != nil {
 			return err
 		}
@@ -391,7 +354,7 @@ func dispatch(o options, args []string) error {
 		if len(args) != 2 {
 			return usagef("usage: infer <query>")
 		}
-		g, err := infer.FromQuery(args[1])
+		g, err := engine.InferGuard(args[1])
 		if err != nil {
 			return err
 		}
@@ -402,11 +365,11 @@ func dispatch(o options, args []string) error {
 		if len(args) != 2 {
 			return usagef("usage: explain <guard>")
 		}
-		prog, err := guard.Parse(args[1])
+		tree, err := engine.Explain(args[1])
 		if err != nil {
 			return err
 		}
-		fmt.Print(algebra.FromProgram(prog).String())
+		fmt.Print(tree)
 		return nil
 	}
 	return usagef("unknown command %q (run with no arguments for usage)", args[0])
@@ -415,27 +378,13 @@ func dispatch(o options, args []string) error {
 // dumpMetrics mirrors the store's block-I/O, buffer-pool, and operation
 // counters into the default registry as gauges, then writes the full
 // snapshot (pipeline histograms included) to stderr.
-func dumpMetrics(o options, st *store.Store) {
+func dumpMetrics(o options, eng *engine.Engine) {
 	w := o.metricsW
 	if w == nil {
 		w = os.Stderr
 	}
-	if st != nil {
-		s := st.Stats()
-		reg := obs.Default
-		reg.Gauge("kvstore_blocks_read").Set(float64(s.BlocksRead))
-		reg.Gauge("kvstore_blocks_written").Set(float64(s.BlocksWritten))
-		reg.Gauge("kvstore_cache_hits").Set(float64(s.CacheHits))
-		reg.Gauge("kvstore_cache_misses").Set(float64(s.CacheMisses))
-		reg.Gauge("kvstore_cache_evictions").Set(float64(s.Evictions))
-		reg.Gauge("kvstore_cache_hit_ratio").Set(s.HitRatio())
-		reg.Gauge("kvstore_gets").Set(float64(s.Gets))
-		reg.Gauge("kvstore_puts").Set(float64(s.Puts))
-		reg.Gauge("kvstore_deletes").Set(float64(s.Deletes))
-		reg.Gauge("kvstore_seeks").Set(float64(s.Seeks))
-		reg.Gauge("kvstore_wal_bytes").Set(float64(s.WALBytes))
-		reg.Gauge("kvstore_wal_commits").Set(float64(s.WALCommits))
-		reg.Gauge("kvstore_recoveries").Set(float64(s.Recoveries))
+	if eng != nil {
+		engine.MirrorStoreStats(obs.Default, eng.Stats())
 	}
 	snap := obs.Default.Snapshot()
 	if o.metricsFormat == "json" {

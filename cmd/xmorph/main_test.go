@@ -3,10 +3,14 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"xmorph/internal/engine"
 )
 
 const sample = `<data>
@@ -275,6 +279,68 @@ func TestTraceGolden(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("trace mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
+}
+
+// TestCLIMatchesService shreds through the CLI, then runs the same guard
+// through the CLI and through the xmorphd HTTP API over the same store
+// file: the XML and the loss report must match byte for byte (Section
+// VIII's examples travel both paths).
+func TestCLIMatchesService(t *testing.T) {
+	o := opts(t)
+	o.indent = false
+	xml := tempXML(t)
+	if _, err := capture(t, func() error { return dispatch(o, []string{"shred", "books", xml}) }); err != nil {
+		t.Fatal(err)
+	}
+
+	guards := []string{
+		"MORPH author [ name title ]",
+		"MORPH title",
+		"CAST MORPH book [ author [ name ] ]",
+	}
+	for _, g := range guards {
+		cliXML, err := capture(t, func() error { return dispatch(o, []string{"run", "books", g}) })
+		if err != nil {
+			t.Fatalf("%s: %v", g, err)
+		}
+
+		eng, err := engine.Open(o.store, engine.WithCachePages(o.cache))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{}).Handler())
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"doc":"books","guard":`+strconvQuote(g)+`}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var served struct {
+			XML  string `json:"xml"`
+			Loss string `json:"loss"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ts.Close()
+
+		if served.XML != cliXML {
+			t.Errorf("guard %q: served XML differs from CLI:\n%q\nvs\n%q", g, served.XML, cliXML)
+		}
+		checked, err := eng.Check(nil, "books", g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served.Loss != checked.Loss.String() {
+			t.Errorf("guard %q: served loss report differs:\n%q\nvs\n%q", g, served.Loss, checked.Loss.String())
+		}
+		eng.Close()
+	}
+}
+
+func strconvQuote(s string) string {
+	raw, _ := json.Marshal(s)
+	return string(raw)
 }
 
 func TestMetricsDump(t *testing.T) {

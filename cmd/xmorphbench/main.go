@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, serve, all")
 	factors := flag.String("factors", "", "comma-separated XMark factors (default 0.01..0.05)")
 	hotFactors := flag.String("hotpath-factors", "", "comma-separated XMark factors for -exp hotpath (default 0.2,1.0)")
 	jsonOut := flag.String("json", "", "with -exp hotpath/concurrency: also write the report to this file (e.g. BENCH_hotpath.json)")
@@ -36,6 +36,10 @@ func main() {
 	clients := flag.String("clients", "", "comma-separated client counts for -exp concurrency (default 1,2,4,8)")
 	concWindow := flag.Duration("conc-window", 0, "measurement window per concurrency cell (default 3s)")
 	concCache := flag.Int("conc-cache", 0, "buffer pool pages for -exp concurrency (default 4096)")
+	serveClients := flag.String("serve-clients", "", "comma-separated client counts for -exp serve (default 1,2,4,8)")
+	serveWindow := flag.Duration("serve-window", 0, "measurement window per serve cell (default 3s)")
+	serveFactor := flag.Float64("serve-factor", 0, "XMark factor for the -exp serve document (default 0.2)")
+	serveInflight := flag.Int("serve-inflight", 0, "daemon admission cap for -exp serve (default GOMAXPROCS)")
 	dblpSizes := flag.String("dblp", "", "comma-separated DBLP publication counts")
 	seed := flag.Int64("seed", 42, "generator seed")
 	cache := flag.Int("cache", 128, "store buffer pool pages")
@@ -96,6 +100,16 @@ func main() {
 	}
 	cfg.ConcWindow = *concWindow
 	cfg.ConcCachePages = *concCache
+	if *serveClients != "" {
+		ns, err := parseInts(*serveClients)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ServeClients = ns
+	}
+	cfg.ServeWindow = *serveWindow
+	cfg.ServeFactor = *serveFactor
+	cfg.ServeMaxInflight = *serveInflight
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -191,6 +205,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 		}
 		fmt.Fprintf(os.Stderr, "concurrency suite took %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// serve is opt-in (not part of "all"): it starts the xmorphd handler
+	// on a loopback listener and drives it for fixed multi-second windows.
+	if *exp == "serve" {
+		start := time.Now()
+		rows, err := bench.RunServe(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.ServeTable(rows))
+		if *jsonOut != "" {
+			if err := bench.ServeReportFor(cfg, rows).WriteJSON(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		fmt.Fprintf(os.Stderr, "serve suite took %v\n", time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -1,0 +1,104 @@
+// Command xmorphd serves the XMorph pipeline over HTTP — the query
+// service form of the paper's architecture #1: documents are shredded
+// into a store once, then query guards run against them over the wire.
+//
+//	xmorphd -store data.db -addr :8080
+//
+//	POST   /v1/docs/{name}        shred the request body (XML) as name
+//	GET    /v1/docs               list shredded documents
+//	GET    /v1/docs/{name}/shape  print a document's adorned shape
+//	DELETE /v1/docs/{name}        drop a document
+//	POST   /v1/query              {"doc","guard"[,"query","format","stream","indent"]}
+//	GET    /metrics               obs registry snapshot (?format=json)
+//	GET    /debug/pprof/          runtime profiles
+//
+// Every request runs under a deadline; load beyond -max-inflight is
+// refused with 429 + Retry-After. SIGINT/SIGTERM drain gracefully:
+// in-flight requests finish (up to -drain), then the store syncs and
+// closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xmorph/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "xmorph.db", "store file for shredded documents")
+	cache := flag.Int("cache", 256, "buffer pool size in pages")
+	durability := flag.Bool("durability", false, "crash-safe commits: write-ahead log every sync")
+	guardCache := flag.Int("guard-cache", 64, "compiled-guard cache capacity in entries (0 disables)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxInflight := flag.Int("max-inflight", 0, "admitted concurrent requests (0 = GOMAXPROCS)")
+	maxBody := flag.Int64("max-body", 64<<20, "request body cap in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	flag.Parse()
+
+	if err := run(*addr, *storePath, *cache, *guardCache, *durability,
+		*timeout, *drain, *maxInflight, *maxBody); err != nil {
+		fmt.Fprintln(os.Stderr, "xmorphd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storePath string, cache, guardCache int, durability bool,
+	timeout, drain time.Duration, maxInflight int, maxBody int64) error {
+	eng, err := engine.Open(storePath,
+		engine.WithCachePages(cache),
+		engine.WithDurability(durability),
+		engine.WithGuardCache(guardCache))
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr: addr,
+		Handler: engine.NewServer(eng, engine.ServerConfig{
+			RequestTimeout: timeout,
+			MaxInFlight:    maxInflight,
+			MaxBodyBytes:   maxBody,
+		}).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "xmorphd: serving %s on %s\n", storePath, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		eng.Close()
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "xmorphd: %v, draining\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// The grace period expired with requests still running; close
+			// hard so the store shutdown below is not indefinitely blocked.
+			srv.Close()
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			eng.Close()
+			return err
+		}
+		if err := eng.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "xmorphd: store closed, bye")
+		return nil
+	}
+}

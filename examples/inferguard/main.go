@@ -49,7 +49,7 @@ func main() {
 
 	for _, s := range shapes {
 		doc := xmltree.MustParse(s.xml)
-		res, err := core.Transform("CAST "+g, doc)
+		res, err := core.Transform("CAST "+g, doc, nil)
 		if err != nil {
 			log.Fatalf("%s: %v", s.name, err)
 		}

@@ -32,7 +32,7 @@ func main() {
 	// 1) The lossy guard is detected statically: no data is read.
 	// core.Analyze reports without enforcing; core.Check would reject.
 	lossy := "MUTATE name [ author ]"
-	checked, err := core.Analyze(lossy, sh)
+	checked, err := core.Analyze(lossy, sh, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func main() {
 	if checked.Loss.Verdict == loss.StronglyTyped {
 		log.Fatal("expected a lossy verdict")
 	}
-	if _, err := core.Check(lossy, sh); err == nil {
+	if _, err := core.Check(lossy, sh, nil); err == nil {
 		log.Fatal("strict mode should reject the guard")
 	} else {
 		fmt.Printf("strict mode rejects it:\n  %v\n\n", err)

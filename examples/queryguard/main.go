@@ -56,7 +56,7 @@ func main() {
 
 	// 2) Guard the query: transform to the needed shape first.
 	const guard = "MORPH author [ name book [ title ] ]"
-	res, err := core.Transform(guard, doc)
+	res, err := core.Transform(guard, doc, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,10 +79,10 @@ func main() {
 	//    directly under authors in instance-(c)-like data would duplicate
 	//    publishers; the strict default refuses, CAST-WIDENING accepts.
 	lossy := "MORPH author [ title name publisher [ name ] ]"
-	if _, err := core.Transform(lossy, doc); err != nil {
+	if _, err := core.Transform(lossy, doc, nil); err != nil {
 		fmt.Printf("lossy guard rejected as designed:\n  %v\n\n", err)
 	}
-	res3, err := core.Transform("CAST-WIDENING "+lossy, doc)
+	res3, err := core.Transform("CAST-WIDENING "+lossy, doc, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

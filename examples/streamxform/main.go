@@ -17,7 +17,6 @@ import (
 
 	"xmorph/internal/core"
 	"xmorph/internal/gen/xmark"
-	"xmorph/internal/kvstore"
 	"xmorph/internal/store"
 )
 
@@ -34,12 +33,12 @@ func main() {
 	fmt.Printf("generated XMark factor 0.01: %d nodes, %d types, %.2f MB\n",
 		doc.Size(), len(doc.Types()), float64(len(xml))/(1<<20))
 
-	st, err := store.Open(filepath.Join(dir, "xmark.db"), &kvstore.Options{CachePages: 64})
+	st, err := store.Open(filepath.Join(dir, "xmark.db"), store.WithCachePages(64))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer st.Close()
-	info, err := st.Shred("xmark", strings.NewReader(xml))
+	info, err := st.Shred("xmark", strings.NewReader(xml), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +47,7 @@ func main() {
 	// A narrow guard: gather each person with the auctions they bid in.
 	const guard = "CAST MORPH person [ name emailaddress ]"
 	before := st.Stats()
-	res, err := core.TransformStored(guard, st, "xmark")
+	res, err := core.TransformStored(guard, st, "xmark", nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,7 +9,6 @@ import (
 	"xmorph/internal/core"
 	"xmorph/internal/gen/xmark"
 	"xmorph/internal/guard"
-	"xmorph/internal/kvstore"
 	"xmorph/internal/render"
 	"xmorph/internal/semantics"
 	"xmorph/internal/shape"
@@ -74,7 +73,7 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 		return nil, err
 	}
 	start = time.Now()
-	onePass, err := render.Render(doc, plan.ComposedTarget())
+	onePass, err := render.Render(doc, plan.ComposedTarget(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +99,7 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 		return nil, err
 	}
 	start = time.Now()
-	tree, err := render.Render(doc, mutTgt.ComposedTarget())
+	tree, err := render.Render(doc, mutTgt.ComposedTarget(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +112,7 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 		Note:   fmt.Sprintf("%d nodes", tree.Size()),
 	})
 	start = time.Now()
-	n, err := render.Stream(doc, mutTgt.ComposedTarget(), io.Discard)
+	n, err := render.Stream(doc, mutTgt.ComposedTarget(), io.Discard, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +124,7 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 
 	// Join scheduling: lazy (on first use) vs concurrent prefetch.
 	start = time.Now()
-	lazyOut, err := render.Render(doc, mutTgt.ComposedTarget())
+	lazyOut, err := render.Render(doc, mutTgt.ComposedTarget(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +134,7 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 		Note:   fmt.Sprintf("%d nodes", lazyOut.Size()),
 	})
 	start = time.Now()
-	parOut, err := render.RenderParallel(doc, mutTgt.ComposedTarget())
+	parOut, err := render.RenderParallel(doc, mutTgt.ComposedTarget(), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -156,12 +155,12 @@ func RunAblations(cfg Config) ([]AblationRow, error) {
 		return nil, err
 	}
 	for _, pages := range []int{16, 64, 256, 1024} {
-		st, err := store.Open(path, &kvstore.Options{CachePages: pages})
+		st, err := store.Open(path, store.WithCachePages(pages))
 		if err != nil {
 			return nil, err
 		}
 		start = time.Now()
-		res, err := core.TransformStored("CAST MUTATE site", st, "abl-xmark")
+		res, err := core.TransformStored("CAST MUTATE site", st, "abl-xmark", nil)
 		if err != nil {
 			st.Close()
 			return nil, err
@@ -189,7 +188,7 @@ func renderPerStage(doc *xmltree.Document, plan *semantics.Plan) (*xmltree.Docum
 	var cur render.Source = doc
 	var out *xmltree.Document
 	for _, sp := range plan.Stages {
-		o, err := render.Render(cur, sp.Target)
+		o, err := render.Render(cur, sp.Target, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"xmorph/internal/core"
-	"xmorph/internal/kvstore"
 	"xmorph/internal/store"
 	"xmorph/internal/xmltree"
 )
@@ -51,6 +50,19 @@ type Config struct {
 	// fully cached (pure lock scaling) while the large factor keeps the
 	// pool under pressure (read-ahead and eviction active).
 	ConcCachePages int
+	// ServeClients are the RunServe client counts; empty means
+	// {1, 2, 4, 8}.
+	ServeClients []int
+	// ServeWindow is the fixed wall-clock window per RunServe cell; zero
+	// means 3s.
+	ServeWindow time.Duration
+	// ServeFactor is the XMark scale of RunServe's shared document; zero
+	// means 0.2.
+	ServeFactor float64
+	// ServeMaxInflight caps the daemon's admitted concurrent requests in
+	// RunServe; zero means GOMAXPROCS. Client counts above the cap
+	// exercise the 429 path.
+	ServeMaxInflight int
 	// Seed feeds the generators.
 	Seed int64
 	// Durability opens every store file with the write-ahead log enabled,
@@ -96,12 +108,12 @@ func prepareStore(dir, name string, doc *xmltree.Document, cachePages int, durab
 	path = filepath.Join(dir, name+".db")
 	os.Remove(path)
 	os.Remove(path + ".wal")
-	st, err := store.Open(path, &kvstore.Options{CachePages: cachePages, Durability: durable})
+	st, err := store.Open(path, store.WithCachePages(cachePages), store.WithDurability(durable))
 	if err != nil {
 		return "", 0, 0, err
 	}
 	start := time.Now()
-	if _, err := st.Shred(name, strings.NewReader(xml)); err != nil {
+	if _, err := st.Shred(name, strings.NewReader(xml), nil); err != nil {
 		st.Close()
 		return "", 0, 0, err
 	}
@@ -115,7 +127,7 @@ func prepareStore(dir, name string, doc *xmltree.Document, cachePages int, durab
 // coldOpen reopens a store with an empty buffer pool — the paper clears
 // the cache before every run.
 func coldOpen(path string, cachePages int, durable bool) (*store.Store, error) {
-	return store.Open(path, &kvstore.Options{CachePages: cachePages, Durability: durable})
+	return store.Open(path, store.WithCachePages(cachePages), store.WithDurability(durable))
 }
 
 // storedRun is one measured transformation.
@@ -129,7 +141,7 @@ type storedRun struct {
 // store, serializing the output to io.Discard (producing output XML is
 // part of the measured render cost, as in the paper).
 func transformStoredDiscard(st *store.Store, name, guard string) (*storedRun, error) {
-	res, err := core.TransformStored(guard, st, name)
+	res, err := core.TransformStored(guard, st, name, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -185,7 +185,7 @@ func RunConcurrency(cfg Config) ([]ConcurrencyRow, error) {
 			if variant == "no-readahead" {
 				opts.DisableReadAhead = true
 			}
-			st, err := store.Open(path, opts)
+			st, err := store.Open(path, store.WithKVOptions(opts))
 			if err != nil {
 				return nil, err
 			}

@@ -102,25 +102,24 @@ func RunHotpath(cfg Config) ([]HotpathRow, error) {
 			os.Remove(path)
 			os.Remove(path + ".wal")
 			opts := &kvstore.Options{CachePages: cfg.CachePages}
+			sopts := []store.Option{store.WithKVOptions(opts)}
 			switch variant {
 			case "per-chunk-put":
 				// The seed shredder: one Put per chunk, full descents,
 				// byte-balanced splits.
 				opts.DisableFastPath = true
 				opts.BalancedSplitOnly = true
+				sopts = append(sopts, store.WithUnbatchedShred())
 			case "batched+wal":
 				opts.Durability = true
 			}
-			st, err := store.Open(path, opts)
+			st, err := store.Open(path, sopts...)
 			if err != nil {
 				return nil, err
 			}
-			if variant == "per-chunk-put" {
-				st.SetUnbatchedShred(true)
-			}
 			before := st.Stats()
 			ns, allocs, err := measure(1, func() error {
-				_, err := st.Shred("d", strings.NewReader(xml))
+				_, err := st.Shred("d", strings.NewReader(xml), nil)
 				return err
 			})
 			if err != nil {

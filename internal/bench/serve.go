@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmorph/internal/engine"
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/obs"
+)
+
+// ServeRow is one xmorphd load cell: N concurrent HTTP clients running a
+// mixed query/shred workload against one daemon for a fixed window.
+// Throttled counts deliberate 429 responses from the admission gate
+// (excluded from Errors and from the latency percentiles' op count — the
+// server answers them in microseconds).
+type ServeRow struct {
+	Clients            int     `json:"clients"`
+	Ops                int64   `json:"ops"`
+	QPS                float64 `json:"qps"`
+	P50Ms              float64 `json:"p50_ms"`
+	P95Ms              float64 `json:"p95_ms"`
+	P99Ms              float64 `json:"p99_ms"`
+	Throttled          int64   `json:"throttled_429"`
+	ThrottledRate      float64 `json:"throttled_rate"`
+	Errors             int64   `json:"errors"`
+	ShredOps           int64   `json:"shred_ops"`
+	GuardCacheHitRatio float64 `json:"guard_cache_hit_ratio"`
+	StoreHitRatio      float64 `json:"store_hit_ratio"`
+	Note               string  `json:"note,omitempty"`
+}
+
+// ServeReport is the BENCH_serve.json document.
+type ServeReport struct {
+	Generated   string     `json:"generated"`
+	GoVersion   string     `json:"go_version"`
+	CPUs        int        `json:"cpus"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	WindowSec   float64    `json:"window_sec"`
+	Factor      float64    `json:"factor"`
+	MaxInFlight int        `json:"max_inflight"`
+	Clients     []int      `json:"clients"`
+	Rows        []ServeRow `json:"rows"`
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *ServeReport) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// serveOp is one client request against the daemon; the bool reports
+// whether the server throttled it (429).
+type serveOp func(c *http.Client, base string, client, seq int) (throttled bool, err error)
+
+// postQuery runs POST /v1/query and drains the response.
+func postQuery(c *http.Client, base string, body map[string]any) (bool, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.Post(base+"/v1/query", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("query: status %d", resp.StatusCode)
+	}
+	return false, nil
+}
+
+// serveQueryMix is the steady-state read mix (same guards as the
+// concurrency benchmark, plus a streamed rendering): every op compiles
+// against the shared document, so the guard cache should absorb all but
+// the first compilations.
+var serveQueryMix = []serveOp{
+	func(c *http.Client, base string, _, _ int) (bool, error) {
+		return postQuery(c, base, map[string]any{
+			"doc": "serve", "guard": "CAST MORPH open_auction [ initial current quantity ]",
+		})
+	},
+	func(c *http.Client, base string, _, _ int) (bool, error) {
+		return postQuery(c, base, map[string]any{
+			"doc": "serve", "guard": "CAST MORPH person [ name emailaddress ]",
+		})
+	},
+	func(c *http.Client, base string, _, _ int) (bool, error) {
+		return postQuery(c, base, map[string]any{
+			"doc": "serve", "guard": "CAST MORPH person [ name emailaddress ]",
+			"format": "xml", "stream": true,
+		})
+	},
+}
+
+// shredCycle shreds a fresh document under a unique name and drops it
+// again — the write side of the mix. Both requests ride one op slot.
+func shredCycle(c *http.Client, base string, xml []byte, client, seq int) (bool, error) {
+	name := fmt.Sprintf("tmp-%d-%d", client, seq)
+	resp, err := c.Post(base+"/v1/docs/"+name, "application/xml", bytes.NewReader(xml))
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return false, fmt.Errorf("shred %s: status %d", name, resp.StatusCode)
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/docs/"+name, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err = c.Do(req)
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	// A throttled drop leaves the temp document behind; harmless for the
+	// measurement, and the next cycle uses a fresh name.
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return false, fmt.Errorf("drop %s: status %d", name, resp.StatusCode)
+	}
+	return false, nil
+}
+
+// shredEvery is the write fraction of the mix: one op in this many is a
+// shred+drop cycle.
+const shredEvery = 10
+
+// runServeCell drives one (clients, window) cell against a running
+// daemon.
+func runServeCell(eng *engine.Engine, base string, shredXML []byte, clients int, window time.Duration) (ServeRow, error) {
+	hist := obs.NewHistogram(obs.DurationBuckets)
+	var (
+		ops, throttled, errCount, shreds atomic.Int64
+		firstErr                         atomic.Value
+	)
+	hitsBefore, missesBefore := eng.CacheStats()
+	statsBefore := eng.Stats()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := c; time.Since(start) < window; i++ {
+				t0 := time.Now()
+				var (
+					was bool
+					err error
+				)
+				if i%shredEvery == shredEvery-1 {
+					shreds.Add(1)
+					was, err = shredCycle(client, base, shredXML, c, i)
+				} else {
+					was, err = serveQueryMix[i%len(serveQueryMix)](client, base, c, i)
+				}
+				if err != nil {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					continue
+				}
+				if was {
+					throttled.Add(1)
+					continue
+				}
+				hist.Observe(time.Since(t0).Seconds())
+				ops.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	hitsAfter, missesAfter := eng.CacheStats()
+	statsAfter := eng.Stats()
+	snap := hist.Snapshot()
+	n := ops.Load()
+	row := ServeRow{
+		Clients:   clients,
+		Ops:       n,
+		QPS:       float64(n) / elapsed.Seconds(),
+		P50Ms:     snap.P50 * 1e3,
+		P95Ms:     snap.P95 * 1e3,
+		P99Ms:     snap.P99 * 1e3,
+		Throttled: throttled.Load(),
+		Errors:    errCount.Load(),
+		ShredOps:  shreds.Load(),
+	}
+	if total := row.Ops + row.Throttled; total > 0 {
+		row.ThrottledRate = float64(row.Throttled) / float64(total)
+	}
+	if dh, dm := hitsAfter-hitsBefore, missesAfter-missesBefore; dh+dm > 0 {
+		row.GuardCacheHitRatio = float64(dh) / float64(dh+dm)
+	}
+	delta := kvstore.Stats{
+		CacheHits:   statsAfter.CacheHits - statsBefore.CacheHits,
+		CacheMisses: statsAfter.CacheMisses - statsBefore.CacheMisses,
+	}
+	row.StoreHitRatio = delta.HitRatio()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		row.Note = err.Error()
+	}
+	return row, nil
+}
+
+// RunServe measures the xmorphd service end to end: it shreds one XMark
+// document into a store, starts the daemon's handler on a loopback
+// listener, and runs the mixed query/shred workload from each client
+// count for a fixed window. Deliberate 429s from the admission gate are
+// reported separately from errors; the guard-cache and buffer-pool hit
+// ratios show where repeated queries stop paying.
+func RunServe(cfg Config) ([]ServeRow, error) {
+	dir, cleanup, err := cfg.workdir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	doc := xmark.Generate(xmark.Config{Factor: cfg.serveFactor(), Seed: cfg.Seed})
+	path, _, _, err := prepareStore(dir, "serve", doc, cfg.servePoolPages(), cfg.Durability)
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(path)
+
+	// The shred side of the mix uses a small fixed document so write cost
+	// does not swamp the query mix.
+	shredXML := []byte(xmark.Generate(xmark.Config{Factor: 0.01, Seed: cfg.Seed + 1}).XML(false))
+
+	eng, err := engine.Open(path,
+		engine.WithCachePages(cfg.servePoolPages()),
+		engine.WithDurability(cfg.Durability))
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	srv := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{
+		MaxInFlight: cfg.serveMaxInflight(),
+	}).Handler())
+	defer srv.Close()
+
+	// Warm up unmeasured: every guard compiles once, the pool pages in.
+	warm := &http.Client{}
+	for _, op := range serveQueryMix {
+		if _, err := op(warm, srv.URL, 0, 0); err != nil {
+			return nil, err
+		}
+	}
+
+	var rows []ServeRow
+	for _, nc := range cfg.serveClients() {
+		row, err := runServeCell(eng, srv.URL, shredXML, nc, cfg.serveWindow())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (c *Config) serveClients() []int {
+	if len(c.ServeClients) > 0 {
+		return c.ServeClients
+	}
+	return []int{1, 2, 4, 8}
+}
+
+func (c *Config) serveWindow() time.Duration {
+	if c.ServeWindow > 0 {
+		return c.ServeWindow
+	}
+	return 3 * time.Second
+}
+
+func (c *Config) serveFactor() float64 {
+	if c.ServeFactor > 0 {
+		return c.ServeFactor
+	}
+	return 0.2
+}
+
+func (c *Config) servePoolPages() int {
+	if c.ConcCachePages > 0 {
+		return c.ConcCachePages
+	}
+	return 512
+}
+
+func (c *Config) serveMaxInflight() int {
+	if c.ServeMaxInflight > 0 {
+		return c.ServeMaxInflight
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ServeReportFor wraps rows into the JSON report document.
+func ServeReportFor(cfg Config, rows []ServeRow) *ServeReport {
+	return &ServeReport{
+		Generated:   "xmorphbench -exp serve -json",
+		GoVersion:   runtime.Version(),
+		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		WindowSec:   cfg.serveWindow().Seconds(),
+		Factor:      cfg.serveFactor(),
+		MaxInFlight: cfg.serveMaxInflight(),
+		Clients:     cfg.serveClients(),
+		Rows:        rows,
+	}
+}
+
+// ServeTable renders the rows for stdout.
+func ServeTable(rows []ServeRow) string {
+	t := &Table{
+		Title:   "xmorphd service (mixed query/shred over HTTP, fixed window per cell)",
+		Columns: []string{"clients", "ops", "qps", "p50ms", "p95ms", "p99ms", "429s", "429%", "errors", "shreds", "guard-hit%", "pool-hit%"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Clients), fmt.Sprintf("%d", r.Ops), f2(r.QPS),
+			f1(r.P50Ms), f1(r.P95Ms), f1(r.P99Ms),
+			fmt.Sprintf("%d", r.Throttled), f1(r.ThrottledRate * 100),
+			fmt.Sprintf("%d", r.Errors), fmt.Sprintf("%d", r.ShredOps),
+			f1(r.GuardCacheHitRatio * 100), f1(r.StoreHitRatio * 100),
+		})
+	}
+	return t.String()
+}

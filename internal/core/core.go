@@ -49,15 +49,12 @@ type Checked struct {
 // Analyze compiles guardSrc against an input shape and runs the
 // information-loss analysis WITHOUT enforcing the guard's CAST mode — for
 // inspecting why a guard would be rejected. No data is read.
-func Analyze(guardSrc string, sh *shape.Shape) (*Checked, error) {
-	return AnalyzeTraced(guardSrc, sh, nil)
-}
-
-// AnalyzeTraced is Analyze under a parent span: it opens a "compile"
-// child covering the whole compile phase with "parse-guard", "typecheck"
-// (annotated with the resolved label count), and "loss-check" (annotated
-// with the typing verdict) below it. A nil parent is free.
-func AnalyzeTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
+//
+// Under a non-nil parent span it opens a "compile" child covering the
+// whole compile phase with "parse-guard", "typecheck" (annotated with the
+// resolved label count), and "loss-check" (annotated with the typing
+// verdict) below it. A nil parent is free.
+func Analyze(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
 	start := time.Now()
 	csp := parent.Child("compile")
 	defer csp.End()
@@ -96,14 +93,10 @@ func AnalyzeTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked
 
 // Check is Analyze plus type enforcement: by default only strongly-typed
 // guards pass; CAST modifiers widen what is admitted (Section III). This
-// is the whole "compile" cost of Figure 10.
-func Check(guardSrc string, sh *shape.Shape) (*Checked, error) {
-	return CheckTraced(guardSrc, sh, nil)
-}
-
-// CheckTraced is Check under a parent span (see AnalyzeTraced).
-func CheckTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
-	checked, err := AnalyzeTraced(guardSrc, sh, parent)
+// is the whole "compile" cost of Figure 10. Span behaviour matches
+// Analyze; a nil parent is free.
+func Check(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
+	checked, err := Analyze(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +105,22 @@ func CheckTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, 
 		return nil, err
 	}
 	return checked, nil
+}
+
+// AnalyzeTraced is Analyze.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting Analyze (a nil span is untraced); this wrapper remains
+// so existing callers keep compiling.
+func AnalyzeTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
+	return Analyze(guardSrc, sh, parent)
+}
+
+// CheckTraced is Check.
+//
+// Deprecated: see AnalyzeTraced.
+func CheckTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
+	return Check(guardSrc, sh, parent)
 }
 
 // Result is a completed transformation.
@@ -146,25 +155,30 @@ func (c *Checked) LabelReport() string {
 // (Section VI's Ψ[P](G, S) = render(G, ξ[P](S))), so the data is read
 // once regardless of how many operations the guard composes — the property
 // Figure 16 measures.
-func (c *Checked) Render(src render.Source) (*Result, error) {
-	return c.RenderTraced(src, nil)
-}
-
-// RenderTraced is Render under a parent span: it opens a "render" child
-// annotated with the closest-join statistics and output node count.
-func (c *Checked) RenderTraced(src render.Source, parent *obs.Span) (*Result, error) {
+// Under a non-nil parent span it opens a "render" child annotated with
+// the closest-join statistics and output node count.
+func (c *Checked) Render(src render.Source, parent *obs.Span) (*Result, error) {
 	rsp := parent.Child("render")
-	res, err := c.renderOn(src, rsp)
+	res, err := c.RenderOn(src, rsp)
 	rsp.End()
 	return res, err
 }
 
-// renderOn runs the render phase annotating rsp directly — for callers
-// (like the store-aware transform) that own the render span and fold
-// extra measurements (page I/O deltas) into it.
-func (c *Checked) renderOn(src render.Source, rsp *obs.Span) (*Result, error) {
+// RenderTraced is Render.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting Render (a nil span is untraced); this wrapper remains so
+// existing callers keep compiling.
+func (c *Checked) RenderTraced(src render.Source, parent *obs.Span) (*Result, error) {
+	return c.Render(src, parent)
+}
+
+// RenderOn runs the render phase annotating rsp directly — for callers
+// (like the store-aware transform and the engine facade) that own the
+// render span and fold extra measurements (page I/O deltas) into it.
+func (c *Checked) RenderOn(src render.Source, rsp *obs.Span) (*Result, error) {
 	start := time.Now()
-	out, err := render.RenderTraced(src, c.Plan.ComposedTarget(), rsp)
+	out, err := render.Render(src, c.Plan.ComposedTarget(), rsp)
 	if err != nil {
 		return nil, err
 	}
@@ -178,22 +192,26 @@ func (c *Checked) renderOn(src render.Source, rsp *obs.Span) (*Result, error) {
 	}, nil
 }
 
-// Transform compiles and runs a guard over an in-memory document.
-func Transform(guardSrc string, doc *xmltree.Document) (*Result, error) {
-	return TransformTraced(guardSrc, doc, nil)
-}
-
-// TransformTraced is Transform under a parent span, covering shape
-// extraction, compile, and render.
-func TransformTraced(guardSrc string, doc *xmltree.Document, parent *obs.Span) (*Result, error) {
+// Transform compiles and runs a guard over an in-memory document. Under
+// a non-nil parent span it covers shape extraction, compile, and render.
+func Transform(guardSrc string, doc *xmltree.Document, parent *obs.Span) (*Result, error) {
 	ssp := parent.Child("shape")
 	sh := shape.FromDocument(doc)
 	ssp.End()
-	checked, err := CheckTraced(guardSrc, sh, parent)
+	checked, err := Check(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
-	return checked.RenderTraced(doc, parent)
+	return checked.Render(doc, parent)
+}
+
+// TransformTraced is Transform.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting Transform (a nil span is untraced); this wrapper remains
+// so existing callers keep compiling.
+func TransformTraced(guardSrc string, doc *xmltree.Document, parent *obs.Span) (*Result, error) {
+	return Transform(guardSrc, doc, parent)
 }
 
 // TransformString parses an XML string and transforms it; convenience for
@@ -203,22 +221,18 @@ func TransformString(guardSrc, xmlSrc string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Transform(guardSrc, doc)
+	return Transform(guardSrc, doc, nil)
 }
 
 // TransformStored compiles a guard against the stored adorned shape of a
 // shredded document (the shape record is tiny relative to the data) and
 // renders from the store's lazy type sequences.
-func TransformStored(guardSrc string, st *store.Store, docName string) (*Result, error) {
-	return TransformStoredTraced(guardSrc, st, docName, nil)
-}
-
-// TransformStoredTraced is TransformStored under a parent span. Each
-// phase span additionally carries the pages it read from the store, so a
-// trace shows where the block I/O of Figs. 11-12 actually happens:
-// load-shape touches the tiny AdornedShapes record, render drags in the
-// type sequences.
-func TransformStoredTraced(guardSrc string, st *store.Store, docName string, parent *obs.Span) (*Result, error) {
+//
+// Under a non-nil parent span each phase span additionally carries the
+// pages it read from the store, so a trace shows where the block I/O of
+// Figs. 11-12 actually happens: load-shape touches the tiny AdornedShapes
+// record, render drags in the type sequences.
+func TransformStored(guardSrc string, st *store.Store, docName string, parent *obs.Span) (*Result, error) {
 	pagesRead := func(before kvstore.Stats) int64 { return st.Stats().BlocksRead - before.BlocksRead }
 
 	ssp := parent.Child("load-shape")
@@ -230,7 +244,7 @@ func TransformStoredTraced(guardSrc string, st *store.Store, docName string, par
 		return nil, err
 	}
 
-	checked, err := CheckTraced(guardSrc, sh, parent)
+	checked, err := Check(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -246,10 +260,17 @@ func TransformStoredTraced(guardSrc string, st *store.Store, docName string, par
 
 	rsp := parent.Child("render")
 	before = st.Stats()
-	res, rerr := checked.renderOn(doc, rsp)
+	res, rerr := checked.RenderOn(doc, rsp)
 	rsp.Set("pages-read", pagesRead(before))
 	rsp.End()
 	return res, rerr
+}
+
+// TransformStoredTraced is TransformStored.
+//
+// Deprecated: see TransformTraced.
+func TransformStoredTraced(guardSrc string, st *store.Store, docName string, parent *obs.Span) (*Result, error) {
+	return TransformStored(guardSrc, st, docName, parent)
 }
 
 // Verify empirically compares the closest graphs of a source document and
@@ -265,20 +286,25 @@ func Verify(src, out *xmltree.Document) closest.Result {
 // Stream renders the checked guard directly to w without materializing
 // the output tree (Section VII's streaming evaluation); it returns the
 // number of elements and attributes written.
-func (c *Checked) Stream(src render.Source, w io.Writer) (int, error) {
-	return c.StreamTraced(src, w, nil)
-}
-
-// StreamTraced is Stream under a parent span: it opens a "stream" child
-// annotated with join statistics, nodes emitted, and bytes written.
-func (c *Checked) StreamTraced(src render.Source, w io.Writer, parent *obs.Span) (int, error) {
+// Under a non-nil parent span it opens a "stream" child annotated with
+// join statistics, nodes emitted, and bytes written.
+func (c *Checked) Stream(src render.Source, w io.Writer, parent *obs.Span) (int, error) {
 	ssp := parent.Child("stream")
 	start := time.Now()
-	n, err := render.StreamTraced(src, c.Plan.ComposedTarget(), w, ssp)
+	n, err := render.Stream(src, c.Plan.ComposedTarget(), w, ssp)
 	ssp.End()
 	if err == nil {
 		metricTransforms.Inc()
 		metricRenderSeconds.Observe(time.Since(start).Seconds())
 	}
 	return n, err
+}
+
+// StreamTraced is Stream.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting Stream (a nil span is untraced); this wrapper remains so
+// existing callers keep compiling.
+func (c *Checked) StreamTraced(src render.Source, w io.Writer, parent *obs.Span) (int, error) {
+	return c.Stream(src, w, parent)
 }

@@ -113,13 +113,13 @@ func TestLabelReportText(t *testing.T) {
 func TestTransformStoredMatchesInMemory(t *testing.T) {
 	st := store.OpenMemory()
 	defer st.Close()
-	if _, err := st.Shred("d", strings.NewReader(fig1b)); err != nil {
+	if _, err := st.Shred("d", strings.NewReader(fig1b), nil); err != nil {
 		t.Fatal(err)
 	}
 	// Moving publisher below book duplicates the shared publisher under
 	// each book, so the static check demands a widening cast.
 	const g = "CAST-WIDENING MUTATE book [ publisher [ name ] ]"
-	fromStore, err := TransformStored(g, st, "d")
+	fromStore, err := TransformStored(g, st, "d", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestTransformStoredMatchesInMemory(t *testing.T) {
 func TestTransformStoredMissingDoc(t *testing.T) {
 	st := store.OpenMemory()
 	defer st.Close()
-	if _, err := TransformStored("MUTATE a", st, "nope"); err == nil {
+	if _, err := TransformStored("MUTATE a", st, "nope", nil); err == nil {
 		t.Error("missing document accepted")
 	}
 }
@@ -191,14 +191,14 @@ func TestPropertyIdentityMutateReversible(t *testing.T) {
 		vals[0] = reflect.ValueOf(randomDoc(r))
 	}}
 	err := quick.Check(func(d *xmltree.Document) bool {
-		checked, err := Check("MUTATE root", shapeOf(d))
+		checked, err := Check("MUTATE root", shapeOf(d), nil)
 		if err != nil {
 			return false
 		}
 		if checked.Loss.Verdict != loss.StronglyTyped {
 			return false
 		}
-		res, err := checked.Render(d)
+		res, err := checked.Render(d, nil)
 		if err != nil {
 			return false
 		}
@@ -226,13 +226,13 @@ func TestPropertyRenderIsClosenessPreserving(t *testing.T) {
 	for _, g := range guards {
 		g := g
 		err := quick.Check(func(d *xmltree.Document) bool {
-			checked, err := Check(g, shapeOf(d))
+			checked, err := Check(g, shapeOf(d), nil)
 			if err != nil {
 				// The random doc may lack the guard's types entirely:
 				// a type mismatch is a legitimate outcome, not a failure.
 				return isTypeError(err)
 			}
-			res, err := checked.Render(d)
+			res, err := checked.Render(d, nil)
 			if err != nil {
 				return false
 			}
@@ -270,7 +270,7 @@ func TestVerifyQuantifiesLoss(t *testing.T) {
 	doc := xmltree.MustParse(src)
 
 	// Identity: nothing lost, nothing created.
-	id, err := Transform("MUTATE data", doc)
+	id, err := Transform("MUTATE data", doc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestVerifyQuantifiesLoss(t *testing.T) {
 	}
 
 	// Lossy: the nameless author's subtree vanishes.
-	lossy, err := Transform("CAST MUTATE name [ author ]", doc)
+	lossy, err := Transform("CAST MUTATE name [ author ]", doc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestVerifyQuantifiesLoss(t *testing.T) {
 	}
 
 	// Manufacturing: NEW wrappers count as created vertices.
-	made, err := Transform("CAST-WIDENING MUTATE (NEW scribe) [ author ]", doc)
+	made, err := Transform("CAST-WIDENING MUTATE (NEW scribe) [ author ]", doc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,16 +311,16 @@ func TestVerifyQuantifiesLoss(t *testing.T) {
 
 func TestCheckedStreamMatchesOutput(t *testing.T) {
 	doc := xmltree.MustParse(fig1a)
-	checked, err := Check("MORPH author [ name book [ title ] ]", shapeOf(doc))
+	checked, err := Check("MORPH author [ name book [ title ] ]", shapeOf(doc), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := checked.Render(doc)
+	res, err := checked.Render(doc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	n, err := checked.Stream(doc, &b)
+	n, err := checked.Stream(doc, &b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,8 @@ func TestCheckedStreamMatchesOutput(t *testing.T) {
 func TestTransformStoredTracedSpans(t *testing.T) {
 	st := store.OpenMemory()
 	_, err := st.Shred("b", strings.NewReader(
-		`<data><book><title>X</title><author><name>V</name></author></book></data>`))
+		`<data><book><title>X</title><author><name>V</name></author></book></data>`), nil)
+
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,16 +58,16 @@ func TestIntegrationBattery(t *testing.T) {
 
 	for _, c := range corpora {
 		st := store.OpenMemory()
-		if _, err := st.Shred(c.name, strings.NewReader(c.doc.XML(false))); err != nil {
+		if _, err := st.Shred(c.name, strings.NewReader(c.doc.XML(false)), nil); err != nil {
 			t.Fatalf("%s: shred: %v", c.name, err)
 		}
 		for _, g := range c.guards {
-			mem, err := Transform(g, c.doc)
+			mem, err := Transform(g, c.doc, nil)
 			if err != nil {
 				t.Errorf("%s %q in-memory: %v", c.name, g, err)
 				continue
 			}
-			stored, err := TransformStored(g, st, c.name)
+			stored, err := TransformStored(g, st, c.name, nil)
 			if err != nil {
 				t.Errorf("%s %q stored: %v", c.name, g, err)
 				continue
@@ -105,14 +105,14 @@ func TestIntegrationStoredStreaming(t *testing.T) {
 	doc := xmark.Generate(xmark.Config{Factor: 0.003, Seed: 4})
 	st := store.OpenMemory()
 	defer st.Close()
-	if _, err := st.Shred("x", strings.NewReader(doc.XML(false))); err != nil {
+	if _, err := st.Shred("x", strings.NewReader(doc.XML(false)), nil); err != nil {
 		t.Fatal(err)
 	}
 	sh, err := st.Shape("x")
 	if err != nil {
 		t.Fatal(err)
 	}
-	checked, err := Check("CAST MORPH person [ name emailaddress address [ city country ] ]", sh)
+	checked, err := Check("CAST MORPH person [ name emailaddress address [ city country ] ]", sh, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,12 +120,12 @@ func TestIntegrationStoredStreaming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := checked.Render(d)
+	res, err := checked.Render(d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if _, err := checked.Stream(d, &b); err != nil {
+	if _, err := checked.Stream(d, &b, nil); err != nil {
 		t.Fatal(err)
 	}
 	if b.String() != res.Output.XML(false) {

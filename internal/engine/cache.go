@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// guardCache is a small LRU of compiled guards keyed by (document shred
+// version, guard text). Shred versions are never reused — drop + re-shred
+// assigns a fresh one — so a re-shredded document's stale compilations
+// can never be served; they simply age out. Checked values are immutable
+// after compilation, so one entry may serve many goroutines at once.
+type guardCache struct {
+	mu           sync.Mutex
+	cap          int
+	order        *list.List // front = most recently used
+	entries      map[cacheKey]*list.Element
+	hits, misses atomic.Uint64
+}
+
+type cacheKey struct {
+	version uint32
+	guard   string
+}
+
+type cacheEntry struct {
+	key     cacheKey
+	checked *Checked
+}
+
+// newGuardCache builds a cache holding up to capacity entries; a
+// capacity <= 0 disables caching (every get misses, puts are dropped).
+func newGuardCache(capacity int) *guardCache {
+	return &guardCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: map[cacheKey]*list.Element{},
+	}
+}
+
+func (c *guardCache) get(version uint32, guard string) *Checked {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[cacheKey{version, guard}]
+	if !ok {
+		c.misses.Add(1)
+		metricCacheMisses.Inc()
+		return nil
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	metricCacheHits.Inc()
+	return el.Value.(*cacheEntry).checked
+}
+
+func (c *guardCache) put(version uint32, guard string, checked *Checked) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{version, guard}
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).checked = checked
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, checked: checked})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	metricCacheEntries.Set(float64(c.order.Len()))
+}
+
+func (c *guardCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,358 @@
+// Package engine is the unified facade over the XMorph pipeline: one
+// handle owns the store, guard compilation, the information-loss check,
+// and the render path, so every entry point (the xmorph CLI, the xmorphd
+// daemon, benchmarks) drives the identical code. The facade threads a
+// context.Context and an optional *obs.Span through every stage —
+// cancellation is checked at stage boundaries, tracing is free when the
+// span is nil — and keeps a compiled-guard cache keyed by (guard text,
+// document shred version), so repeated queries skip the compile phase
+// until the document is re-shredded.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"xmorph/internal/core"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/logical"
+	"xmorph/internal/obs"
+	"xmorph/internal/shape"
+	"xmorph/internal/store"
+	"xmorph/internal/xmltree"
+)
+
+// Re-exported result types: callers of the facade (cmd/xmorph, cmd/xmorphd)
+// build against engine alone.
+type (
+	// Checked is a compiled and loss-checked guard, ready to render.
+	Checked = core.Checked
+	// ShredInfo summarizes a shredded document.
+	ShredInfo = store.ShredInfo
+	// QueryResult carries a guarded query's answer plus projection stats.
+	QueryResult = logical.Result
+	// Shape is a document's adorned shape.
+	Shape = shape.Shape
+)
+
+// Sentinel errors the service layer maps onto HTTP statuses.
+var (
+	// ErrNotFound reports an operation against a document the store does
+	// not hold.
+	ErrNotFound = errors.New("engine: document not found")
+	// ErrExists reports a shred of a name that is already shredded.
+	ErrExists = errors.New("engine: document already shredded")
+)
+
+var (
+	metricCacheHits    = obs.Default.Counter("engine_guard_cache_hits_total")
+	metricCacheMisses  = obs.Default.Counter("engine_guard_cache_misses_total")
+	metricCacheEntries = obs.Default.Gauge("engine_guard_cache_entries")
+)
+
+// Option configures an Engine at Open time; the configuration is
+// immutable afterwards.
+type Option func(*config)
+
+type config struct {
+	storeOpts []store.Option
+	cacheSize int
+}
+
+// WithCachePages sets the store's buffer pool size in pages.
+func WithCachePages(n int) Option {
+	return func(c *config) { c.storeOpts = append(c.storeOpts, store.WithCachePages(n)) }
+}
+
+// WithDurability toggles crash-safe commits (write-ahead logging on every
+// sync).
+func WithDurability(on bool) Option {
+	return func(c *config) { c.storeOpts = append(c.storeOpts, store.WithDurability(on)) }
+}
+
+// WithUnbatchedShred makes shredding write node-at-a-time instead of in
+// sorted batches — the ablation baseline, not for production use.
+func WithUnbatchedShred() Option {
+	return func(c *config) { c.storeOpts = append(c.storeOpts, store.WithUnbatchedShred()) }
+}
+
+// WithKVOptions passes a full kvstore option block through to the store —
+// the escape hatch for benchmarks that toggle internals.
+func WithKVOptions(o *kvstore.Options) Option {
+	return func(c *config) { c.storeOpts = append(c.storeOpts, store.WithKVOptions(o)) }
+}
+
+// WithGuardCache sets the compiled-guard cache capacity in entries;
+// 0 disables caching. The default is 64.
+func WithGuardCache(n int) Option {
+	return func(c *config) { c.cacheSize = n }
+}
+
+// Engine is the unified pipeline handle. It is safe for concurrent use:
+// the store serializes writers against readers internally, and cached
+// Checked values are immutable after construction.
+type Engine struct {
+	st    *store.Store
+	cache *guardCache
+}
+
+// Open opens (or creates) a store file and wraps it in an Engine.
+func Open(path string, opts ...Option) (*Engine, error) {
+	cfg := newConfig(opts)
+	st, err := store.Open(path, cfg.storeOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{st: st, cache: newGuardCache(cfg.cacheSize)}, nil
+}
+
+// OpenMemory builds an Engine over an in-memory store (tests, examples).
+func OpenMemory(opts ...Option) *Engine {
+	cfg := newConfig(opts)
+	return &Engine{
+		st:    store.OpenMemory(cfg.storeOpts...),
+		cache: newGuardCache(cfg.cacheSize),
+	}
+}
+
+func newConfig(opts []Option) *config {
+	cfg := &config{cacheSize: 64}
+	for _, o := range opts {
+		if o != nil {
+			o(cfg)
+		}
+	}
+	return cfg
+}
+
+// Close syncs and closes the underlying store.
+func (e *Engine) Close() error { return e.st.Close() }
+
+// Sync flushes the store's dirty pages (and WAL, under durability).
+func (e *Engine) Sync() error { return e.st.Sync() }
+
+// Stats exposes the store's block-I/O and buffer-pool counters.
+func (e *Engine) Stats() kvstore.Stats { return e.st.Stats() }
+
+// CacheStats reports compiled-guard cache hits and misses since Open.
+func (e *Engine) CacheStats() (hits, misses uint64) { return e.cache.stats() }
+
+// Shred streams an XML document into the store under name. Shredding the
+// same name twice fails with ErrExists; Drop first to replace a document
+// (the replacement gets a fresh shred version, invalidating every cached
+// guard compiled against the old shape).
+func (e *Engine) Shred(ctx context.Context, name string, r io.Reader, sp *obs.Span) (*ShredInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if _, ok, err := e.st.DocVersion(name); err != nil {
+		return nil, err
+	} else if ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	return e.st.Shred(name, r, sp)
+}
+
+// Docs lists the stored document names, sorted.
+func (e *Engine) Docs() ([]string, error) { return e.st.Documents() }
+
+// Shape loads a document's adorned shape. Under a non-nil span it opens a
+// "load-shape" child annotated with the pages read.
+func (e *Engine) Shape(ctx context.Context, name string, sp *obs.Span) (*Shape, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if _, ok, err := e.st.DocVersion(name); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ssp := sp.Child("load-shape")
+	before := e.st.Stats().BlocksRead
+	sh, err := e.st.Shape(name)
+	ssp.Set("pages-read", e.st.Stats().BlocksRead-before)
+	ssp.End()
+	return sh, err
+}
+
+// Drop removes a shredded document and every cached guard compiled
+// against it (the version key never recurs, so eviction is implicit).
+func (e *Engine) Drop(ctx context.Context, name string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if _, ok, err := e.st.DocVersion(name); err != nil {
+		return err
+	} else if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e.st.Drop(name)
+}
+
+// Check compiles guardSrc against name's adorned shape and enforces the
+// guard's CAST mode — the whole "compile" phase, served from the
+// compiled-guard cache when (guard, shred version) was seen before.
+//
+// Under a non-nil span a cache miss traces load-shape and the compile
+// pipeline (parse-guard, typecheck, loss-check); a hit opens a "compile"
+// child annotated cached=1.
+func (e *Engine) Check(ctx context.Context, name, guardSrc string, sp *obs.Span) (*Checked, error) {
+	checked, _, err := e.compile(ctx, name, guardSrc, sp)
+	return checked, err
+}
+
+func (e *Engine) compile(ctx context.Context, name, guardSrc string, sp *obs.Span) (*Checked, bool, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, false, err
+	}
+	ver, ok, err := e.st.DocVersion(name)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if checked := e.cache.get(ver, guardSrc); checked != nil {
+		csp := sp.Child("compile")
+		csp.Set("cached", 1)
+		csp.End()
+		return checked, true, nil
+	}
+
+	ssp := sp.Child("load-shape")
+	before := e.st.Stats().BlocksRead
+	sh, err := e.st.Shape(name)
+	ssp.Set("pages-read", e.st.Stats().BlocksRead-before)
+	ssp.End()
+	if err != nil {
+		return nil, false, err
+	}
+	checked, err := core.Check(guardSrc, sh, sp)
+	if err != nil {
+		return nil, false, err
+	}
+	e.cache.put(ver, guardSrc, checked)
+	return checked, false, nil
+}
+
+// RunOpts tunes a single Run call.
+type RunOpts struct {
+	// Span receives the pipeline trace; nil is untraced and free.
+	Span *obs.Span
+	// StreamTo, when non-nil, streams the rendered XML into the writer
+	// without materializing the output tree; RunResult.Output stays nil
+	// and Streamed counts the nodes written.
+	StreamTo io.Writer
+}
+
+// RunResult is a completed transformation with its provenance.
+type RunResult struct {
+	*Checked
+	// Output is the materialized result tree (nil when streamed).
+	Output *xmltree.Document
+	// Streamed counts elements and attributes written to StreamTo.
+	Streamed int
+	// RenderTime covers the render (or stream) phase only.
+	RenderTime time.Duration
+	// CacheHit reports whether the compile phase was served from the
+	// compiled-guard cache.
+	CacheHit bool
+	// PagesRead counts store pages read across the whole call.
+	PagesRead int64
+}
+
+// Run compiles guardSrc against the stored document name (cached) and
+// renders the transformation — the full Figure 8 pipeline over shredded
+// data. Cancellation is honored between stages; the span in opts traces
+// load-shape, compile, load-doc, and render/stream children, each
+// annotated with the pages it read.
+func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (*RunResult, error) {
+	sp := opts.Span
+	pagesBefore := e.st.Stats().BlocksRead
+
+	checked, hit, err := e.compile(ctx, name, guardSrc, sp)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	dsp := sp.Child("load-doc")
+	before := e.st.Stats().BlocksRead
+	doc, err := e.st.Doc(name)
+	dsp.Set("pages-read", e.st.Stats().BlocksRead-before)
+	dsp.End()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{Checked: checked, CacheHit: hit}
+	start := time.Now()
+	if opts.StreamTo != nil {
+		n, err := checked.Stream(doc, opts.StreamTo, sp)
+		if err != nil {
+			return nil, err
+		}
+		res.Streamed = n
+	} else {
+		rsp := sp.Child("render")
+		before = e.st.Stats().BlocksRead
+		out, err := checked.RenderOn(doc, rsp)
+		rsp.Set("pages-read", e.st.Stats().BlocksRead-before)
+		rsp.End()
+		if err != nil {
+			return nil, err
+		}
+		res.Output = out.Output
+	}
+	res.RenderTime = time.Since(start)
+	res.PagesRead = e.st.Stats().BlocksRead - pagesBefore
+	return res, nil
+}
+
+// Query evaluates an XQuery query over guardSrc's output for the stored
+// document name, rendering only the projection the query's paths can
+// reach (the paper's architecture #3). The span traces load-shape,
+// load-doc, and the prune/render/query pipeline.
+func (e *Engine) Query(ctx context.Context, name, guardSrc, query string, sp *obs.Span) (*QueryResult, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if _, ok, err := e.st.DocVersion(name); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	ssp := sp.Child("load-shape")
+	sh, err := e.st.Shape(name)
+	ssp.End()
+	if err != nil {
+		return nil, err
+	}
+	dsp := sp.Child("load-doc")
+	doc, err := e.st.Doc(name)
+	dsp.End()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return logical.EvaluateSource(query, guardSrc, name, sh, doc, sp)
+}
+
+// ctxErr reports a cancelled or expired context; a nil context never
+// cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xmorph/internal/core"
+	"xmorph/internal/store"
+)
+
+const sampleXML = `<data>
+  <book><title>X</title><author><name>V</name></author></book>
+  <book><title>Y</title><author><name>U</name></author></book>
+</data>`
+
+const sampleGuard = "MORPH author [ name title ]"
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	eng := OpenMemory()
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func shredSample(t *testing.T, eng *Engine, name string) {
+	t.Helper()
+	if _, err := eng.Shred(context.Background(), name, strings.NewReader(sampleXML), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineRunMatchesCore(t *testing.T) {
+	ctx := context.Background()
+	eng := newEngine(t)
+	shredSample(t, eng, "books")
+
+	res, err := eng.Run(ctx, "books", sampleGuard, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.TransformStored(sampleGuard, eng.st, "books", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := res.Output.XML(false), want.Output.XML(false); got != exp {
+		t.Errorf("engine output diverges from core pipeline:\n%s\nvs\n%s", got, exp)
+	}
+	if got, exp := res.Loss.String(), want.Loss.String(); got != exp {
+		t.Errorf("loss report diverges: %q vs %q", got, exp)
+	}
+}
+
+func TestEngineStreamMatchesRender(t *testing.T) {
+	ctx := context.Background()
+	eng := newEngine(t)
+	shredSample(t, eng, "books")
+
+	rendered, err := eng.Run(ctx, "books", sampleGuard, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	streamed, err := eng.Run(ctx, "books", sampleGuard, RunOpts{StreamTo: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != rendered.Output.XML(false) {
+		t.Errorf("streamed bytes differ from rendered bytes:\n%q\nvs\n%q", out.String(), rendered.Output.XML(false))
+	}
+	if streamed.Streamed == 0 || streamed.Output != nil {
+		t.Errorf("streamed run: nodes=%d output=%v", streamed.Streamed, streamed.Output)
+	}
+}
+
+func TestGuardCacheHitsAndReshredInvalidation(t *testing.T) {
+	ctx := context.Background()
+	eng := newEngine(t)
+	shredSample(t, eng, "books")
+
+	first, err := eng.Check(ctx, "books", sampleGuard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := eng.CacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first check: hits=%d misses=%d", hits, misses)
+	}
+	res, err := eng.Run(ctx, "books", sampleGuard, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("second compile of the same guard missed the cache")
+	}
+	if res.Checked != first {
+		t.Error("cache returned a different Checked value")
+	}
+
+	// Re-shredding under the same name gets a fresh version: the cached
+	// compilation against the old shape must not be served.
+	if err := eng.Drop(ctx, "books"); err != nil {
+		t.Fatal(err)
+	}
+	reshaped := `<data><book><title>Z</title><isbn>9</isbn><author><name>W</name></author></book></data>`
+	if _, err := eng.Shred(ctx, "books", strings.NewReader(reshaped), nil); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng.Run(ctx, "books", sampleGuard, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHit {
+		t.Error("compile after re-shred served the stale cached guard")
+	}
+	if res2.Checked == first {
+		t.Error("re-shredded document reused the old compilation")
+	}
+	if got := res2.Output.XML(false); !strings.Contains(got, "<name>W</name>") {
+		t.Errorf("post-reshred output not from the new document: %s", got)
+	}
+}
+
+func TestEngineSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+	eng := newEngine(t)
+	shredSample(t, eng, "books")
+
+	if _, err := eng.Run(ctx, "missing", sampleGuard, RunOpts{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("run on missing doc: %v, want ErrNotFound", err)
+	}
+	if _, err := eng.Shred(ctx, "books", strings.NewReader(sampleXML), nil); !errors.Is(err, ErrExists) {
+		t.Errorf("double shred: %v, want ErrExists", err)
+	}
+	if err := eng.Drop(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("drop missing: %v, want ErrNotFound", err)
+	}
+	if _, err := eng.Shape(ctx, "missing", nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("shape missing: %v, want ErrNotFound", err)
+	}
+}
+
+func TestEngineHonorsContext(t *testing.T) {
+	eng := newEngine(t)
+	shredSample(t, eng, "books")
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := eng.Run(expired, "books", sampleGuard, RunOpts{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("run under expired context: %v", err)
+	}
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	if _, err := eng.Query(cancelled, "books", sampleGuard, `for $a in doc("books")//author return $a`, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("query under cancelled context: %v", err)
+	}
+}
+
+func TestEngineQuery(t *testing.T) {
+	ctx := context.Background()
+	eng := newEngine(t)
+	shredSample(t, eng, "books")
+
+	res, err := eng.Query(ctx, "books", sampleGuard,
+		`for $a in doc("books")//author where $a/title = "X" return string($a/name)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(res.Answer) != "V" {
+		t.Errorf("answer = %q, want V", res.Answer)
+	}
+	if res.KeptTypes == 0 || res.TotalTypes < res.KeptTypes {
+		t.Errorf("projection stats: kept=%d total=%d", res.KeptTypes, res.TotalTypes)
+	}
+}
+
+func TestEnginePersistsAcrossOpen(t *testing.T) {
+	ctx := context.Background()
+	path := filepath.Join(t.TempDir(), "e.db")
+	eng, err := Open(path, WithCachePages(64), WithDurability(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shredSample(t, eng, "books")
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(path, store.WithDurability(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Recoveries; got != 0 {
+		t.Errorf("clean close still replayed the WAL: recoveries=%d", got)
+	}
+	st.Close()
+
+	reopened, err := Open(path, WithCachePages(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	res, err := reopened.Run(ctx, "books", sampleGuard, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Output.XML(false), "<name>V</name>") {
+		t.Errorf("reopened run output: %s", res.Output.XML(false))
+	}
+	if res.PagesRead == 0 {
+		t.Error("cold run read no pages")
+	}
+}
+
+func TestGuardCacheLRUEviction(t *testing.T) {
+	c := newGuardCache(2)
+	a, b, d := &Checked{}, &Checked{}, &Checked{}
+	c.put(1, "a", a)
+	c.put(1, "b", b)
+	if c.get(1, "a") != a {
+		t.Fatal("a evicted too early")
+	}
+	c.put(1, "d", d) // evicts b (least recently used)
+	if c.get(1, "b") != nil {
+		t.Error("b survived past capacity")
+	}
+	if c.get(1, "a") != a || c.get(1, "d") != d {
+		t.Error("a or d missing after eviction")
+	}
+	hits, misses := c.stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestOneShotHelpers(t *testing.T) {
+	res, err := TransformReader("MORPH title", strings.NewReader(sampleXML), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Output.XML(false); !strings.Contains(got, "<title>X</title>") {
+		t.Errorf("one-shot output: %s", got)
+	}
+	v := Verify(res.Source, res.Output)
+	if v.SrcVertices == 0 {
+		t.Error("verify saw an empty source graph")
+	}
+	tree, err := Explain("MORPH author [ name ]")
+	if err != nil || !strings.Contains(tree, "closest") {
+		t.Errorf("explain = %q, err %v", tree, err)
+	}
+	g, err := InferGuard(`for $a in doc("x")/author return $a/name`)
+	if err != nil || g != "MORPH author [ name ]" {
+		t.Errorf("infer = %q, err %v", g, err)
+	}
+}

@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"xmorph/internal/guard"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/loss"
+	"xmorph/internal/obs"
+	"xmorph/internal/semantics"
+)
+
+// Server exposes an Engine over HTTP — the xmorphd query service. Every
+// request runs under a deadline, heavy endpoints pass an admission
+// semaphore (overload answers 429 with Retry-After rather than queueing
+// without bound), request bodies are size-capped, and each endpoint
+// reports request/error counters and a latency histogram into the obs
+// registry that /metrics serves.
+type Server struct {
+	eng     *Engine
+	mux     *http.ServeMux
+	sem     chan struct{}
+	timeout time.Duration
+	maxBody int64
+}
+
+// ServerConfig tunes a Server; zero values pick the defaults.
+type ServerConfig struct {
+	// RequestTimeout bounds each request's pipeline work (default 30s).
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently admitted heavy requests (shred,
+	// query, shape); excess requests get 429 + Retry-After immediately.
+	// Default: GOMAXPROCS.
+	MaxInFlight int
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// NewServer wraps eng in the xmorphd HTTP API.
+func NewServer(eng *Engine, cfg ServerConfig) *Server {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	s := &Server{
+		eng:     eng,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		timeout: cfg.RequestTimeout,
+		maxBody: cfg.MaxBodyBytes,
+	}
+	s.mux.Handle("POST /v1/docs/{name}", s.limited("shred", s.handleShred))
+	s.mux.Handle("DELETE /v1/docs/{name}", s.limited("drop", s.handleDrop))
+	s.mux.Handle("GET /v1/docs", s.instrumented("docs", s.handleDocs))
+	s.mux.Handle("GET /v1/docs/{name}/shape", s.limited("shape", s.handleShape))
+	s.mux.Handle("POST /v1/query", s.limited("query", s.handleQuery))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+var (
+	metricThrottled = obs.Default.Counter("xmorphd_throttled_total")
+	metricInFlight  = obs.Default.Gauge("xmorphd_inflight")
+	inFlight        atomic.Int64
+)
+
+// instrumented wraps a handler with per-endpoint request/error counters
+// and a latency histogram, and stamps the request with the server's
+// deadline.
+func (s *Server) instrumented(route string, h http.HandlerFunc) http.Handler {
+	requests := obs.Default.Counter("xmorphd_" + route + "_requests_total")
+	errs := obs.Default.Counter("xmorphd_" + route + "_errors_total")
+	seconds := obs.Default.Histogram("xmorphd_"+route+"_seconds", obs.DurationBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r.WithContext(ctx))
+		seconds.Observe(time.Since(start).Seconds())
+		if rec.status >= 400 {
+			errs.Inc()
+		}
+	})
+}
+
+// limited adds admission control in front of instrumented: requests
+// beyond the in-flight cap are refused immediately with 429 and a
+// Retry-After hint, so overload degrades into fast feedback instead of
+// unbounded queueing.
+func (s *Server) limited(route string, h http.HandlerFunc) http.Handler {
+	inner := s.instrumented(route, h)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			metricInFlight.Set(float64(inFlight.Add(1)))
+			defer func() {
+				<-s.sem
+				metricInFlight.Set(float64(inFlight.Add(-1)))
+			}()
+			inner.ServeHTTP(w, r)
+		default:
+			metricThrottled.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, errors.New("server at capacity"))
+		}
+	})
+}
+
+// statusRecorder captures the response status for the error counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "status": status})
+}
+
+// httpStatus maps pipeline errors onto statuses: the compile phase's
+// typed errors (syntax with its offset, type mismatch, rejected CAST
+// mode) and malformed input are the client's fault (400), missing and
+// duplicate documents get their REST statuses, an expired request
+// deadline is 504, and an oversized body 413.
+func httpStatus(err error) int {
+	var (
+		syn  *guard.SyntaxError
+		typ  *semantics.TypeError
+		cast *loss.CastError
+		big  *http.MaxBytesError
+	)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &big):
+		return http.StatusRequestEntityTooLarge
+	case errors.As(err, &syn), errors.As(err, &typ), errors.As(err, &cast):
+		return http.StatusBadRequest
+	default:
+		// Remaining pipeline failures are driven by request content
+		// (malformed XML, bad XQuery): the client can fix them.
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleShred(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	info, err := s.eng.Shred(r.Context(), name, body, nil)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(map[string]any{
+		"name": info.Name, "nodes": info.Nodes, "types": info.Types,
+	})
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.eng.Drop(r.Context(), name); err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	names, err := s.eng.Docs()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if names == nil {
+		names = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"docs": names})
+}
+
+func (s *Server) handleShape(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sh, err := s.eng.Shape(r.Context(), name, nil)
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, sh.String())
+}
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// Doc names the shredded document; Guard is the query guard source.
+	Doc   string `json:"doc"`
+	Guard string `json:"guard"`
+	// Query, when set, runs a guarded XQuery query (architecture #3)
+	// instead of rendering the whole transformation.
+	Query string `json:"query,omitempty"`
+	// Format selects the response: "json" (default, XML + reports in one
+	// object) or "xml" (raw transformed XML only).
+	Format string `json:"format,omitempty"`
+	// Stream, with Format "xml", streams the rendering straight to the
+	// response without materializing the output tree.
+	Stream bool `json:"stream,omitempty"`
+	// Indent pretty-prints materialized XML.
+	Indent bool `json:"indent,omitempty"`
+}
+
+// queryResponse is the JSON answer for a morph (and, with Answer set, a
+// guarded query).
+type queryResponse struct {
+	Doc           string `json:"doc"`
+	XML           string `json:"xml,omitempty"`
+	Answer        string `json:"answer,omitempty"`
+	Loss          string `json:"loss,omitempty"`
+	Labels        string `json:"labels,omitempty"`
+	Verdict       string `json:"verdict,omitempty"`
+	CacheHit      bool   `json:"cache_hit"`
+	PagesRead     int64  `json:"pages_read"`
+	CompileMicros int64  `json:"compile_us"`
+	RenderMicros  int64  `json:"render_us,omitempty"`
+	RenderedNodes int    `json:"rendered_nodes,omitempty"`
+	KeptTypes     int    `json:"kept_types,omitempty"`
+	TotalTypes    int    `json:"total_types,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, httpStatus(err), fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Doc == "" || req.Guard == "" {
+		writeError(w, http.StatusBadRequest, errors.New("doc and guard are required"))
+		return
+	}
+	ctx := r.Context()
+
+	if req.Query != "" {
+		res, err := s.eng.Query(ctx, req.Doc, req.Guard, req.Query, nil)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(queryResponse{
+			Doc:           req.Doc,
+			Answer:        res.Answer,
+			RenderedNodes: res.RenderedNodes,
+			KeptTypes:     res.KeptTypes,
+			TotalTypes:    res.TotalTypes,
+		})
+		return
+	}
+
+	if req.Stream && req.Format == "xml" {
+		// Compile before the first body byte so errors still carry their
+		// status; the stream itself renders directly into the response.
+		if _, err := s.eng.Check(ctx, req.Doc, req.Guard, nil); err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		if _, err := s.eng.Run(ctx, req.Doc, req.Guard, RunOpts{StreamTo: w}); err != nil {
+			// Headers are gone; the truncated body is the best signal left.
+			fmt.Fprintf(w, "\n<!-- stream aborted: %v -->\n", err)
+		}
+		return
+	}
+
+	res, err := s.eng.Run(ctx, req.Doc, req.Guard, RunOpts{})
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	if req.Format == "xml" {
+		w.Header().Set("Content-Type", "application/xml")
+		res.Output.WriteXML(w, req.Indent)
+		return
+	}
+	var xml bytesBuilder
+	if err := res.Output.WriteXML(&xml, req.Indent); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(queryResponse{
+		Doc:           req.Doc,
+		XML:           xml.String(),
+		Loss:          res.Loss.String(),
+		Labels:        res.LabelReport(),
+		Verdict:       res.Loss.Verdict.String(),
+		CacheHit:      res.CacheHit,
+		PagesRead:     res.PagesRead,
+		CompileMicros: res.CompileTime.Microseconds(),
+		RenderMicros:  res.RenderTime.Microseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	MirrorStoreStats(obs.Default, s.eng.Stats())
+	snap := obs.Default.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		raw, err := snap.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(raw)
+		io.WriteString(w, "\n")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, snap.Text())
+}
+
+// MirrorStoreStats copies a store's block-I/O, buffer-pool, and WAL
+// counters into reg as gauges, so one snapshot carries the pipeline
+// histograms and the storage counters together (the CLI's --metrics dump
+// and the daemon's /metrics endpoint share this).
+func MirrorStoreStats(reg *obs.Registry, s kvstore.Stats) {
+	reg.Gauge("kvstore_blocks_read").Set(float64(s.BlocksRead))
+	reg.Gauge("kvstore_blocks_written").Set(float64(s.BlocksWritten))
+	reg.Gauge("kvstore_cache_hits").Set(float64(s.CacheHits))
+	reg.Gauge("kvstore_cache_misses").Set(float64(s.CacheMisses))
+	reg.Gauge("kvstore_cache_evictions").Set(float64(s.Evictions))
+	reg.Gauge("kvstore_cache_hit_ratio").Set(s.HitRatio())
+	reg.Gauge("kvstore_gets").Set(float64(s.Gets))
+	reg.Gauge("kvstore_puts").Set(float64(s.Puts))
+	reg.Gauge("kvstore_deletes").Set(float64(s.Deletes))
+	reg.Gauge("kvstore_seeks").Set(float64(s.Seeks))
+	reg.Gauge("kvstore_wal_bytes").Set(float64(s.WALBytes))
+	reg.Gauge("kvstore_wal_commits").Set(float64(s.WALCommits))
+	reg.Gauge("kvstore_recoveries").Set(float64(s.Recoveries))
+}
+
+// bytesBuilder is a minimal strings.Builder-alike that implements
+// io.Writer for WriteXML without an extra copy at String time.
+type bytesBuilder struct{ buf []byte }
+
+func (b *bytesBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+func (b *bytesBuilder) String() string { return string(b.buf) }

@@ -66,7 +66,7 @@ func TestXMarkVocabulary(t *testing.T) {
 // reversible closest graph.
 func TestXMarkMutateSite(t *testing.T) {
 	d := xmark.Generate(xmark.Config{Factor: 0.001, Seed: 3})
-	res, err := core.Transform("MUTATE site", d)
+	res, err := core.Transform("MUTATE site", d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestDBLPMorphWorkloads(t *testing.T) {
 		"CAST MORPH author [title [year]]",
 		"CAST MORPH dblp [author [title [year [pages] url]]]",
 	} {
-		res, err := core.Transform(g, d)
+		res, err := core.Transform(g, d, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", g, err)
 		}
@@ -175,7 +175,7 @@ func TestGeneratedXMLReparses(t *testing.T) {
 func TestDBLPFig1Scenario(t *testing.T) {
 	// The paper's running example guard must work on DBLP-shaped data.
 	d := dblp.Generate(dblp.Config{Publications: 30, Seed: 2})
-	res, err := core.Transform("CAST MORPH author [ title ]", d)
+	res, err := core.Transform("CAST MORPH author [ title ]", d, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,21 +41,18 @@ type Result struct {
 // Evaluate type-checks the guard, prunes its target to the query's paths,
 // renders the projection, and runs the query over it bound as docName.
 func Evaluate(query, guardSrc, docName string, doc *xmltree.Document) (*Result, error) {
-	return EvaluateSource(query, guardSrc, docName, shape.FromDocument(doc), doc)
+	return EvaluateSource(query, guardSrc, docName, shape.FromDocument(doc), doc, nil)
 }
 
 // EvaluateSource is Evaluate over any render source (e.g. a shredded
 // store's lazy type sequences) with its adorned shape supplied separately.
 // Only the type sequences the pruned projection mentions are read.
-func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render.Source) (*Result, error) {
-	return EvaluateSourceTraced(query, guardSrc, docName, sh, doc, nil)
-}
-
-// EvaluateSourceTraced is EvaluateSource under a parent span: the guard
-// compile, the path-driven pruning (annotated with kept/total types), the
-// projected render, and the query evaluation each get a child span.
-func EvaluateSourceTraced(query, guardSrc, docName string, sh *shape.Shape, doc render.Source, parent *obs.Span) (*Result, error) {
-	checked, err := core.CheckTraced(guardSrc, sh, parent)
+//
+// Under a non-nil parent span the guard compile, the path-driven pruning
+// (annotated with kept/total types), the projected render, and the query
+// evaluation each get a child span.
+func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render.Source, parent *obs.Span) (*Result, error) {
+	checked, err := core.Check(guardSrc, sh, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +72,7 @@ func EvaluateSourceTraced(query, guardSrc, docName string, sh *shape.Shape, doc 
 	psp.End()
 
 	rsp := parent.Child("render")
-	out, err := render.RenderTraced(doc, pruned, rsp)
+	out, err := render.Render(doc, pruned, rsp)
 	rsp.End()
 	if err != nil {
 		return nil, err
@@ -102,6 +99,15 @@ func EvaluateSourceTraced(query, guardSrc, docName string, sh *shape.Shape, doc 
 		KeptTypes:     kept,
 		TotalTypes:    total,
 	}, nil
+}
+
+// EvaluateSourceTraced is EvaluateSource.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting EvaluateSource (a nil span is untraced); this wrapper
+// remains so existing callers keep compiling.
+func EvaluateSourceTraced(query, guardSrc, docName string, sh *shape.Shape, doc render.Source, parent *obs.Span) (*Result, error) {
+	return EvaluateSource(query, guardSrc, docName, sh, doc, parent)
 }
 
 // rebase rewrites doc("name")/step to doc("name")//step so queries written

@@ -69,7 +69,7 @@ func TestEvaluatePrunesUntouchedTypes(t *testing.T) {
 	}
 
 	// Same answer as the full pipeline.
-	full, err := core.Transform(guardSrc, doc)
+	full, err := core.Transform(guardSrc, doc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestEvaluateAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := core.Transform("CAST MUTATE site", doc)
+	full, err := core.Transform("CAST MUTATE site", doc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

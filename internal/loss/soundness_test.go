@@ -58,7 +58,7 @@ func TestTheoremSoundness(t *testing.T) {
 		}
 		report := loss.Analyze(plan)
 		tgt := plan.ComposedTarget()
-		out, err := render.Render(doc, tgt)
+		out, err := render.Render(doc, tgt, nil)
 		if err != nil {
 			t.Fatalf("trial %d guard %q: render: %v", trial, g, err)
 		}

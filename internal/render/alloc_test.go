@@ -66,7 +66,7 @@ func BenchmarkRenderCachedJoins(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := RenderParallel(doc, tgt); err != nil {
+		if _, err := RenderParallel(doc, tgt, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

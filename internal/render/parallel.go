@@ -14,14 +14,9 @@ import (
 // concurrently: every (parent type, child type) pair the target will join
 // is known from the target shape alone, and the joins are independent, so
 // a worker pool computes them before the (sequential, document-ordered)
-// output pass begins. Output equals Render exactly.
-func RenderParallel(doc Source, tgt *semantics.Target) (*xmltree.Document, error) {
-	return RenderParallelTraced(doc, tgt, nil)
-}
-
-// RenderParallelTraced is RenderParallel with span annotations (see
-// RenderTraced); the recorder is shared across the prefetch workers.
-func RenderParallelTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
+// output pass begins. Output equals Render exactly. Span annotations
+// match Render's; the recorder is shared across the prefetch workers.
+func RenderParallel(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
 	var rec *closest.Recorder
 	if sp != nil {
 		rec = &closest.Recorder{}
@@ -58,6 +53,15 @@ func RenderParallelTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xml
 	}
 	annotateJoins(sp, rec, out.Size())
 	return out, nil
+}
+
+// RenderParallelTraced is RenderParallel.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting RenderParallel (a nil span is untraced); this wrapper
+// remains so existing callers keep compiling.
+func RenderParallelTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
+	return RenderParallel(doc, tgt, sp)
 }
 
 // joinEdges collects every (parent source type, child source type) pair

@@ -30,16 +30,12 @@ type Source interface {
 // closest relationships (Definition 4). Every output element and attribute
 // carries Src provenance to the source vertex it was rendered from;
 // manufactured (NEW / TYPE-FILL) elements have no provenance.
-func Render(doc Source, tgt *semantics.Target) (*xmltree.Document, error) {
-	return RenderTraced(doc, tgt, nil)
-}
-
-// RenderTraced is Render with span annotations: when sp is non-nil it
-// records the closest-join statistics (joins, candidate nodes scanned,
-// closest pairs kept) and the output node count on sp. The span's
-// lifetime belongs to the caller (RenderTraced neither creates children
-// nor ends it); a nil sp adds no allocations.
-func RenderTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
+//
+// When sp is non-nil, Render records the closest-join statistics (joins,
+// candidate nodes scanned, closest pairs kept) and the output node count
+// on it. The span's lifetime belongs to the caller (Render neither
+// creates children nor ends it); a nil sp adds no allocations.
+func Render(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
 	var rec *closest.Recorder
 	if sp != nil {
 		rec = &closest.Recorder{}
@@ -77,6 +73,15 @@ func RenderTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Doc
 	}
 	annotateJoins(sp, rec, out.Size())
 	return out, nil
+}
+
+// RenderTraced is Render.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting Render (a nil span is untraced); this wrapper remains so
+// existing callers keep compiling.
+func RenderTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
+	return Render(doc, tgt, sp)
 }
 
 // annotateJoins writes the join statistics and output size onto sp.

@@ -62,7 +62,7 @@ func run(t *testing.T, guardSrc, xmlSrc string) *xmltree.Document {
 	}
 	cur := doc
 	for _, sp := range plan.Stages {
-		out, err := Render(cur, sp.Target)
+		out, err := Render(cur, sp.Target, nil)
 		if err != nil {
 			t.Fatalf("render %q: %v", guardSrc, err)
 		}
@@ -142,7 +142,7 @@ func TestRenderIdentityReversible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Render(in, plan.Final().Target)
+	out, err := Render(in, plan.Final().Target, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestRenderEmptyResult(t *testing.T) {
 	doc := xmltree.MustParse(src)
 	plan, err := semantics.Compile(guard.MustParse("CAST MORPH (RESTRICT author [ name ])"), shape.FromDocument(doc))
 	if err == nil {
-		out, rerr := Render(doc, plan.Final().Target)
+		out, rerr := Render(doc, plan.Final().Target, nil)
 		if rerr != nil {
 			t.Fatal(rerr)
 		}

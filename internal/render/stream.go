@@ -19,14 +19,11 @@ import (
 //
 // The byte output equals Render(...).XML(false). Stream returns the number
 // of elements and attributes written.
-func Stream(doc Source, tgt *semantics.Target, w io.Writer) (int, error) {
-	return StreamTraced(doc, tgt, w, nil)
-}
-
-// StreamTraced is Stream with span annotations: when sp is non-nil it
-// records join statistics, nodes emitted, and bytes written on sp. The
-// span's lifetime belongs to the caller; a nil sp changes nothing.
-func StreamTraced(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) (int, error) {
+//
+// When sp is non-nil it records join statistics, nodes emitted, and bytes
+// written on sp. The span's lifetime belongs to the caller; a nil sp
+// changes nothing.
+func Stream(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) (int, error) {
 	var (
 		rec *closest.Recorder
 		cw  *countingWriter
@@ -65,6 +62,15 @@ func StreamTraced(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) 
 		sp.Set("bytes-out", cw.n)
 	}
 	return s.count, nil
+}
+
+// StreamTraced is Stream.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting Stream (a nil span is untraced); this wrapper remains so
+// existing callers keep compiling.
+func StreamTraced(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) (int, error) {
+	return Stream(doc, tgt, w, sp)
 }
 
 // countingWriter counts bytes on their way to the sink (placed under the

@@ -23,12 +23,12 @@ func streamRun(t *testing.T, guardSrc, xmlSrc string) string {
 	}
 	tgt := plan.ComposedTarget()
 
-	tree, err := Render(doc, tgt)
+	tree, err := Render(doc, tgt, nil)
 	if err != nil {
 		t.Fatalf("render %q: %v", guardSrc, err)
 	}
 	var b strings.Builder
-	n, err := Stream(doc, tgt, &b)
+	n, err := Stream(doc, tgt, &b, nil)
 	if err != nil {
 		t.Fatalf("stream %q: %v", guardSrc, err)
 	}
@@ -74,7 +74,7 @@ func TestStreamEmptyOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if _, err := Stream(doc, plan.ComposedTarget(), &b); err != nil {
+	if _, err := Stream(doc, plan.ComposedTarget(), &b, nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "<data/>") {
@@ -114,12 +114,12 @@ func TestStreamRandomDocs(t *testing.T) {
 				continue // random doc may lack the types
 			}
 			tgt := plan.ComposedTarget()
-			tree, err := Render(doc, tgt)
+			tree, err := Render(doc, tgt, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			var sb strings.Builder
-			if _, err := Stream(doc, tgt, &sb); err != nil {
+			if _, err := Stream(doc, tgt, &sb, nil); err != nil {
 				t.Fatal(err)
 			}
 			if sb.String() != tree.XML(false) {
@@ -178,11 +178,11 @@ func TestRenderParallelMatchesSequential(t *testing.T) {
 			t.Fatalf("%s: %v", g, err)
 		}
 		tgt := plan.ComposedTarget()
-		seq, err := Render(doc, tgt)
+		seq, err := Render(doc, tgt, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := RenderParallel(doc, tgt)
+		par, err := RenderParallel(doc, tgt, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -245,14 +245,14 @@ func TestComposedEqualsPerStage(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", g, err)
 		}
-		composed, err := Render(doc, plan.ComposedTarget())
+		composed, err := Render(doc, plan.ComposedTarget(), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var cur Source = doc
 		var staged *xmltree.Document
 		for _, sp := range plan.Stages {
-			o, err := Render(cur, sp.Target)
+			o, err := Render(cur, sp.Target, nil)
 			if err != nil {
 				t.Fatalf("%s per-stage: %v", g, err)
 			}

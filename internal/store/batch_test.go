@@ -23,7 +23,7 @@ func TestMultiChunkValueReassembly(t *testing.T) {
 		val := b.String() + strings.Repeat("#", extra)
 		s := OpenMemory()
 		src := "<doc><a>pre</a><body>" + val + "</body><z>post</z></doc>"
-		if _, err := s.Shred("d", strings.NewReader(src)); err != nil {
+		if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
 			t.Fatal(err)
 		}
 		doc, err := s.Doc("d")
@@ -57,7 +57,7 @@ func TestMultipleMultiChunkSiblings(t *testing.T) {
 	v2 := strings.Repeat("beta ", 900)  // ~4.5 KB, 4 chunks
 	v3 := "tiny"
 	src := "<doc><p>" + v1 + "</p><p>" + v2 + "</p><p>" + v3 + "</p></doc>"
-	if _, err := s.Shred("d", strings.NewReader(src)); err != nil {
+	if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, err := s.Doc("d")
@@ -83,7 +83,7 @@ func TestSizeCountsWithoutCaching(t *testing.T) {
 	defer s.Close()
 	big := strings.Repeat("x", 3*chunkSize) // multi-chunk: extra keys, one node
 	src := `<data><book id="1"><title>` + big + `</title></book><book id="2"><title>t</title></book></data>`
-	if _, err := s.Shred("d", strings.NewReader(src)); err != nil {
+	if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, err := s.Doc("d")
@@ -121,12 +121,11 @@ func TestBatchedShredEqualsUnbatched(t *testing.T) {
 
 	batched := OpenMemory()
 	defer batched.Close()
-	unbatched := OpenMemory()
+	unbatched := OpenMemory(WithUnbatchedShred())
 	defer unbatched.Close()
-	unbatched.SetUnbatchedShred(true)
 
 	for _, s := range []*Store{batched, unbatched} {
-		if _, err := s.Shred("d", strings.NewReader(src)); err != nil {
+		if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -176,7 +175,7 @@ func TestShredFlushThreshold(t *testing.T) {
 	b.WriteString("</doc>")
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("d", strings.NewReader(b.String())); err != nil {
+	if _, err := s.Shred("d", strings.NewReader(b.String()), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, err := s.Doc("d")

@@ -46,20 +46,20 @@ var (
 // to snapshot commit-point images, crash runs to count completed steps.
 // The first error (the injected crash) aborts the run.
 func runCrashWorkload(fs *kvstore.FaultFS, durable bool, commit func()) error {
-	st, err := store.Open("crash.db", &kvstore.Options{CachePages: 16, FS: fs, Durability: durable})
+	st, err := store.Open("crash.db", store.WithKVOptions(&kvstore.Options{CachePages: 16, FS: fs, Durability: durable}))
 	if err != nil {
 		return err
 	}
-	if _, err := st.Shred("doc1", strings.NewReader(crashDoc1)); err != nil {
+	if _, err := st.Shred("doc1", strings.NewReader(crashDoc1), nil); err != nil {
 		return err
 	}
 	commit()
 	// Stored morph render: read-only, but it drives the buffer pool (and
 	// in the control run, the eviction order) exactly as production does.
-	if _, err := core.TransformStored(crashSweepGuard, st, "doc1"); err != nil {
+	if _, err := core.TransformStored(crashSweepGuard, st, "doc1", nil); err != nil {
 		return err
 	}
-	if _, err := st.Shred("doc2", strings.NewReader(crashDoc2)); err != nil {
+	if _, err := st.Shred("doc2", strings.NewReader(crashDoc2), nil); err != nil {
 		return err
 	}
 	commit()
@@ -102,7 +102,7 @@ func recordCrashOracle(t *testing.T, durable bool) crashOracle {
 // reopenAfterCrash clears the faults (the reboot) and reopens the store.
 func reopenAfterCrash(fs *kvstore.FaultFS) (*store.Store, error) {
 	fs.ClearFaults()
-	return store.Open("crash.db", &kvstore.Options{CachePages: 16, FS: fs})
+	return store.Open("crash.db", store.WithKVOptions(&kvstore.Options{CachePages: 16, FS: fs}))
 }
 
 // readEverything walks every stored document's every type sequence,

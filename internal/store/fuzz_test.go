@@ -24,7 +24,7 @@ func FuzzShred(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st := store.OpenMemory()
 		defer st.Close()
-		info, err := st.Shred("doc", bytes.NewReader(data))
+		info, err := st.Shred("doc", bytes.NewReader(data), nil)
 		if err != nil {
 			return // rejected; that's a valid outcome
 		}

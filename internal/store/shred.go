@@ -23,14 +23,11 @@ type ShredInfo struct {
 // numbers, writes every node's value into its type sequence, and
 // aggregates the adorned shape's cardinalities (Section VIII's data
 // shredder). Memory use is bounded by document depth, not size.
-func (s *Store) Shred(name string, r io.Reader) (*ShredInfo, error) {
-	return s.ShredTraced(name, r, nil)
-}
-
-// ShredTraced is Shred under a parent span: it opens a "shred" child
-// annotated with the nodes and text characters shredded, the types
-// discovered, and the pages written to the store. A nil parent is free.
-func (s *Store) ShredTraced(name string, r io.Reader, parent *obs.Span) (*ShredInfo, error) {
+//
+// Under a non-nil parent span it opens a "shred" child annotated with the
+// nodes and text characters shredded, the types discovered, and the pages
+// written to the store. A nil parent is free.
+func (s *Store) Shred(name string, r io.Reader, parent *obs.Span) (*ShredInfo, error) {
 	sp := parent.Child("shred")
 	defer sp.End()
 	before := s.Stats()
@@ -79,10 +76,19 @@ func (s *Store) ShredTraced(name string, r io.Reader, parent *obs.Span) (*ShredI
 	return &ShredInfo{Name: name, Types: len(sh.typeOrder), Nodes: sh.nodes}, nil
 }
 
+// ShredTraced is Shred.
+//
+// Deprecated: the traced/untraced pair collapsed into the single
+// span-accepting Shred (a nil span is untraced); this wrapper remains so
+// existing callers keep compiling.
+func (s *Store) ShredTraced(name string, r io.Reader, parent *obs.Span) (*ShredInfo, error) {
+	return s.Shred(name, r, parent)
+}
+
 // ShredDocument shreds an already-parsed document (used by generators that
 // build documents in memory).
 func (s *Store) ShredDocument(name string, d *xmltree.Document) (*ShredInfo, error) {
-	return s.Shred(name, strings.NewReader(d.XML(false)))
+	return s.Shred(name, strings.NewReader(d.XML(false)), nil)
 }
 
 func (s *Store) nextDocID() (uint32, error) {

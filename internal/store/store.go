@@ -34,27 +34,80 @@ import (
 // chunkSize keeps records under the kvstore value limit.
 const chunkSize = 1400
 
-// Store is a shredded-document store.
+// Store is a shredded-document store. A Store's configuration is fixed at
+// Open time (functional options); there are no mutable knobs after
+// construction, so one Store is safe to share across goroutines without
+// configuration races.
 type Store struct {
 	db *kvstore.DB
 	// unbatchedShred forces Shred to issue one Put per chunk instead of
 	// accumulating per-type sorted runs for PutBatch — the pre-batching
-	// behaviour, kept for ablation benchmarks.
+	// behaviour, kept for ablation benchmarks (WithUnbatchedShred).
 	unbatchedShred bool
 }
 
+// Option configures a Store at Open time.
+type Option func(*config)
+
+type config struct {
+	kv             kvstore.Options
+	unbatchedShred bool
+}
+
+// WithCachePages sizes the underlying buffer pool in pages.
+func WithCachePages(n int) Option {
+	return func(c *config) { c.kv.CachePages = n }
+}
+
+// WithDurability enables the write-ahead-log commit protocol (crash-safe
+// Syncs; see DESIGN.md Durability).
+func WithDurability(on bool) Option {
+	return func(c *config) { c.kv.Durability = on }
+}
+
+// WithUnbatchedShred reverts Shred to the per-chunk Put path (one Put per
+// chunk, no per-type sorted runs) — the pre-batching behaviour, kept for
+// ablation benchmarks.
+func WithUnbatchedShred() Option {
+	return func(c *config) { c.unbatchedShred = true }
+}
+
+// WithKVOptions replaces the whole underlying kvstore configuration — the
+// escape hatch for ablation knobs (DisableFastPath, BalancedSplitOnly,
+// DisableReadAhead, FS fault injection) the named options don't cover.
+// Named options applied after it still take effect.
+func WithKVOptions(o *kvstore.Options) Option {
+	return func(c *config) {
+		if o != nil {
+			c.kv = *o
+		}
+	}
+}
+
 // Open opens (or creates) a store file.
-func Open(path string, opts *kvstore.Options) (*Store, error) {
-	db, err := kvstore.Open(path, opts)
+func Open(path string, opts ...Option) (*Store, error) {
+	var c config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	db, err := kvstore.Open(path, &c.kv)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{db: db}, nil
+	return &Store{db: db, unbatchedShred: c.unbatchedShred}, nil
 }
 
 // OpenMemory returns an in-memory store (same code path, no file).
-func OpenMemory() *Store {
-	return &Store{db: kvstore.OpenMemory(nil)}
+func OpenMemory(opts ...Option) *Store {
+	var c config
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return &Store{db: kvstore.OpenMemory(&c.kv), unbatchedShred: c.unbatchedShred}
 }
 
 // Close flushes and closes the underlying store.
@@ -65,10 +118,6 @@ func (s *Store) Sync() error { return s.db.Sync() }
 
 // Stats returns the underlying block I/O counters.
 func (s *Store) Stats() kvstore.Stats { return s.db.Stats() }
-
-// SetUnbatchedShred toggles the per-chunk Put shredding path (ablation
-// benchmarks compare it against the default batched runs).
-func (s *Store) SetUnbatchedShred(v bool) { s.unbatchedShred = v }
 
 func docKey(name string) []byte { return append([]byte{'D'}, name...) }
 
@@ -186,6 +235,12 @@ func (s *Store) docID(name string) (uint32, bool, error) {
 	}
 	return binary.BigEndian.Uint32(v), true, nil
 }
+
+// DocVersion returns a document's shred version: its internal docID,
+// which the store never reuses (drop + re-shred assigns a fresh id from a
+// monotonic counter). Compiled-guard caches key on it so a re-shredded
+// document invalidates every cached compilation against its old shape.
+func (s *Store) DocVersion(name string) (uint32, bool, error) { return s.docID(name) }
 
 // Documents lists the stored document names, sorted.
 func (s *Store) Documents() ([]string, error) {

@@ -30,7 +30,7 @@ const fig1a = `<data>
 func TestShredAndLoadSequences(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	info, err := s.Shred("fig1a", strings.NewReader(fig1a))
+	info, err := s.Shred("fig1a", strings.NewReader(fig1a), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestShredAndLoadSequences(t *testing.T) {
 func TestShredShapeMatchesInMemoryExtraction(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("fig1a", strings.NewReader(fig1a)); err != nil {
+	if _, err := s.Shred("fig1a", strings.NewReader(fig1a), nil); err != nil {
 		t.Fatal(err)
 	}
 	got, err := s.Shape("fig1a")
@@ -84,7 +84,7 @@ func TestShredOptionalChildCardinality(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
 	src := `<data><book><author/></book><book><author><name>V</name></author></book></data>`
-	if _, err := s.Shred("d", strings.NewReader(src)); err != nil {
+	if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
 		t.Fatal(err)
 	}
 	sh, err := s.Shape("d")
@@ -100,7 +100,7 @@ func TestShredOptionalChildCardinality(t *testing.T) {
 func TestShredAttributes(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("d", strings.NewReader(`<site><item id="i1"/><item id="i2"/></site>`)); err != nil {
+	if _, err := s.Shred("d", strings.NewReader(`<site><item id="i1"/><item id="i2"/></site>`), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, err := s.Doc("d")
@@ -119,14 +119,14 @@ func TestShredAttributes(t *testing.T) {
 func TestShredRejectsDuplicatesAndBadXML(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("d", strings.NewReader("<a/>")); err != nil {
+	if _, err := s.Shred("d", strings.NewReader("<a/>"), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Shred("d", strings.NewReader("<a/>")); err == nil {
+	if _, err := s.Shred("d", strings.NewReader("<a/>"), nil); err == nil {
 		t.Error("duplicate shred accepted")
 	}
 	for _, bad := range []string{"", "<a>", "<a></b>", "<a/><b/>"} {
-		if _, err := s.Shred("bad"+bad, strings.NewReader(bad)); err == nil {
+		if _, err := s.Shred("bad"+bad, strings.NewReader(bad), nil); err == nil {
 			t.Errorf("bad xml %q accepted", bad)
 		}
 	}
@@ -135,8 +135,8 @@ func TestShredRejectsDuplicatesAndBadXML(t *testing.T) {
 func TestDocuments(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	s.Shred("zeta", strings.NewReader("<a/>"))
-	s.Shred("alpha", strings.NewReader("<b/>"))
+	s.Shred("zeta", strings.NewReader("<a/>"), nil)
+	s.Shred("alpha", strings.NewReader("<b/>"), nil)
 	names, err := s.Documents()
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +151,7 @@ func TestLargeValuesChunked(t *testing.T) {
 	defer s.Close()
 	big := strings.Repeat("lorem ipsum ", 1000) // ~12 KB text
 	src := "<doc><body>" + big + "</body></doc>"
-	if _, err := s.Shred("d", strings.NewReader(src)); err != nil {
+	if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, err := s.Doc("d")
@@ -166,18 +166,18 @@ func TestLargeValuesChunked(t *testing.T) {
 
 func TestPersistentStoreRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "x.db")
-	s, err := Open(path, nil)
+	s, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Shred("fig1a", strings.NewReader(fig1a)); err != nil {
+	if _, err := s.Shred("fig1a", strings.NewReader(fig1a), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	s2, err := Open(path, nil)
+	s2, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestPersistentStoreRoundTrip(t *testing.T) {
 func TestRenderFromStore(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("fig1a", strings.NewReader(fig1a)); err != nil {
+	if _, err := s.Shred("fig1a", strings.NewReader(fig1a), nil); err != nil {
 		t.Fatal(err)
 	}
 	sh, err := s.Shape("fig1a")
@@ -216,7 +216,7 @@ func TestRenderFromStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := render.Render(doc, plan.Final().Target)
+	out, err := render.Render(doc, plan.Final().Target, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestRenderFromStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	memOut, err := render.Render(mem, memPlan.Final().Target)
+	memOut, err := render.Render(mem, memPlan.Final().Target, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestRenderFromStore(t *testing.T) {
 func TestStoreIdentityMutate(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("fig1a", strings.NewReader(fig1a)); err != nil {
+	if _, err := s.Shred("fig1a", strings.NewReader(fig1a), nil); err != nil {
 		t.Fatal(err)
 	}
 	sh, _ := s.Shape("fig1a")
@@ -249,7 +249,7 @@ func TestStoreIdentityMutate(t *testing.T) {
 		t.Fatal(err)
 	}
 	doc, _ := s.Doc("fig1a")
-	out, err := render.Render(doc, plan.Final().Target)
+	out, err := render.Render(doc, plan.Final().Target, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestReconstruct(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
 	src := `<site><item id="i1"><name>bike</name><price>5</price></item><item id="i2"><name>car</name></item></site>`
-	if _, err := s.Shred("d", strings.NewReader(src)); err != nil {
+	if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, err := s.Doc("d")
@@ -301,7 +301,7 @@ func TestReconstruct(t *testing.T) {
 func TestReconstructLargerDocument(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("fig", strings.NewReader(fig1a)); err != nil {
+	if _, err := s.Shred("fig", strings.NewReader(fig1a), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, _ := s.Doc("fig")
@@ -317,10 +317,10 @@ func TestReconstructLargerDocument(t *testing.T) {
 func TestDropDocument(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("a", strings.NewReader(fig1a)); err != nil {
+	if _, err := s.Shred("a", strings.NewReader(fig1a), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Shred("b", strings.NewReader("<x><y>1</y></x>")); err != nil {
+	if _, err := s.Shred("b", strings.NewReader("<x><y>1</y></x>"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Drop("a"); err != nil {
@@ -339,7 +339,7 @@ func TestDropDocument(t *testing.T) {
 		t.Errorf("sibling document damaged: %v", err)
 	}
 	// Re-shredding under the same name works.
-	if _, err := s.Shred("a", strings.NewReader("<z/>")); err != nil {
+	if _, err := s.Shred("a", strings.NewReader("<z/>"), nil); err != nil {
 		t.Errorf("re-shred after drop: %v", err)
 	}
 	if err := s.Drop("never"); err == nil {
@@ -355,7 +355,7 @@ func TestBlobChunkBoundaries(t *testing.T) {
 		val := strings.Repeat("x", size)
 		src := "<d><v>" + val + "</v></d>"
 		name := fmt.Sprintf("doc%d", i)
-		if _, err := s.Shred(name, strings.NewReader(src)); err != nil {
+		if _, err := s.Shred(name, strings.NewReader(src), nil); err != nil {
 			t.Fatalf("size %d: %v", size, err)
 		}
 		doc, err := s.Doc(name)
@@ -372,7 +372,7 @@ func TestBlobChunkBoundaries(t *testing.T) {
 func TestEmptyElementValues(t *testing.T) {
 	s := OpenMemory()
 	defer s.Close()
-	if _, err := s.Shred("d", strings.NewReader("<a><b/><b>x</b><b/></a>")); err != nil {
+	if _, err := s.Shred("d", strings.NewReader("<a><b/><b>x</b><b/></a>"), nil); err != nil {
 		t.Fatal(err)
 	}
 	doc, _ := s.Doc("d")

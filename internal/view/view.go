@@ -36,7 +36,7 @@ type View struct {
 // Materialize compiles the guard against the source and renders the
 // initial output.
 func Materialize(guardSrc string, source *xmltree.Document) (*View, error) {
-	checked, err := core.Check(guardSrc, shape.FromDocument(source))
+	checked, err := core.Check(guardSrc, shape.FromDocument(source), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +48,7 @@ func Materialize(guardSrc string, source *xmltree.Document) (*View, error) {
 }
 
 func (v *View) render() error {
-	out, err := render.Render(v.source, v.checked.Plan.ComposedTarget())
+	out, err := render.Render(v.source, v.checked.Plan.ComposedTarget(), nil)
 	if err != nil {
 		return err
 	}
@@ -71,7 +71,7 @@ func (v *View) Output() (*xmltree.Document, error) {
 	if v.stale {
 		// Structural changes may alter the shape; recompile so the guard
 		// is re-type-checked against the new shape.
-		checked, err := core.Check(v.guard, shape.FromDocument(v.source))
+		checked, err := core.Check(v.guard, shape.FromDocument(v.source), nil)
 		if err != nil {
 			return nil, err
 		}

@@ -62,7 +62,7 @@ func TestValueUpdatePropagatesWithoutRerender(t *testing.T) {
 		t.Errorf("value update must not re-render (renders = %d)", v.Renders())
 	}
 	// Equivalence with a full re-transformation.
-	fresh, err := core.Transform("MORPH author [ name title ]", v.Source())
+	fresh, err := core.Transform("MORPH author [ name title ]", v.Source(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
