@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"xmorph/internal/engine"
 	"xmorph/internal/obs"
@@ -40,6 +42,8 @@ func main() {
 	verify := flag.Bool("verify", false, "run-file: empirically compare closest graphs and quantify loss")
 	stream := flag.Bool("stream", false, "run: stream output without materializing the result tree")
 	trace := flag.Bool("trace", false, "print the pipeline span tree to stderr")
+	explain := flag.Bool("explain", false, "print the pipeline span tree as JSON to stderr")
+	slowMS := flag.Int("slow-query-ms", -1, "print the span tree only when the command takes at least this many ms (negative: always)")
 	metrics := flag.Bool("metrics", false, "dump the metrics registry snapshot to stderr")
 	metricsFormat := flag.String("metrics-format", "text", "metrics dump format: text or json")
 	flag.Usage = usage
@@ -48,7 +52,8 @@ func main() {
 	o := options{store: *storePath, cache: *cache, durability: *durability,
 		indent: *indent, quiet: *quiet,
 		verify: *verify, stream: *stream,
-		trace: *trace, metrics: *metrics, metricsFormat: *metricsFormat}
+		trace: *trace, explain: *explain, slowMS: *slowMS,
+		metrics: *metrics, metricsFormat: *metricsFormat}
 	args, err := extractTrailingFlags(flag.Args(), &o)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xmorph:", err)
@@ -110,12 +115,20 @@ func extractTrailingFlags(args []string, o *options) ([]string, error) {
 			switch name := strings.TrimLeft(a, "-"); {
 			case name == "trace":
 				o.trace = true
+			case name == "explain":
+				o.explain = true
+			case strings.HasPrefix(name, "slow-query-ms="):
+				n, err := strconv.Atoi(strings.TrimPrefix(name, "slow-query-ms="))
+				if err != nil {
+					return nil, usagef("bad %s: %v", a, err)
+				}
+				o.slowMS = n
 			case name == "metrics":
 				o.metrics = true
 			case strings.HasPrefix(name, "metrics-format="):
 				o.metricsFormat = strings.TrimPrefix(name, "metrics-format=")
 			default:
-				return nil, usagef("flag %s must precede the command (only --trace, --metrics, --metrics-format may trail)", a)
+				return nil, usagef("flag %s must precede the command (only --trace, --explain, --slow-query-ms, --metrics, --metrics-format may trail)", a)
 			}
 			continue
 		}
@@ -135,6 +148,8 @@ type options struct {
 	stream     bool
 
 	trace         bool
+	explain       bool
+	slowMS        int
 	metrics       bool
 	metricsFormat string
 	// traceW/metricsW override the stderr sinks in tests; zeroDur
@@ -159,21 +174,32 @@ func dispatch(o options, args []string) error {
 	}
 
 	var tr *obs.Trace
-	if o.trace {
+	if o.trace || o.explain || o.slowMS > 0 {
 		tr = obs.New(args[0])
 	}
 	root := tr.Root()
 	defer func() {
 		if tr != nil {
 			tr.Finish()
-			w := o.traceW
-			if w == nil {
-				w = os.Stderr
-			}
-			if o.zeroDur {
-				io.WriteString(w, tr.TextZeroDurations())
-			} else {
-				io.WriteString(w, tr.Text())
+			// With --slow-query-ms the tree only prints when the command
+			// was at least that slow — the CLI twin of xmorphd's
+			// slow-query retention.
+			if tr.Duration() >= time.Duration(o.slowMS)*time.Millisecond {
+				w := o.traceW
+				if w == nil {
+					w = os.Stderr
+				}
+				switch {
+				case o.explain:
+					if raw, err := tr.JSON(); err == nil {
+						w.Write(raw)
+						io.WriteString(w, "\n")
+					}
+				case o.zeroDur:
+					io.WriteString(w, tr.TextZeroDurations())
+				default:
+					io.WriteString(w, tr.Text())
+				}
 			}
 		}
 		if o.metrics {

@@ -40,6 +40,8 @@ func main() {
 	serveWindow := flag.Duration("serve-window", 0, "measurement window per serve cell (default 3s)")
 	serveFactor := flag.Float64("serve-factor", 0, "XMark factor for the -exp serve document (default 0.2)")
 	serveInflight := flag.Int("serve-inflight", 0, "daemon admission cap for -exp serve (default GOMAXPROCS)")
+	serveSample := flag.Int("serve-sample", 0, "trace 1 in N requests on the obs-on daemon for -exp serve (default 1 = every request; negative disables)")
+	serveSlowMS := flag.Int("serve-slow-ms", 0, "obs-on daemon slow-query threshold in ms for -exp serve (default 250; negative disables)")
 	dblpSizes := flag.String("dblp", "", "comma-separated DBLP publication counts")
 	seed := flag.Int64("seed", 42, "generator seed")
 	cache := flag.Int("cache", 128, "store buffer pool pages")
@@ -110,6 +112,8 @@ func main() {
 	cfg.ServeWindow = *serveWindow
 	cfg.ServeFactor = *serveFactor
 	cfg.ServeMaxInflight = *serveInflight
+	cfg.ServeSample = *serveSample
+	cfg.ServeSlowMS = *serveSlowMS
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 

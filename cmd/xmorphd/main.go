@@ -9,13 +9,17 @@
 //	GET    /v1/docs/{name}/shape  print a document's adorned shape
 //	DELETE /v1/docs/{name}        drop a document
 //	POST   /v1/query              {"doc","guard"[,"query","format","stream","indent"]}
+//	                              (?explain=1 embeds the span tree)
 //	GET    /metrics               obs registry snapshot (?format=json)
+//	GET    /debug/traces          retained request traces (/{id} for one tree)
 //	GET    /debug/pprof/          runtime profiles
 //
 // Every request runs under a deadline; load beyond -max-inflight is
-// refused with 429 + Retry-After. SIGINT/SIGTERM drain gracefully:
-// in-flight requests finish (up to -drain), then the store syncs and
-// closes.
+// refused with 429 + Retry-After. Requests are traced 1-in--trace-sample
+// (ID from X-Request-Id or generated) and logged as one JSON line each;
+// traces slower than -slow-query-ms are always retained for /debug/traces.
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish (up to
+// -drain), then the store syncs and closes.
 package main
 
 import (
@@ -23,6 +27,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,17 +48,61 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admitted concurrent requests (0 = GOMAXPROCS)")
 	maxBody := flag.Int64("max-body", 64<<20, "request body cap in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown grace period")
+	traceSample := flag.Int("trace-sample", 1, "trace 1 in N requests (negative disables tracing)")
+	slowMS := flag.Int("slow-query-ms", 250, "retain traces of requests at least this slow (negative disables)")
+	traceRing := flag.Int("trace-ring", 128, "recent traces retained for /debug/traces")
+	slowRing := flag.Int("slow-ring", 32, "slow traces retained for /debug/traces")
+	accessLog := flag.String("access-log", "stderr", `access-log destination: "stderr", "off", or a file path`)
 	flag.Parse()
 
-	if err := run(*addr, *storePath, *cache, *guardCache, *durability,
-		*timeout, *drain, *maxInflight, *maxBody); err != nil {
+	logger, logClose, err := openAccessLog(*accessLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmorphd:", err)
+		os.Exit(1)
+	}
+	if logClose != nil {
+		defer logClose()
+	}
+
+	cfg := engine.ServerConfig{
+		RequestTimeout:     *timeout,
+		MaxInFlight:        *maxInflight,
+		MaxBodyBytes:       *maxBody,
+		TraceSample:        *traceSample,
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		TraceRingSize:      *traceRing,
+		SlowRingSize:       *slowRing,
+		AccessLog:          logger,
+	}
+	if err := run(*addr, *storePath, *cache, *guardCache, *durability, *drain, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xmorphd:", err)
 		os.Exit(1)
 	}
 }
 
+// openAccessLog resolves the -access-log flag into a JSON slog logger
+// (nil when logging is off) plus a closer for the file form.
+func openAccessLog(dest string) (*slog.Logger, func() error, error) {
+	var w io.Writer
+	var closer func() error
+	switch dest {
+	case "off", "":
+		return nil, nil, nil
+	case "stderr":
+		w = os.Stderr
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open access log: %w", err)
+		}
+		w = f
+		closer = f.Close
+	}
+	return slog.New(slog.NewJSONHandler(w, nil)), closer, nil
+}
+
 func run(addr, storePath string, cache, guardCache int, durability bool,
-	timeout, drain time.Duration, maxInflight int, maxBody int64) error {
+	drain time.Duration, cfg engine.ServerConfig) error {
 	eng, err := engine.Open(storePath,
 		engine.WithCachePages(cache),
 		engine.WithDurability(durability),
@@ -62,12 +112,8 @@ func run(addr, storePath string, cache, guardCache int, durability bool,
 	}
 
 	srv := &http.Server{
-		Addr: addr,
-		Handler: engine.NewServer(eng, engine.ServerConfig{
-			RequestTimeout: timeout,
-			MaxInFlight:    maxInflight,
-			MaxBodyBytes:   maxBody,
-		}).Handler(),
+		Addr:              addr,
+		Handler:           engine.NewServer(eng, cfg).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

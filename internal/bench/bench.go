@@ -63,6 +63,15 @@ type Config struct {
 	// RunServe; zero means GOMAXPROCS. Client counts above the cap
 	// exercise the 429 path.
 	ServeMaxInflight int
+	// ServeSample is the trace-sampling rate of RunServe's
+	// observability-on daemon: trace 1 in N requests. Zero means 1
+	// (every request, the xmorphd default); negative disables tracing,
+	// collapsing the on/off comparison.
+	ServeSample int
+	// ServeSlowMS is the observability-on daemon's slow-query retention
+	// threshold in milliseconds; zero means 250 (the xmorphd default),
+	// negative disables slow retention.
+	ServeSlowMS int
 	// Seed feeds the generators.
 	Seed int64
 	// Durability opens every store file with the write-ahead log enabled,

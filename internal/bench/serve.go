@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,10 +26,19 @@ import (
 // Throttled counts deliberate 429 responses from the admission gate
 // (excluded from Errors and from the latency percentiles' op count — the
 // server answers them in microseconds).
+//
+// The primary columns measure the daemon in its shipped configuration —
+// request tracing, slow-query retention, and access logging all on.
+// QPSObsOff drives a second handler over the same engine with tracing
+// disabled and no access log, in sub-windows interleaved with the
+// primary arm's (see obsSlices); ObsOverheadPct is the throughput the
+// instrumentation costs, in percent of the uninstrumented rate.
 type ServeRow struct {
 	Clients            int     `json:"clients"`
 	Ops                int64   `json:"ops"`
 	QPS                float64 `json:"qps"`
+	QPSObsOff          float64 `json:"qps_obs_off"`
+	ObsOverheadPct     float64 `json:"obs_overhead_pct"`
 	P50Ms              float64 `json:"p50_ms"`
 	P95Ms              float64 `json:"p95_ms"`
 	P99Ms              float64 `json:"p99_ms"`
@@ -42,15 +53,48 @@ type ServeRow struct {
 
 // ServeReport is the BENCH_serve.json document.
 type ServeReport struct {
-	Generated   string     `json:"generated"`
-	GoVersion   string     `json:"go_version"`
-	CPUs        int        `json:"cpus"`
-	GOMAXPROCS  int        `json:"gomaxprocs"`
-	WindowSec   float64    `json:"window_sec"`
-	Factor      float64    `json:"factor"`
-	MaxInFlight int        `json:"max_inflight"`
-	Clients     []int      `json:"clients"`
-	Rows        []ServeRow `json:"rows"`
+	Generated   string  `json:"generated"`
+	GoVersion   string  `json:"go_version"`
+	CPUs        int     `json:"cpus"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	WindowSec   float64 `json:"window_sec"`
+	Factor      float64 `json:"factor"`
+	MaxInFlight int     `json:"max_inflight"`
+	TraceSample int     `json:"trace_sample"`
+	SlowQueryMs float64 `json:"slow_query_ms"`
+	Durability  bool    `json:"durability"`
+	Clients     []int   `json:"clients"`
+	// ObsOverheadPct aggregates the per-row on/off comparison across
+	// all cells (total throughput, so each cell's noise partially
+	// cancels); single durable cells are fsync-variance-dominated.
+	ObsOverheadPct float64    `json:"obs_overhead_pct"`
+	Rows           []ServeRow `json:"rows"`
+	// Store holds the kvstore contention and fsync histograms as left in
+	// the default registry by the run: lock-wait histograms count only
+	// contended acquisitions, so their Count doubles as a
+	// contention-event counter.
+	Store map[string]HistSummary `json:"store_histograms"`
+}
+
+// HistSummary condenses one obs histogram for the report.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// storeHistograms summarizes every kvstore_* histogram in the default
+// registry (lock-wait and fsync timings observed during the run).
+func storeHistograms() map[string]HistSummary {
+	snap := obs.Default.Snapshot()
+	out := make(map[string]HistSummary)
+	for name, h := range snap.Histograms {
+		if !strings.HasPrefix(name, "kvstore_") {
+			continue
+		}
+		out[name] = HistSummary{Count: h.Count, P50Us: h.P50 * 1e6, P99Us: h.P99 * 1e6}
+	}
+	return out
 }
 
 // WriteJSON writes the report to path (pretty-printed, trailing newline).
@@ -112,8 +156,11 @@ var serveQueryMix = []serveOp{
 
 // shredCycle shreds a fresh document under a unique name and drops it
 // again — the write side of the mix. Both requests ride one op slot.
-func shredCycle(c *http.Client, base string, xml []byte, client, seq int) (bool, error) {
-	name := fmt.Sprintf("tmp-%d-%d", client, seq)
+// The slice tag keeps names unique across sub-windows: a throttled
+// drop leaves its document behind, and without the tag the next
+// sub-window's identical (client, seq) shred would 409 on it.
+func shredCycle(c *http.Client, base string, xml []byte, slice int64, client, seq int) (bool, error) {
+	name := fmt.Sprintf("tmp-%d-%d-%d", slice, client, seq)
 	resp, err := c.Post(base+"/v1/docs/"+name, "application/xml", bytes.NewReader(xml))
 	if err != nil {
 		return false, err
@@ -151,17 +198,49 @@ func shredCycle(c *http.Client, base string, xml []byte, client, seq int) (bool,
 // shred+drop cycle.
 const shredEvery = 10
 
-// runServeCell drives one (clients, window) cell against a running
-// daemon.
-func runServeCell(eng *engine.Engine, base string, shredXML []byte, clients int, window time.Duration) (ServeRow, error) {
-	hist := obs.NewHistogram(obs.DurationBuckets)
+// obsSlices is how many (obs-on, obs-off) sub-window pairs each cell
+// interleaves: a transient stall (an fsync burst, page-cache
+// writeback) then lands on both arms instead of deciding the
+// comparison. Pairs alternate which arm goes first, cancelling any
+// systematic first-runner advantage (warm page cache, freshly
+// truncated WAL).
+const obsSlices = 4
+
+// cellAccum collects one arm's measurements across a cell's
+// sub-windows.
+type cellAccum struct {
+	hist     *obs.Histogram
+	ops      int64
+	throttle int64
+	errs     int64
+	shreds   int64
+	elapsed  time.Duration
+	firstErr error
+}
+
+func newCellAccum() *cellAccum {
+	return &cellAccum{hist: obs.NewHistogram(obs.DurationBuckets)}
+}
+
+func (a *cellAccum) qps() float64 {
+	if a.elapsed <= 0 {
+		return 0
+	}
+	return float64(a.ops) / a.elapsed.Seconds()
+}
+
+// sliceSeq tags every measurement sub-window so shred names never
+// collide across slices or cells.
+var sliceSeq atomic.Int64
+
+// runServeSlice drives the workload against one daemon for one
+// sub-window, accumulating into acc.
+func runServeSlice(base string, shredXML []byte, clients int, window time.Duration, acc *cellAccum) {
+	slice := sliceSeq.Add(1)
 	var (
 		ops, throttled, errCount, shreds atomic.Int64
 		firstErr                         atomic.Value
 	)
-	hitsBefore, missesBefore := eng.CacheStats()
-	statsBefore := eng.Stats()
-
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -177,7 +256,7 @@ func runServeCell(eng *engine.Engine, base string, shredXML []byte, clients int,
 				)
 				if i%shredEvery == shredEvery-1 {
 					shreds.Add(1)
-					was, err = shredCycle(client, base, shredXML, c, i)
+					was, err = shredCycle(client, base, shredXML, slice, c, i)
 				} else {
 					was, err = serveQueryMix[i%len(serveQueryMix)](client, base, c, i)
 				}
@@ -190,28 +269,62 @@ func runServeCell(eng *engine.Engine, base string, shredXML []byte, clients int,
 					throttled.Add(1)
 					continue
 				}
-				hist.Observe(time.Since(t0).Seconds())
+				acc.hist.Observe(time.Since(t0).Seconds())
 				ops.Add(1)
 			}
 		}(c)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	acc.elapsed += time.Since(start)
+	acc.ops += ops.Load()
+	acc.throttle += throttled.Load()
+	acc.errs += errCount.Load()
+	acc.shreds += shreds.Load()
+	if err, ok := firstErr.Load().(error); ok && err != nil && acc.firstErr == nil {
+		acc.firstErr = err
+	}
+}
+
+// runServeCell drives one client count against both handlers,
+// alternating obsSlices (on, off) sub-windows. The primary columns
+// come from the obs-on arm; QPSObsOff and the overhead come from the
+// off arm's accumulated throughput.
+func runServeCell(eng *engine.Engine, onBase, offBase string, shredXML []byte, clients int, window time.Duration) (ServeRow, error) {
+	hitsBefore, missesBefore := eng.CacheStats()
+	statsBefore := eng.Stats()
+
+	on, off := newCellAccum(), newCellAccum()
+	slice := window / obsSlices
+	if slice <= 0 {
+		slice = window
+	}
+	for k := 0; k < obsSlices; k++ {
+		if k%2 == 0 {
+			runServeSlice(onBase, shredXML, clients, slice, on)
+			runServeSlice(offBase, shredXML, clients, slice, off)
+		} else {
+			runServeSlice(offBase, shredXML, clients, slice, off)
+			runServeSlice(onBase, shredXML, clients, slice, on)
+		}
+	}
 
 	hitsAfter, missesAfter := eng.CacheStats()
 	statsAfter := eng.Stats()
-	snap := hist.Snapshot()
-	n := ops.Load()
+	snap := on.hist.Snapshot()
 	row := ServeRow{
 		Clients:   clients,
-		Ops:       n,
-		QPS:       float64(n) / elapsed.Seconds(),
+		Ops:       on.ops,
+		QPS:       on.qps(),
+		QPSObsOff: off.qps(),
 		P50Ms:     snap.P50 * 1e3,
 		P95Ms:     snap.P95 * 1e3,
 		P99Ms:     snap.P99 * 1e3,
-		Throttled: throttled.Load(),
-		Errors:    errCount.Load(),
-		ShredOps:  shreds.Load(),
+		Throttled: on.throttle,
+		Errors:    on.errs + off.errs,
+		ShredOps:  on.shreds,
+	}
+	if offQPS := off.qps(); offQPS > 0 {
+		row.ObsOverheadPct = (offQPS - row.QPS) / offQPS * 100
 	}
 	if total := row.Ops + row.Throttled; total > 0 {
 		row.ThrottledRate = float64(row.Throttled) / float64(total)
@@ -224,8 +337,10 @@ func runServeCell(eng *engine.Engine, base string, shredXML []byte, clients int,
 		CacheMisses: statsAfter.CacheMisses - statsBefore.CacheMisses,
 	}
 	row.StoreHitRatio = delta.HitRatio()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		row.Note = err.Error()
+	if on.firstErr != nil {
+		row.Note = on.firstErr.Error()
+	} else if off.firstErr != nil {
+		row.Note = off.firstErr.Error()
 	}
 	return row, nil
 }
@@ -262,22 +377,35 @@ func RunServe(cfg Config) ([]ServeRow, error) {
 	}
 	defer eng.Close()
 
-	srv := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{
-		MaxInFlight: cfg.serveMaxInflight(),
+	// Two handlers over the same engine: the shipped configuration
+	// (tracing, slow-query retention, access logging — the log sinks to
+	// io.Discard so the measurement prices formatting, not the terminal)
+	// and a stripped one with tracing off and no access log. Cells run
+	// against each in turn; the gap is the observability overhead.
+	srvOn := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{
+		MaxInFlight:        cfg.serveMaxInflight(),
+		TraceSample:        cfg.serveSample(),
+		SlowQueryThreshold: cfg.serveSlowThreshold(),
+		AccessLog:          slog.New(slog.NewJSONHandler(io.Discard, nil)),
 	}).Handler())
-	defer srv.Close()
+	defer srvOn.Close()
+	srvOff := httptest.NewServer(engine.NewServer(eng, engine.ServerConfig{
+		MaxInFlight: cfg.serveMaxInflight(),
+		TraceSample: -1,
+	}).Handler())
+	defer srvOff.Close()
 
 	// Warm up unmeasured: every guard compiles once, the pool pages in.
 	warm := &http.Client{}
 	for _, op := range serveQueryMix {
-		if _, err := op(warm, srv.URL, 0, 0); err != nil {
+		if _, err := op(warm, srvOn.URL, 0, 0); err != nil {
 			return nil, err
 		}
 	}
 
 	var rows []ServeRow
 	for _, nc := range cfg.serveClients() {
-		row, err := runServeCell(eng, srv.URL, shredXML, nc, cfg.serveWindow())
+		row, err := runServeCell(eng, srvOn.URL, srvOff.URL, shredXML, nc, cfg.serveWindow())
 		if err != nil {
 			return nil, err
 		}
@@ -321,18 +449,47 @@ func (c *Config) serveMaxInflight() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// ServeReportFor wraps rows into the JSON report document.
+func (c *Config) serveSample() int {
+	if c.ServeSample != 0 {
+		return c.ServeSample
+	}
+	return 1
+}
+
+func (c *Config) serveSlowThreshold() time.Duration {
+	if c.ServeSlowMS != 0 {
+		return time.Duration(c.ServeSlowMS) * time.Millisecond
+	}
+	return 250 * time.Millisecond
+}
+
+// ServeReportFor wraps rows into the JSON report document, folding in
+// the kvstore histograms the run populated in the default registry.
 func ServeReportFor(cfg Config, rows []ServeRow) *ServeReport {
+	var on, off float64
+	for _, r := range rows {
+		on += r.QPS
+		off += r.QPSObsOff
+	}
+	var overhead float64
+	if off > 0 {
+		overhead = (off - on) / off * 100
+	}
 	return &ServeReport{
-		Generated:   "xmorphbench -exp serve -json",
-		GoVersion:   runtime.Version(),
-		CPUs:        runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		WindowSec:   cfg.serveWindow().Seconds(),
-		Factor:      cfg.serveFactor(),
-		MaxInFlight: cfg.serveMaxInflight(),
-		Clients:     cfg.serveClients(),
-		Rows:        rows,
+		Generated:      "xmorphbench -exp serve -json",
+		GoVersion:      runtime.Version(),
+		CPUs:           runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		WindowSec:      cfg.serveWindow().Seconds(),
+		Factor:         cfg.serveFactor(),
+		MaxInFlight:    cfg.serveMaxInflight(),
+		TraceSample:    cfg.serveSample(),
+		SlowQueryMs:    cfg.serveSlowThreshold().Seconds() * 1e3,
+		Durability:     cfg.Durability,
+		Clients:        cfg.serveClients(),
+		ObsOverheadPct: overhead,
+		Rows:           rows,
+		Store:          storeHistograms(),
 	}
 }
 
@@ -340,11 +497,12 @@ func ServeReportFor(cfg Config, rows []ServeRow) *ServeReport {
 func ServeTable(rows []ServeRow) string {
 	t := &Table{
 		Title:   "xmorphd service (mixed query/shred over HTTP, fixed window per cell)",
-		Columns: []string{"clients", "ops", "qps", "p50ms", "p95ms", "p99ms", "429s", "429%", "errors", "shreds", "guard-hit%", "pool-hit%"},
+		Columns: []string{"clients", "ops", "qps", "qps-off", "obs%", "p50ms", "p95ms", "p99ms", "429s", "429%", "errors", "shreds", "guard-hit%", "pool-hit%"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", r.Clients), fmt.Sprintf("%d", r.Ops), f2(r.QPS),
+			f2(r.QPSObsOff), f1(r.ObsOverheadPct),
 			f1(r.P50Ms), f1(r.P95Ms), f1(r.P99Ms),
 			fmt.Sprintf("%d", r.Throttled), f1(r.ThrottledRate * 100),
 			fmt.Sprintf("%d", r.Errors), fmt.Sprintf("%d", r.ShredOps),

@@ -107,22 +107,6 @@ func Check(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error)
 	return checked, nil
 }
 
-// AnalyzeTraced is Analyze.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting Analyze (a nil span is untraced); this wrapper remains
-// so existing callers keep compiling.
-func AnalyzeTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
-	return Analyze(guardSrc, sh, parent)
-}
-
-// CheckTraced is Check.
-//
-// Deprecated: see AnalyzeTraced.
-func CheckTraced(guardSrc string, sh *shape.Shape, parent *obs.Span) (*Checked, error) {
-	return Check(guardSrc, sh, parent)
-}
-
 // Result is a completed transformation.
 type Result struct {
 	*Checked
@@ -164,15 +148,6 @@ func (c *Checked) Render(src render.Source, parent *obs.Span) (*Result, error) {
 	return res, err
 }
 
-// RenderTraced is Render.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting Render (a nil span is untraced); this wrapper remains so
-// existing callers keep compiling.
-func (c *Checked) RenderTraced(src render.Source, parent *obs.Span) (*Result, error) {
-	return c.Render(src, parent)
-}
-
 // RenderOn runs the render phase annotating rsp directly — for callers
 // (like the store-aware transform and the engine facade) that own the
 // render span and fold extra measurements (page I/O deltas) into it.
@@ -203,15 +178,6 @@ func Transform(guardSrc string, doc *xmltree.Document, parent *obs.Span) (*Resul
 		return nil, err
 	}
 	return checked.Render(doc, parent)
-}
-
-// TransformTraced is Transform.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting Transform (a nil span is untraced); this wrapper remains
-// so existing callers keep compiling.
-func TransformTraced(guardSrc string, doc *xmltree.Document, parent *obs.Span) (*Result, error) {
-	return Transform(guardSrc, doc, parent)
 }
 
 // TransformString parses an XML string and transforms it; convenience for
@@ -266,13 +232,6 @@ func TransformStored(guardSrc string, st *store.Store, docName string, parent *o
 	return res, rerr
 }
 
-// TransformStoredTraced is TransformStored.
-//
-// Deprecated: see TransformTraced.
-func TransformStoredTraced(guardSrc string, st *store.Store, docName string, parent *obs.Span) (*Result, error) {
-	return TransformStored(guardSrc, st, docName, parent)
-}
-
 // Verify empirically compares the closest graphs of a source document and
 // a rendered output (Definition 5, run literally over the instances) and
 // quantifies the loss — the "30% new information" refinement the paper's
@@ -298,13 +257,4 @@ func (c *Checked) Stream(src render.Source, w io.Writer, parent *obs.Span) (int,
 		metricRenderSeconds.Observe(time.Since(start).Seconds())
 	}
 	return n, err
-}
-
-// StreamTraced is Stream.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting Stream (a nil span is untraced); this wrapper remains so
-// existing callers keep compiling.
-func (c *Checked) StreamTraced(src render.Source, w io.Writer, parent *obs.Span) (int, error) {
-	return c.Stream(src, w, parent)
 }

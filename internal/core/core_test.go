@@ -332,7 +332,7 @@ func TestCheckedStreamMatchesOutput(t *testing.T) {
 	}
 }
 
-func TestTransformStoredTracedSpans(t *testing.T) {
+func TestTransformStoredSpans(t *testing.T) {
 	st := store.OpenMemory()
 	_, err := st.Shred("b", strings.NewReader(
 		`<data><book><title>X</title><author><name>V</name></author></book></data>`), nil)
@@ -341,7 +341,7 @@ func TestTransformStoredTracedSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := obs.New("run")
-	res, err := TransformStoredTraced("MORPH author [ name title ]", st, "b", tr.Root())
+	res, err := TransformStored("MORPH author [ name title ]", st, "b", tr.Root())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,10 +365,10 @@ func TestTransformStoredTracedSpans(t *testing.T) {
 func TestUntracedPathUnchanged(t *testing.T) {
 	// A nil parent span must not panic anywhere in the traced pipeline.
 	st := store.OpenMemory()
-	if _, err := st.ShredTraced("b", strings.NewReader(`<data><t>x</t></data>`), nil); err != nil {
+	if _, err := st.Shred("b", strings.NewReader(`<data><t>x</t></data>`), nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := TransformStoredTraced("CAST MUTATE data", st, "b", nil); err != nil {
+	if _, err := TransformStored("CAST MUTATE data", st, "b", nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -171,11 +171,21 @@ func (e *Engine) Shape(ctx context.Context, name string, sp *obs.Span) (*Shape, 
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	ssp := sp.Child("load-shape")
-	before := e.st.Stats().BlocksRead
+	before := e.st.Stats()
 	sh, err := e.st.Shape(name)
-	ssp.Set("pages-read", e.st.Stats().BlocksRead-before)
+	setPageIO(ssp, before, e.st.Stats())
 	ssp.End()
 	return sh, err
+}
+
+// setPageIO annotates a span with the store page reads and buffer-pool
+// hits its phase incurred.
+func setPageIO(sp *obs.Span, before, after kvstore.Stats) {
+	if sp == nil {
+		return
+	}
+	sp.Set("pages-read", after.BlocksRead-before.BlocksRead)
+	sp.Set("page-hits", after.CacheHits-before.CacheHits)
 }
 
 // Drop removes a shredded document and every cached guard compiled
@@ -223,9 +233,9 @@ func (e *Engine) compile(ctx context.Context, name, guardSrc string, sp *obs.Spa
 	}
 
 	ssp := sp.Child("load-shape")
-	before := e.st.Stats().BlocksRead
+	before := e.st.Stats()
 	sh, err := e.st.Shape(name)
-	ssp.Set("pages-read", e.st.Stats().BlocksRead-before)
+	setPageIO(ssp, before, e.st.Stats())
 	ssp.End()
 	if err != nil {
 		return nil, false, err
@@ -282,9 +292,9 @@ func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (
 	}
 
 	dsp := sp.Child("load-doc")
-	before := e.st.Stats().BlocksRead
+	before := e.st.Stats()
 	doc, err := e.st.Doc(name)
-	dsp.Set("pages-read", e.st.Stats().BlocksRead-before)
+	setPageIO(dsp, before, e.st.Stats())
 	dsp.End()
 	if err != nil {
 		return nil, err
@@ -303,9 +313,9 @@ func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (
 		res.Streamed = n
 	} else {
 		rsp := sp.Child("render")
-		before = e.st.Stats().BlocksRead
+		before = e.st.Stats()
 		out, err := checked.RenderOn(doc, rsp)
-		rsp.Set("pages-read", e.st.Stats().BlocksRead-before)
+		setPageIO(rsp, before, e.st.Stats())
 		rsp.End()
 		if err != nil {
 			return nil, err
@@ -331,13 +341,17 @@ func (e *Engine) Query(ctx context.Context, name, guardSrc, query string, sp *ob
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	ssp := sp.Child("load-shape")
+	before := e.st.Stats()
 	sh, err := e.st.Shape(name)
+	setPageIO(ssp, before, e.st.Stats())
 	ssp.End()
 	if err != nil {
 		return nil, err
 	}
 	dsp := sp.Child("load-doc")
+	before = e.st.Stats()
 	doc, err := e.st.Doc(name)
+	setPageIO(dsp, before, e.st.Stats())
 	dsp.End()
 	if err != nil {
 		return nil, err

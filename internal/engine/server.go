@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -31,6 +32,15 @@ type Server struct {
 	sem     chan struct{}
 	timeout time.Duration
 	maxBody int64
+
+	// Request-scoped observability: 1-in-sample requests get a trace
+	// (negative disables tracing), finished traces land in the ring, and
+	// log (when non-nil) gets one JSON access-log line per request.
+	sample     int
+	reqSeq     atomic.Uint64
+	ring       *obs.TraceRing
+	log        *slog.Logger
+	slowThresh time.Duration
 }
 
 // ServerConfig tunes a Server; zero values pick the defaults.
@@ -43,6 +53,24 @@ type ServerConfig struct {
 	MaxInFlight int
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// TraceSample traces one in N API requests (default 1: every request
+	// carries a span tree into the debug ring). Negative disables request
+	// tracing entirely; unsampled requests thread a nil span, so the
+	// pipeline's instrumentation costs one pointer compare per site.
+	TraceSample int
+	// SlowQueryThreshold classifies a traced request as a slow query,
+	// retaining its trace in the always-kept slow buffer (default 250ms;
+	// negative disables slow retention).
+	SlowQueryThreshold time.Duration
+	// TraceRingSize bounds the recent-trace ring (default 128).
+	TraceRingSize int
+	// SlowRingSize bounds the slow-trace buffer (default 32).
+	SlowRingSize int
+	// AccessLog, when non-nil, receives one structured line per API
+	// request (method, route, status, duration, and — for traced
+	// requests — trace ID, page I/O, and cache-hit attrs pulled from the
+	// finished span tree).
+	AccessLog *slog.Logger
 }
 
 // NewServer wraps eng in the xmorphd HTTP API.
@@ -56,12 +84,28 @@ func NewServer(eng *Engine, cfg ServerConfig) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.TraceSample == 0 {
+		cfg.TraceSample = 1
+	}
+	if cfg.SlowQueryThreshold == 0 {
+		cfg.SlowQueryThreshold = 250 * time.Millisecond
+	}
+	if cfg.TraceRingSize <= 0 {
+		cfg.TraceRingSize = 128
+	}
+	if cfg.SlowRingSize <= 0 {
+		cfg.SlowRingSize = 32
+	}
 	s := &Server{
-		eng:     eng,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		timeout: cfg.RequestTimeout,
-		maxBody: cfg.MaxBodyBytes,
+		eng:        eng,
+		mux:        http.NewServeMux(),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		timeout:    cfg.RequestTimeout,
+		maxBody:    cfg.MaxBodyBytes,
+		sample:     cfg.TraceSample,
+		ring:       obs.NewTraceRing(cfg.TraceRingSize, cfg.SlowRingSize, cfg.SlowQueryThreshold),
+		log:        cfg.AccessLog,
+		slowThresh: cfg.SlowQueryThreshold,
 	}
 	s.mux.Handle("POST /v1/docs/{name}", s.limited("shred", s.handleShred))
 	s.mux.Handle("DELETE /v1/docs/{name}", s.limited("drop", s.handleDrop))
@@ -69,6 +113,8 @@ func NewServer(eng *Engine, cfg ServerConfig) *Server {
 	s.mux.Handle("GET /v1/docs/{name}/shape", s.limited("shape", s.handleShape))
 	s.mux.Handle("POST /v1/query", s.limited("query", s.handleQuery))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -86,12 +132,45 @@ func (s *Server) Handler() http.Handler { return s.mux }
 var (
 	metricThrottled = obs.Default.Counter("xmorphd_throttled_total")
 	metricInFlight  = obs.Default.Gauge("xmorphd_inflight")
+	metricSampled   = obs.Default.Counter("xmorphd_traces_sampled_total")
+	metricSlow      = obs.Default.Counter("xmorphd_slow_requests_total")
 	inFlight        atomic.Int64
 )
 
+// traceKey carries the request's *obs.Trace through the handler chain.
+type traceKey struct{}
+
+// traceFrom returns the request's trace (nil when unsampled).
+func traceFrom(ctx context.Context) *obs.Trace {
+	tr, _ := ctx.Value(traceKey{}).(*obs.Trace)
+	return tr
+}
+
+// spanFrom returns the request's root span — nil when unsampled, so the
+// engine verbs downstream take the free untraced path.
+func spanFrom(ctx context.Context) *obs.Span { return traceFrom(ctx).Root() }
+
+// shouldTrace applies the sampling policy: ?explain=1 always traces
+// (the client asked for the span tree), otherwise one in sample requests
+// is traced; a negative sample disables tracing.
+func (s *Server) shouldTrace(r *http.Request) bool {
+	if s.sample < 0 {
+		return false
+	}
+	if s.sample <= 1 {
+		return true
+	}
+	if r.URL.Query().Get("explain") == "1" {
+		return true
+	}
+	return s.reqSeq.Add(1)%uint64(s.sample) == 0
+}
+
 // instrumented wraps a handler with per-endpoint request/error counters
-// and a latency histogram, and stamps the request with the server's
-// deadline.
+// and a latency histogram, stamps the request with the server's deadline,
+// and — for sampled requests — threads a trace (identity from
+// X-Request-Id, generated otherwise) through the handler, retains it in
+// the debug ring when finished, and emits the access-log line.
 func (s *Server) instrumented(route string, h http.HandlerFunc) http.Handler {
 	requests := obs.Default.Counter("xmorphd_" + route + "_requests_total")
 	errs := obs.Default.Counter("xmorphd_" + route + "_errors_total")
@@ -101,13 +180,61 @@ func (s *Server) instrumented(route string, h http.HandlerFunc) http.Handler {
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
+		var tr *obs.Trace
+		if s.shouldTrace(r) {
+			id := r.Header.Get("X-Request-Id")
+			if id == "" {
+				id = obs.NewID()
+			}
+			tr = obs.NewWithID(route, id)
+			ctx = context.WithValue(ctx, traceKey{}, tr)
+			w.Header().Set("X-Request-Id", id)
+			metricSampled.Inc()
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r.WithContext(ctx))
-		seconds.Observe(time.Since(start).Seconds())
+		dur := time.Since(start)
+		seconds.Observe(dur.Seconds())
 		if rec.status >= 400 {
 			errs.Inc()
 		}
+		slow := false
+		if tr != nil {
+			tr.Finish()
+			if slow = s.ring.Add(tr); slow {
+				metricSlow.Inc()
+			}
+		}
+		s.logAccess(r, route, rec.status, dur, tr, slow)
 	})
+}
+
+// logAccess emits the structured access-log line. Request-shape fields
+// are always present; span-derived fields (trace ID, page I/O, cache
+// hit) only for traced requests.
+func (s *Server) logAccess(r *http.Request, route string, status int, dur time.Duration, tr *obs.Trace, slow bool) {
+	if s.log == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("route", route),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Float64("dur_ms", float64(dur.Nanoseconds())/1e6),
+	}
+	if tr != nil {
+		root := tr.Root()
+		_, cacheHit := root.FindAttr("cached")
+		attrs = append(attrs,
+			slog.String("trace_id", tr.ID()),
+			slog.Int64("pages_read", root.SumAttr("pages-read")),
+			slog.Int64("page_hits", root.SumAttr("page-hits")),
+			slog.Bool("cache_hit", cacheHit),
+			slog.Bool("slow", slow),
+		)
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "request", attrs...)
 }
 
 // limited adds admission control in front of instrumented: requests
@@ -183,7 +310,7 @@ func httpStatus(err error) int {
 func (s *Server) handleShred(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	info, err := s.eng.Shred(r.Context(), name, body, nil)
+	info, err := s.eng.Shred(r.Context(), name, body, spanFrom(r.Context()))
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
@@ -219,7 +346,7 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleShape(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	sh, err := s.eng.Shape(r.Context(), name, nil)
+	sh, err := s.eng.Shape(r.Context(), name, spanFrom(r.Context()))
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
@@ -262,6 +389,26 @@ type queryResponse struct {
 	RenderedNodes int    `json:"rendered_nodes,omitempty"`
 	KeptTypes     int    `json:"kept_types,omitempty"`
 	TotalTypes    int    `json:"total_types,omitempty"`
+	// TraceID and Trace carry the request's span tree when the client
+	// asked for ?explain=1: per-stage durations, page reads/hits, and the
+	// loss verdict in one payload.
+	TraceID string          `json:"trace_id,omitempty"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
+}
+
+// explainInto freezes the request trace and embeds its span tree in the
+// response (the outer middleware's later Finish keeps this duration).
+func explainInto(resp *queryResponse, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	raw, err := tr.JSON()
+	if err != nil {
+		return
+	}
+	resp.TraceID = tr.ID()
+	resp.Trace = raw
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -276,40 +423,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	tr := traceFrom(ctx)
+	sp := tr.Root()
+	explain := r.URL.Query().Get("explain") == "1"
 
 	if req.Query != "" {
-		res, err := s.eng.Query(ctx, req.Doc, req.Guard, req.Query, nil)
+		res, err := s.eng.Query(ctx, req.Doc, req.Guard, req.Query, sp)
 		if err != nil {
 			writeError(w, httpStatus(err), err)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(queryResponse{
+		resp := queryResponse{
 			Doc:           req.Doc,
 			Answer:        res.Answer,
 			RenderedNodes: res.RenderedNodes,
 			KeptTypes:     res.KeptTypes,
 			TotalTypes:    res.TotalTypes,
-		})
+		}
+		if explain {
+			explainInto(&resp, tr)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
 		return
 	}
 
 	if req.Stream && req.Format == "xml" {
 		// Compile before the first body byte so errors still carry their
 		// status; the stream itself renders directly into the response.
-		if _, err := s.eng.Check(ctx, req.Doc, req.Guard, nil); err != nil {
+		if _, err := s.eng.Check(ctx, req.Doc, req.Guard, sp); err != nil {
 			writeError(w, httpStatus(err), err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/xml")
-		if _, err := s.eng.Run(ctx, req.Doc, req.Guard, RunOpts{StreamTo: w}); err != nil {
+		if _, err := s.eng.Run(ctx, req.Doc, req.Guard, RunOpts{Span: sp, StreamTo: w}); err != nil {
 			// Headers are gone; the truncated body is the best signal left.
 			fmt.Fprintf(w, "\n<!-- stream aborted: %v -->\n", err)
 		}
 		return
 	}
 
-	res, err := s.eng.Run(ctx, req.Doc, req.Guard, RunOpts{})
+	res, err := s.eng.Run(ctx, req.Doc, req.Guard, RunOpts{Span: sp})
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
@@ -324,8 +478,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(queryResponse{
+	resp := queryResponse{
 		Doc:           req.Doc,
 		XML:           xml.String(),
 		Loss:          res.Loss.String(),
@@ -335,6 +488,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PagesRead:     res.PagesRead,
 		CompileMicros: res.CompileTime.Microseconds(),
 		RenderMicros:  res.RenderTime.Microseconds(),
+	}
+	if explain {
+		explainInto(&resp, tr)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleTraces lists the retained traces: the recent ring and the
+// always-kept slow buffer, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	recent, slow := s.ring.Summaries()
+	if recent == nil {
+		recent = []obs.TraceSummary{}
+	}
+	if slow == nil {
+		slow = []obs.TraceSummary{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"slow_threshold_ms": float64(s.ring.Threshold().Nanoseconds()) / 1e6,
+		"recent":            recent,
+		"slow":              slow,
+	})
+}
+
+// handleTraceByID serves one retained trace's full span tree.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := s.ring.Get(id)
+	if tr == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("trace %q not retained", id))
+		return
+	}
+	raw, err := tr.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"id":     tr.ID(),
+		"dur_ms": float64(tr.Duration().Nanoseconds()) / 1e6,
+		"trace":  json.RawMessage(raw),
 	})
 }
 

@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// queryWithID posts a query with an X-Request-Id header and returns the
+// response.
+func queryWithID(t *testing.T, base, id, extra string) *http.Response {
+	t.Helper()
+	body := fmt.Sprintf(`{"doc":"books","guard":%q}`, sampleGuard)
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/query"+extra, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+type tracesPage struct {
+	SlowThresholdMs float64 `json:"slow_threshold_ms"`
+	Recent          []struct {
+		ID   string  `json:"id"`
+		Name string  `json:"name"`
+		Slow bool    `json:"slow"`
+		Dur  float64 `json:"dur_ms"`
+	} `json:"recent"`
+	Slow []struct {
+		ID string `json:"id"`
+	} `json:"slow"`
+}
+
+func getTraces(t *testing.T, base string) tracesPage {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page tracesPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+func TestDebugTracesRingAndSlowRetention(t *testing.T) {
+	_, _, ts := newTestServer(t, ServerConfig{
+		TraceRingSize:      3,
+		SlowRingSize:       2,
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+	})
+	shredHTTP(t, ts.URL, "books")
+
+	for i := 0; i < 5; i++ {
+		resp := queryWithID(t, ts.URL, fmt.Sprintf("q-%d", i), "")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-Id"); got != fmt.Sprintf("q-%d", i) {
+			t.Errorf("X-Request-Id echoed as %q", got)
+		}
+	}
+
+	page := getTraces(t, ts.URL)
+	// Ring capacity 3, newest first: q-4, q-3, q-2 (older queries and the
+	// shred evicted).
+	if len(page.Recent) != 3 {
+		t.Fatalf("recent len = %d, want 3", len(page.Recent))
+	}
+	for i, want := range []string{"q-4", "q-3", "q-2"} {
+		if page.Recent[i].ID != want {
+			t.Errorf("recent[%d] = %q, want %q", i, page.Recent[i].ID, want)
+		}
+		if !page.Recent[i].Slow {
+			t.Errorf("recent[%d] not marked slow under 1ns threshold", i)
+		}
+	}
+	// Slow buffer capacity 2, newest first, retained independently.
+	if len(page.Slow) != 2 || page.Slow[0].ID != "q-4" || page.Slow[1].ID != "q-3" {
+		t.Errorf("slow buffer = %+v, want [q-4 q-3]", page.Slow)
+	}
+
+	// Fetch one retained trace by ID: full span tree.
+	resp, err := http.Get(ts.URL + "/debug/traces/q-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch status %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"id":"q-3"`, `"name":"query"`, `"load-doc"`, `"render"`, `"pages-read"`} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("trace body missing %s:\n%s", want, body)
+		}
+	}
+
+	// Unknown and evicted IDs 404.
+	for _, id := range []string{"nope", "q-0"} {
+		resp, err := http.Get(ts.URL + "/debug/traces/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("trace %q status = %d, want 404", id, resp.StatusCode)
+		}
+	}
+}
+
+func TestQueryExplain(t *testing.T) {
+	_, _, ts := newTestServer(t, ServerConfig{})
+	shredHTTP(t, ts.URL, "books")
+
+	resp := queryWithID(t, ts.URL, "explain-1", "?explain=1")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain status %d", resp.StatusCode)
+	}
+	var qr struct {
+		XML     string          `json:"xml"`
+		Verdict string          `json:"verdict"`
+		TraceID string          `json:"trace_id"`
+		Trace   json.RawMessage `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.XML == "" || qr.Verdict == "" {
+		t.Error("explain dropped the normal response fields")
+	}
+	if qr.TraceID != "explain-1" {
+		t.Errorf("trace_id = %q, want explain-1", qr.TraceID)
+	}
+	tree := string(qr.Trace)
+	// The span tree carries per-stage durations, page I/O, and the loss
+	// verdict (on the compile pipeline's loss-check span).
+	for _, want := range []string{`"load-shape"`, `"compile"`, `"render"`, `"dur_ns"`, `"pages-read"`, `"page-hits"`, `"verdict"`} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("explain trace missing %s:\n%s", want, tree)
+		}
+	}
+
+	// Without explain, no trace in the payload.
+	resp2 := queryWithID(t, ts.URL, "plain-1", "")
+	defer resp2.Body.Close()
+	var plain struct {
+		Trace json.RawMessage `json:"trace"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Trace) != 0 {
+		t.Error("trace embedded without ?explain=1")
+	}
+}
+
+func TestTraceSamplingDisabled(t *testing.T) {
+	_, _, ts := newTestServer(t, ServerConfig{TraceSample: -1})
+	shredHTTP(t, ts.URL, "books")
+	resp := queryWithID(t, ts.URL, "q-1", "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "" {
+		t.Errorf("untraced response carries X-Request-Id %q", got)
+	}
+	page := getTraces(t, ts.URL)
+	if len(page.Recent) != 0 || len(page.Slow) != 0 {
+		t.Errorf("tracing disabled but ring holds %d recent / %d slow", len(page.Recent), len(page.Slow))
+	}
+}
+
+func TestTraceSamplingOneInN(t *testing.T) {
+	_, _, ts := newTestServer(t, ServerConfig{TraceSample: 4})
+	shredHTTP(t, ts.URL, "books")
+	for i := 0; i < 8; i++ {
+		resp := queryWithID(t, ts.URL, fmt.Sprintf("q-%d", i), "")
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	page := getTraces(t, ts.URL)
+	// 9 API requests (shred + 8 queries) at 1-in-4: expect 2 retained.
+	if len(page.Recent) != 2 {
+		t.Errorf("sampled traces = %d, want 2 of 9 requests", len(page.Recent))
+	}
+}
+
+// TestAccessLogGolden pins the access-log line's shape: field order,
+// names, and every value that is stable across runs (durations and page
+// counts are zeroed by the handler options, as a deployment wanting
+// stable logs would do with ReplaceAttr).
+func TestAccessLogGolden(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			switch a.Key {
+			case slog.TimeKey:
+				return slog.Attr{}
+			case "dur_ms", "pages_read", "page_hits":
+				return slog.Int64(a.Key, 0)
+			}
+			return a
+		},
+	}))
+	_, _, ts := newTestServer(t, ServerConfig{AccessLog: logger})
+	shredHTTP(t, ts.URL, "books")
+
+	buf.Reset()
+	resp := queryWithID(t, ts.URL, "golden-1", "")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	got := strings.TrimSpace(buf.String())
+	want := `{"level":"INFO","msg":"request",` +
+		`"method":"POST","route":"query","path":"/v1/query","status":200,"dur_ms":0,` +
+		`"trace_id":"golden-1","pages_read":0,"page_hits":0,"cache_hit":false,"slow":false}`
+	if got != want {
+		t.Errorf("access-log line:\n%s\nwant:\n%s", got, want)
+	}
+}

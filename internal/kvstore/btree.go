@@ -363,7 +363,7 @@ func (db *DB) writeNode(id uint32, n *node) error {
 // Get returns the value for key, or (nil, false, nil) when absent.
 func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	atomic.AddInt64(&db.gets, 1)
-	db.mu.RLock()
+	rlockTimed(&db.mu, dbRLockWait)
 	defer db.mu.RUnlock()
 	id := db.root
 	for {
@@ -388,7 +388,7 @@ func (db *DB) Put(key, value []byte) error {
 		return err
 	}
 	atomic.AddInt64(&db.puts, 1)
-	db.mu.Lock()
+	wlockTimed(&db.mu, dbLockWait)
 	defer db.mu.Unlock()
 	return db.putLocked(key, value)
 }
@@ -420,7 +420,7 @@ func (db *DB) PutBatch(keys, vals [][]byte) error {
 	}
 	atomic.AddInt64(&db.puts, int64(len(keys)))
 	atomic.AddInt64(&db.batchedPuts, int64(len(keys)))
-	db.mu.Lock()
+	wlockTimed(&db.mu, dbLockWait)
 	defer db.mu.Unlock()
 	for _, i := range order {
 		if err := db.putLocked(keys[i], vals[i]); err != nil {
@@ -660,7 +660,7 @@ func (n *node) splitPoint() int {
 // implement — deletions in the XMorph workload are whole-store drops).
 func (db *DB) Delete(key []byte) error {
 	atomic.AddInt64(&db.deletes, 1)
-	db.mu.Lock()
+	wlockTimed(&db.mu, dbLockWait)
 	defer db.mu.Unlock()
 	// The cached fast-path leaf stays valid: deletion never merges pages,
 	// so separator ranges are unchanged.
@@ -685,7 +685,7 @@ func (db *DB) Delete(key []byte) error {
 
 // Sync flushes dirty pages and the header to stable storage.
 func (db *DB) Sync() error {
-	db.mu.Lock()
+	wlockTimed(&db.mu, dbLockWait)
 	defer db.mu.Unlock()
 	if err := db.writeHeader(); err != nil {
 		return err

@@ -1,0 +1,66 @@
+package kvstore
+
+import (
+	"sync"
+	"time"
+
+	"xmorph/internal/obs"
+)
+
+// Contention and durability instruments. These are the before-baseline
+// for the planned MVCC-reads/group-commit work: how long writers block
+// readers on the DB RWMutex, how hot the buffer-pool shard mutexes run,
+// and what each commit's fsyncs cost.
+//
+// Lock waits are TryLock-gated: an uncontended acquisition takes the
+// fast path (one extra CAS over a bare Lock) and never reads the clock;
+// only acquisitions that actually block are timed and observed. The
+// histograms therefore count *contended* acquisitions — their count is
+// a contention-event counter and their quantiles are wait times.
+var (
+	dbLockWait    = obs.Default.Histogram("kvstore_db_lock_wait_seconds", obs.WaitBuckets)
+	dbRLockWait   = obs.Default.Histogram("kvstore_db_rlock_wait_seconds", obs.WaitBuckets)
+	shardLockWait = obs.Default.Histogram("kvstore_shard_lock_wait_seconds", obs.WaitBuckets)
+	walFsyncTime  = obs.Default.Histogram("kvstore_wal_fsync_seconds", obs.WaitBuckets)
+	fileFsyncTime = obs.Default.Histogram("kvstore_fsync_seconds", obs.WaitBuckets)
+)
+
+// lockTimed acquires mu, observing the wait only when contended.
+func lockTimed(mu *sync.Mutex, h *obs.Histogram) {
+	if mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	mu.Lock()
+	h.Observe(time.Since(start).Seconds())
+}
+
+// wlockTimed write-locks mu, observing the wait only when contended.
+func wlockTimed(mu *sync.RWMutex, h *obs.Histogram) {
+	if mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	mu.Lock()
+	h.Observe(time.Since(start).Seconds())
+}
+
+// rlockTimed read-locks mu, observing the wait only when contended —
+// i.e. when a writer holds or is waiting for the lock.
+func rlockTimed(mu *sync.RWMutex, h *obs.Histogram) {
+	if mu.TryRLock() {
+		return
+	}
+	start := time.Now()
+	mu.RLock()
+	h.Observe(time.Since(start).Seconds())
+}
+
+// fsyncTimed syncs f and always observes the latency: every fsync costs
+// a device round-trip, so there is no uncontended fast path to skip.
+func fsyncTimed(f File, h *obs.Histogram) error {
+	start := time.Now()
+	err := f.Sync()
+	h.Observe(time.Since(start).Seconds())
+	return err
+}

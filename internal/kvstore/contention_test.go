@@ -1,0 +1,127 @@
+package kvstore
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"xmorph/internal/obs"
+)
+
+func TestLockTimedHelpers(t *testing.T) {
+	t.Run("uncontended observes nothing", func(t *testing.T) {
+		h := obs.NewHistogram(obs.WaitBuckets)
+		var rw sync.RWMutex
+		wlockTimed(&rw, h)
+		rw.Unlock()
+		rlockTimed(&rw, h)
+		rw.RUnlock()
+		var mu sync.Mutex
+		lockTimed(&mu, h)
+		mu.Unlock()
+		if got := h.Snapshot().Count; got != 0 {
+			t.Errorf("uncontended acquisitions observed %d waits", got)
+		}
+	})
+
+	t.Run("contended wait is observed", func(t *testing.T) {
+		cases := []struct {
+			name string
+			hold func(mu *sync.RWMutex) // taken by the holder
+			rel  func(mu *sync.RWMutex) // released by the holder
+			acq  func(mu *sync.RWMutex, h *obs.Histogram)
+		}{
+			{"write blocked by reader",
+				(*sync.RWMutex).RLock, (*sync.RWMutex).RUnlock,
+				func(mu *sync.RWMutex, h *obs.Histogram) { wlockTimed(mu, h); mu.Unlock() }},
+			{"read blocked by writer",
+				(*sync.RWMutex).Lock, (*sync.RWMutex).Unlock,
+				func(mu *sync.RWMutex, h *obs.Histogram) { rlockTimed(mu, h); mu.RUnlock() }},
+		}
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				h := obs.NewHistogram(obs.WaitBuckets)
+				var mu sync.RWMutex
+				tc.hold(&mu)
+				done := make(chan struct{})
+				go func() {
+					tc.acq(&mu, h)
+					close(done)
+				}()
+				// Give the acquirer time to fail TryLock and block.
+				time.Sleep(5 * time.Millisecond)
+				tc.rel(&mu)
+				<-done
+				if got := h.Snapshot().Count; got != 1 {
+					t.Errorf("contended acquisition observed %d waits, want 1", got)
+				}
+			})
+		}
+	})
+}
+
+func TestDBContentionObserved(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "contention.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("k%03d", i))
+		if err := db.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := dbLockWait.Snapshot().Count
+	started := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-started
+		// Blocks behind the scan's read lock: TryLock fails, the wait
+		// is observed into kvstore_db_lock_wait_seconds.
+		if err := db.Put([]byte("contender"), []byte("v")); err != nil {
+			t.Error(err)
+		}
+	}()
+	err = db.Ascend(nil, nil, func(k, v []byte) bool {
+		once.Do(func() { close(started) })
+		time.Sleep(100 * time.Microsecond)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := dbLockWait.Snapshot().Count; got <= before {
+		t.Error("writer blocked by a scan was not observed in the lock-wait histogram")
+	}
+}
+
+func TestFsyncHistogramsObserved(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "fsync.db"), &Options{Durability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	walBefore := walFsyncTime.Snapshot().Count
+	fileBefore := fileFsyncTime.Snapshot().Count
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// One commit = WAL append fsync + page-file fsync + WAL reset fsync.
+	if got := walFsyncTime.Snapshot().Count - walBefore; got < 2 {
+		t.Errorf("wal fsyncs observed = %d, want >= 2", got)
+	}
+	if got := fileFsyncTime.Snapshot().Count - fileBefore; got < 1 {
+		t.Errorf("file fsyncs observed = %d, want >= 1", got)
+	}
+}

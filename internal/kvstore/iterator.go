@@ -137,7 +137,7 @@ func (it *Iterator) Next() {
 // the store's read lock, so it sees a consistent tree even with
 // concurrent writers; fn must not mutate the store.
 func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
-	db.mu.RLock()
+	rlockTimed(&db.mu, dbRLockWait)
 	defer db.mu.RUnlock()
 	it := db.Seek(start)
 	for it.Valid() {
@@ -155,7 +155,7 @@ func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
 // AscendPrefix calls fn for every key with the given prefix, in order,
 // under the store's read lock (see Ascend).
 func (db *DB) AscendPrefix(prefix []byte, fn func(k, v []byte) bool) error {
-	db.mu.RLock()
+	rlockTimed(&db.mu, dbRLockWait)
 	defer db.mu.RUnlock()
 	it := db.Seek(prefix)
 	for it.Valid() {

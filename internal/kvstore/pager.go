@@ -190,7 +190,7 @@ func (p *pager) alloc() uint32 {
 		p.mem = append(p.mem, nil)
 	}
 	s := p.shardOf(id)
-	s.mu.Lock()
+	lockTimed(&s.mu, shardLockWait)
 	p.insertLocked(s, c)
 	s.mu.Unlock()
 	return id
@@ -201,7 +201,7 @@ func (p *pager) alloc() uint32 {
 // pages (the B+tree copies what it needs).
 func (p *pager) read(id uint32) ([]byte, error) {
 	s := p.shardOf(id)
-	s.mu.Lock()
+	lockTimed(&s.mu, shardLockWait)
 	defer s.mu.Unlock()
 	if c, ok := s.cache[id]; ok {
 		p.hits.Add(1)
@@ -252,7 +252,7 @@ func (p *pager) readAhead(id uint32, k int, leafType byte) {
 			return
 		}
 		s := p.shardOf(id)
-		s.mu.Lock()
+		lockTimed(&s.mu, shardLockWait)
 		c, ok := s.cache[id]
 		if !ok {
 			var err error
@@ -276,7 +276,7 @@ func (p *pager) readAhead(id uint32, k int, leafType byte) {
 // write replaces a page's contents and marks it dirty.
 func (p *pager) write(id uint32, buf []byte) error {
 	s := p.shardOf(id)
-	s.mu.Lock()
+	lockTimed(&s.mu, shardLockWait)
 	defer s.mu.Unlock()
 	if c, ok := s.cache[id]; ok {
 		copy(c.buf, buf)
@@ -424,7 +424,7 @@ func (p *pager) sync() error {
 	var dirty []*cached
 	for i := range p.shards {
 		s := &p.shards[i]
-		s.mu.Lock()
+		lockTimed(&s.mu, shardLockWait)
 		for _, c := range s.cache {
 			if c.dirty {
 				dirty = append(dirty, c)
@@ -456,7 +456,7 @@ func (p *pager) sync() error {
 		p.writes.Add(1)
 		c.dirty = false
 	}
-	if err := p.file.Sync(); err != nil {
+	if err := fsyncTimed(p.file, fileFsyncTime); err != nil {
 		return err
 	}
 	if p.durable && len(dirty) > 0 {

@@ -230,7 +230,7 @@ func (p *pager) walCommit(dirty []*cached) error {
 	if err := put(walEncodeCommit(uint32(len(dirty)), p.npages.Load())); err != nil {
 		return err
 	}
-	if err := p.wal.Sync(); err != nil {
+	if err := fsyncTimed(p.wal, walFsyncTime); err != nil {
 		return fmt.Errorf("kvstore: wal sync: %w", err)
 	}
 	return nil
@@ -242,7 +242,7 @@ func (p *pager) walReset() error {
 	if err := p.wal.Truncate(0); err != nil {
 		return fmt.Errorf("kvstore: truncate wal: %w", err)
 	}
-	if err := p.wal.Sync(); err != nil {
+	if err := fsyncTimed(p.wal, walFsyncTime); err != nil {
 		return fmt.Errorf("kvstore: truncate wal: %w", err)
 	}
 	p.walCommits.Add(1)

@@ -101,15 +101,6 @@ func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render
 	}, nil
 }
 
-// EvaluateSourceTraced is EvaluateSource.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting EvaluateSource (a nil span is untraced); this wrapper
-// remains so existing callers keep compiling.
-func EvaluateSourceTraced(query, guardSrc, docName string, sh *shape.Shape, doc render.Source, parent *obs.Span) (*Result, error) {
-	return EvaluateSource(query, guardSrc, docName, sh, doc, parent)
-}
-
 // rebase rewrites doc("name")/step to doc("name")//step so queries written
 // against the guard's root types keep working under the wrapper element.
 func rebase(query, docName string) string {

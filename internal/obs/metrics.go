@@ -82,6 +82,19 @@ var DurationBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// WaitBuckets are histogram bounds for lock waits and fsync latencies,
+// in seconds: 1µs up to 1s. These sit well below DurationBuckets because
+// an uncontended mutex handoff or an SSD fsync is microseconds, not
+// milliseconds, and the MVCC/group-commit baseline needs that resolution.
+var WaitBuckets = []float64{
+	0.000001, 0.0000025, 0.000005,
+	0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1,
+}
+
 // Histogram is a fixed-bucket histogram. Bucket i counts observations v
 // with v <= Bounds[i] (and > Bounds[i-1]); one extra overflow bucket
 // counts everything above the last bound. Observe is lock-free.

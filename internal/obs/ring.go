@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRing retains recently finished traces for after-the-fact
+// diagnosis: a bounded ring of the most recent traces plus a separate,
+// equally bounded buffer for slow traces (duration at or above the
+// threshold), so a burst of fast traffic can never evict the one slow
+// request worth investigating. All methods are safe for concurrent use
+// and nil-safe, so an unconfigured server skips retention for free.
+type TraceRing struct {
+	mu        sync.Mutex
+	recent    []*Trace // insertion order, oldest first
+	slow      []*Trace
+	capacity  int
+	slowCap   int
+	threshold time.Duration
+}
+
+// NewTraceRing builds a ring holding up to capacity recent traces and up
+// to slowCapacity slow ones. Traces with duration >= threshold count as
+// slow; a non-positive threshold disables slow retention.
+func NewTraceRing(capacity, slowCapacity int, threshold time.Duration) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if slowCapacity < 1 {
+		slowCapacity = 1
+	}
+	return &TraceRing{capacity: capacity, slowCap: slowCapacity, threshold: threshold}
+}
+
+// Threshold returns the slow-trace cutoff (0 for a nil ring).
+func (r *TraceRing) Threshold() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.threshold
+}
+
+// Add retains a finished trace, evicting the oldest entry of a full
+// buffer, and reports whether the trace was classified slow. Nil rings
+// and nil traces are no-ops.
+func (r *TraceRing) Add(t *Trace) (slow bool) {
+	if r == nil || t == nil {
+		return false
+	}
+	slow = r.threshold > 0 && t.Duration() >= r.threshold
+	r.mu.Lock()
+	r.recent = appendBounded(r.recent, t, r.capacity)
+	if slow {
+		r.slow = appendBounded(r.slow, t, r.slowCap)
+	}
+	r.mu.Unlock()
+	return slow
+}
+
+// appendBounded appends t, dropping the oldest entry when over capacity.
+func appendBounded(buf []*Trace, t *Trace, capacity int) []*Trace {
+	buf = append(buf, t)
+	if len(buf) > capacity {
+		copy(buf, buf[1:])
+		buf[len(buf)-1] = nil
+		buf = buf[:len(buf)-1]
+	}
+	return buf
+}
+
+// Get returns the retained trace with the given ID (slow buffer entries
+// included), or nil.
+func (r *TraceRing) Get(id string) *Trace {
+	if r == nil || id == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, buf := range [][]*Trace{r.slow, r.recent} {
+		for _, t := range buf {
+			if t.ID() == id {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// TraceSummary is one retained trace's listing entry.
+type TraceSummary struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	DurMs float64   `json:"dur_ms"`
+	Slow  bool      `json:"slow,omitempty"`
+}
+
+// Summaries lists the retained traces, newest first, recent and slow
+// separately (a slow trace appears in both while it remains recent).
+func (r *TraceRing) Summaries() (recent, slow []TraceSummary) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	rec := append([]*Trace(nil), r.recent...)
+	sl := append([]*Trace(nil), r.slow...)
+	r.mu.Unlock()
+	return summarize(rec, r.threshold), summarize(sl, r.threshold)
+}
+
+func summarize(buf []*Trace, threshold time.Duration) []TraceSummary {
+	out := make([]TraceSummary, 0, len(buf))
+	for i := len(buf) - 1; i >= 0; i-- {
+		t := buf[i]
+		d := t.Duration()
+		out = append(out, TraceSummary{
+			ID:    t.ID(),
+			Name:  t.Root().Name(),
+			Start: t.Start(),
+			DurMs: float64(d.Nanoseconds()) / 1e6,
+			Slow:  threshold > 0 && d >= threshold,
+		})
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+func finishedTrace(name, id string) *Trace {
+	t := NewWithID(name, id)
+	t.Finish()
+	return t
+}
+
+func TestNewIDFormatAndUniqueness(t *testing.T) {
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewID()
+		if !hex16.MatchString(id) {
+			t.Fatalf("NewID() = %q, want 16 lowercase hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewID() repeated %q within 100 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	if got := New("plain").ID(); got != "" {
+		t.Errorf("New trace ID = %q, want empty", got)
+	}
+	if got := NewWithID("req", "abc123").ID(); got != "abc123" {
+		t.Errorf("NewWithID ID = %q, want abc123", got)
+	}
+	var nilTrace *Trace
+	if got := nilTrace.ID(); got != "" {
+		t.Errorf("nil trace ID = %q, want empty", got)
+	}
+	if !nilTrace.Start().IsZero() {
+		t.Error("nil trace start is nonzero")
+	}
+}
+
+func TestSetLastWriteWins(t *testing.T) {
+	tr := New("run")
+	sp := tr.Root()
+	sp.Set("pages-read", 3)
+	sp.Set("pages-read", 7)
+	sp.SetStr("verdict", "lossless")
+	sp.SetStr("verdict", "lossy")
+	sp.End()
+
+	if v, ok := sp.Attr("pages-read"); !ok || v != "7" {
+		t.Errorf("pages-read = %q (present=%v), want 7", v, ok)
+	}
+	if v, ok := sp.Attr("verdict"); !ok || v != "lossy" {
+		t.Errorf("verdict = %q (present=%v), want lossy", v, ok)
+	}
+	// No duplicate keys in rendered output.
+	got := tr.TextZeroDurations()
+	want := "run 0s pages-read=7 verdict=lossy\n"
+	if got != want {
+		t.Errorf("text = %q, want %q", got, want)
+	}
+}
+
+func TestSpanAttrAccessors(t *testing.T) {
+	tr := New("request")
+	root := tr.Root()
+	root.Set("pages-read", 1)
+	c1 := root.Child("compile")
+	c1.Set("cached", 1)
+	c1.Set("pages-read", 4)
+	c1.End()
+	c2 := root.Child("render")
+	c2.Set("pages-read", 10)
+	c2.SetStr("mode", "stream")
+	c2.End()
+	tr.Finish()
+
+	if got := root.SumAttr("pages-read"); got != 15 {
+		t.Errorf("SumAttr(pages-read) = %d, want 15", got)
+	}
+	if got := root.SumAttr("absent"); got != 0 {
+		t.Errorf("SumAttr(absent) = %d, want 0", got)
+	}
+	if v, ok := root.FindAttr("cached"); !ok || v != "1" {
+		t.Errorf("FindAttr(cached) = %q (present=%v), want 1", v, ok)
+	}
+	if v, ok := root.FindAttr("mode"); !ok || v != "stream" {
+		t.Errorf("FindAttr(mode) = %q (present=%v), want stream", v, ok)
+	}
+	if _, ok := root.FindAttr("absent"); ok {
+		t.Error("FindAttr found an absent key")
+	}
+	if _, ok := root.Attr("mode"); ok {
+		t.Error("Attr descended into children")
+	}
+	if got := root.Child("x").Name(); got != "x" {
+		t.Errorf("Name = %q, want x", got)
+	}
+	var nilSpan *Span
+	if nilSpan.Name() != "" || nilSpan.SumAttr("k") != 0 {
+		t.Error("nil span accessors not no-ops")
+	}
+	if _, ok := nilSpan.FindAttr("k"); ok {
+		t.Error("nil span FindAttr returned a value")
+	}
+}
+
+func TestTraceRingEvictionOrder(t *testing.T) {
+	r := NewTraceRing(3, 2, 0)
+	for i := 0; i < 5; i++ {
+		r.Add(finishedTrace("req", fmt.Sprintf("id-%d", i)))
+	}
+	recent, slow := r.Summaries()
+	if len(slow) != 0 {
+		t.Errorf("slow buffer holds %d traces with threshold disabled", len(slow))
+	}
+	// Newest first; the two oldest were evicted.
+	wantIDs := []string{"id-4", "id-3", "id-2"}
+	if len(recent) != len(wantIDs) {
+		t.Fatalf("recent len = %d, want %d", len(recent), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if recent[i].ID != want {
+			t.Errorf("recent[%d].ID = %q, want %q", i, recent[i].ID, want)
+		}
+	}
+	if got := r.Get("id-0"); got != nil {
+		t.Error("evicted trace still retrievable")
+	}
+	if got := r.Get("id-3"); got == nil || got.ID() != "id-3" {
+		t.Errorf("Get(id-3) = %v", got)
+	}
+	if got := r.Get(""); got != nil {
+		t.Error("Get of empty ID matched an unidentified trace")
+	}
+}
+
+func TestTraceRingSlowRetention(t *testing.T) {
+	r := NewTraceRing(2, 4, time.Millisecond)
+	slowTrace := NewWithID("slow-req", "slow-1")
+	time.Sleep(2 * time.Millisecond)
+	slowTrace.Finish()
+	if !r.Add(slowTrace) {
+		t.Fatal("trace above threshold not classified slow")
+	}
+	// Fast traffic floods the recent ring but must not evict the slow trace.
+	for i := 0; i < 10; i++ {
+		if r.Add(finishedTrace("fast", fmt.Sprintf("fast-%d", i))) {
+			t.Fatalf("fast trace %d classified slow", i)
+		}
+	}
+	recent, slow := r.Summaries()
+	if len(recent) != 2 {
+		t.Errorf("recent len = %d, want 2", len(recent))
+	}
+	if len(slow) != 1 || slow[0].ID != "slow-1" || !slow[0].Slow {
+		t.Errorf("slow summaries = %+v, want the one slow trace", slow)
+	}
+	if slow[0].DurMs < 1 {
+		t.Errorf("slow trace DurMs = %v, want >= 1", slow[0].DurMs)
+	}
+	if got := r.Get("slow-1"); got == nil {
+		t.Error("slow trace evicted by fast traffic")
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var r *TraceRing
+	if r.Add(finishedTrace("x", "y")) {
+		t.Error("nil ring classified a trace slow")
+	}
+	if got := r.Get("y"); got != nil {
+		t.Error("nil ring returned a trace")
+	}
+	recent, slow := r.Summaries()
+	if recent != nil || slow != nil {
+		t.Error("nil ring returned summaries")
+	}
+	if r.Threshold() != 0 {
+		t.Error("nil ring threshold nonzero")
+	}
+	rr := NewTraceRing(4, 4, 0)
+	if rr.Add(nil) {
+		t.Error("nil trace classified slow")
+	}
+	if recent, _ := rr.Summaries(); len(recent) != 0 {
+		t.Error("nil trace retained")
+	}
+}
+
+// TestTraceRingConcurrent is the -race regression for the ring's lock
+// discipline: concurrent adders, readers, and getters.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(8, 4, time.Nanosecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(finishedTrace("req", fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	for rd := 0; rd < 2; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Summaries()
+				r.Get("w0-5")
+			}
+		}()
+	}
+	wg.Wait()
+	recent, _ := r.Summaries()
+	if len(recent) != 8 {
+		t.Errorf("recent len = %d, want 8", len(recent))
+	}
+}

@@ -1,12 +1,15 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,12 +19,48 @@ import (
 // nil root span) and every instrumentation site short-circuits without
 // allocating.
 type Trace struct {
+	id   string
 	root *Span
 }
 
 // New starts a trace whose root span is already running.
 func New(name string) *Trace {
 	return &Trace{root: &Span{name: name, start: time.Now()}}
+}
+
+// NewWithID starts a trace carrying a request-scoped identity — the
+// service layer's trace ID, accepted from the client (X-Request-Id) or
+// generated with NewID.
+func NewWithID(name, id string) *Trace {
+	t := New(name)
+	t.id = id
+	return t
+}
+
+// idSeq breaks ties when the random source is unavailable.
+var idSeq atomic.Uint64
+
+// NewID returns a fresh 16-hex-digit trace ID.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The random source failing is effectively impossible; fall back
+		// to a time+sequence ID rather than propagating an error into
+		// every request path.
+		v := uint64(time.Now().UnixNano())<<16 | (idSeq.Add(1) & 0xffff)
+		for i := range b {
+			b[i] = byte(v >> (8 * (7 - i)))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace's identity ("" when none was assigned).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
 }
 
 // Root returns the root span (nil for a nil trace).
@@ -31,6 +70,17 @@ func (t *Trace) Root() *Span {
 	}
 	return t.root
 }
+
+// Start returns the root span's start time (zero for a nil trace).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.root.start
+}
+
+// Duration returns the root span's duration (see Span.Duration).
+func (t *Trace) Duration() time.Duration { return t.Root().Duration() }
 
 // Finish ends the root span.
 func (t *Trace) Finish() {
@@ -87,23 +137,92 @@ func (s *Span) End() {
 }
 
 // Set annotates the span with an integer value (node counts, page I/O).
-func (s *Span) Set(key string, v int64) {
-	if s == nil {
-		return
-	}
-	s.mu.Lock()
-	s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
-	s.mu.Unlock()
-}
+// Setting a key again replaces its value (last write wins), so repeated
+// annotation of one site stays unambiguous in EXPLAIN output.
+func (s *Span) Set(key string, v int64) { s.SetStr(key, strconv.FormatInt(v, 10)) }
 
 // SetStr annotates the span with a string value (verdicts, modes).
+// Last write wins, as with Set.
 func (s *Span) SetStr(key, value string) {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Attr returns the span's own value for key (not descending into
+// children) and whether it is present.
+func (s *Span) Attr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// FindAttr returns the first value for key in a depth-first walk of the
+// span tree — how the access log pulls one-off markers (a compile span's
+// cached=1) out of a finished trace.
+func (s *Span) FindAttr(key string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	if v, ok := s.Attr(key); ok {
+		return v, true
+	}
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.kids...)
+	s.mu.Unlock()
+	for _, k := range kids {
+		if v, ok := k.FindAttr(key); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// SumAttr totals key's integer values across the whole span tree —
+// summing per-stage "pages-read" annotations into one request figure.
+// Non-integer values count as zero.
+func (s *Span) SumAttr(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	var total int64
+	if v, ok := s.Attr(key); ok {
+		n, _ := strconv.ParseInt(v, 10, 64)
+		total += n
+	}
+	s.mu.Lock()
+	kids := append([]*Span(nil), s.kids...)
+	s.mu.Unlock()
+	for _, k := range kids {
+		total += k.SumAttr(key)
+	}
+	return total
 }
 
 // Duration returns the span's frozen duration (elapsed time if still

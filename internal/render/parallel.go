@@ -55,15 +55,6 @@ func RenderParallel(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.D
 	return out, nil
 }
 
-// RenderParallelTraced is RenderParallel.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting RenderParallel (a nil span is untraced); this wrapper
-// remains so existing callers keep compiling.
-func RenderParallelTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
-	return RenderParallel(doc, tgt, sp)
-}
-
 // joinEdges collects every (parent source type, child source type) pair
 // the renderer will join for the target, mirroring the rendering
 // recursion. Missing a pair is harmless — the renderer computes it lazily

@@ -75,15 +75,6 @@ func Render(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document,
 	return out, nil
 }
 
-// RenderTraced is Render.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting Render (a nil span is untraced); this wrapper remains so
-// existing callers keep compiling.
-func RenderTraced(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
-	return Render(doc, tgt, sp)
-}
-
 // annotateJoins writes the join statistics and output size onto sp.
 func annotateJoins(sp *obs.Span, rec *closest.Recorder, nodesOut int) {
 	if sp == nil {

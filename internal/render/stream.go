@@ -64,15 +64,6 @@ func Stream(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) (int, 
 	return s.count, nil
 }
 
-// StreamTraced is Stream.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting Stream (a nil span is untraced); this wrapper remains so
-// existing callers keep compiling.
-func StreamTraced(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) (int, error) {
-	return Stream(doc, tgt, w, sp)
-}
-
 // countingWriter counts bytes on their way to the sink (placed under the
 // bufio layer, so it sees flushed output only).
 type countingWriter struct {

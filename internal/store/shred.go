@@ -76,15 +76,6 @@ func (s *Store) Shred(name string, r io.Reader, parent *obs.Span) (*ShredInfo, e
 	return &ShredInfo{Name: name, Types: len(sh.typeOrder), Nodes: sh.nodes}, nil
 }
 
-// ShredTraced is Shred.
-//
-// Deprecated: the traced/untraced pair collapsed into the single
-// span-accepting Shred (a nil span is untraced); this wrapper remains so
-// existing callers keep compiling.
-func (s *Store) ShredTraced(name string, r io.Reader, parent *obs.Span) (*ShredInfo, error) {
-	return s.Shred(name, r, parent)
-}
-
 // ShredDocument shreds an already-parsed document (used by generators that
 // build documents in memory).
 func (s *Store) ShredDocument(name string, d *xmltree.Document) (*ShredInfo, error) {
