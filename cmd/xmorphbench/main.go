@@ -42,6 +42,7 @@ func main() {
 	serveInflight := flag.Int("serve-inflight", 0, "daemon admission cap for -exp serve (default GOMAXPROCS)")
 	serveSample := flag.Int("serve-sample", 0, "trace 1 in N requests on the obs-on daemon for -exp serve (default 1 = every request; negative disables)")
 	serveSlowMS := flag.Int("serve-slow-ms", 0, "obs-on daemon slow-query threshold in ms for -exp serve (default 250; negative disables)")
+	serveWriters := flag.Int("serve-writers", 0, "dedicated shred-writer goroutines per serve cell; clients then run a pure query mix and query p99 during shreds is reported separately (default 0 = classic mixed workload)")
 	dblpSizes := flag.String("dblp", "", "comma-separated DBLP publication counts")
 	seed := flag.Int64("seed", 42, "generator seed")
 	cache := flag.Int("cache", 128, "store buffer pool pages")
@@ -114,6 +115,7 @@ func main() {
 	cfg.ServeMaxInflight = *serveInflight
 	cfg.ServeSample = *serveSample
 	cfg.ServeSlowMS = *serveSlowMS
+	cfg.ServeWriters = *serveWriters
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 

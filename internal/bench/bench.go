@@ -72,6 +72,14 @@ type Config struct {
 	// threshold in milliseconds; zero means 250 (the xmorphd default),
 	// negative disables slow retention.
 	ServeSlowMS int
+	// ServeWriters adds N dedicated shred-writer goroutines to every
+	// RunServe cell, continuously shredding and dropping documents while
+	// the clients run a pure query mix. Query latencies sampled while at
+	// least one shred is in flight are reported separately
+	// (query_p99_during_shred_ms) — the MVCC claim under test is that
+	// they stay close to the no-writer baseline. Zero keeps the classic
+	// mixed workload (1 shred op in 10, no separate column).
+	ServeWriters int
 	// Seed feeds the generators.
 	Seed int64
 	// Durability opens every store file with the write-ahead log enabled,

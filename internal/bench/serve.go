@@ -34,14 +34,26 @@ import (
 // primary arm's (see obsSlices); ObsOverheadPct is the throughput the
 // instrumentation costs, in percent of the uninstrumented rate.
 type ServeRow struct {
-	Clients            int     `json:"clients"`
-	Ops                int64   `json:"ops"`
-	QPS                float64 `json:"qps"`
-	QPSObsOff          float64 `json:"qps_obs_off"`
-	ObsOverheadPct     float64 `json:"obs_overhead_pct"`
-	P50Ms              float64 `json:"p50_ms"`
-	P95Ms              float64 `json:"p95_ms"`
-	P99Ms              float64 `json:"p99_ms"`
+	Clients        int     `json:"clients"`
+	Writers        int     `json:"writers"`
+	Ops            int64   `json:"ops"`
+	QPS            float64 `json:"qps"`
+	QPSObsOff      float64 `json:"qps_obs_off"`
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	// QueryP99DuringShredMs is the p99 of query ops that started while at
+	// least one dedicated writer's shred was in flight (0 when Writers is
+	// 0 or no query overlapped a shred) — the queries-never-wait-behind-
+	// a-shred column. Compare against the Writers=0 row's P99Ms.
+	QueryP99DuringShredMs float64 `json:"query_p99_during_shred_ms"`
+	// QueriesDuringShred counts the ops behind that percentile.
+	QueriesDuringShred int64 `json:"queries_during_shred"`
+	// WALFsyncsPerSync is the cell's WAL commit-record fsyncs per Sync
+	// call (store deltas); below 1 means group commit amortized fsyncs
+	// across concurrent committers. 0 without durability.
+	WALFsyncsPerSync   float64 `json:"wal_fsyncs_per_sync"`
 	Throttled          int64   `json:"throttled_429"`
 	ThrottledRate      float64 `json:"throttled_rate"`
 	Errors             int64   `json:"errors"`
@@ -63,7 +75,12 @@ type ServeReport struct {
 	TraceSample int     `json:"trace_sample"`
 	SlowQueryMs float64 `json:"slow_query_ms"`
 	Durability  bool    `json:"durability"`
+	Writers     int     `json:"writers"`
 	Clients     []int   `json:"clients"`
+	// GroupCommitSizeP50 is the run's median group-commit batch size
+	// (Sync callers per flush, from kvstore_group_commit_size); above 1
+	// means concurrent committers actually shared fsyncs.
+	GroupCommitSizeP50 float64 `json:"group_commit_size_p50"`
 	// ObsOverheadPct aggregates the per-row on/off comparison across
 	// all cells (total throughput, so each cell's noise partially
 	// cancels); single durable cells are fsync-variance-dominated.
@@ -207,19 +224,26 @@ const shredEvery = 10
 const obsSlices = 4
 
 // cellAccum collects one arm's measurements across a cell's
-// sub-windows.
+// sub-windows. shredHist double-counts the query ops that started while
+// a dedicated writer's shred was in flight, so their latency tail is
+// reported on its own.
 type cellAccum struct {
-	hist     *obs.Histogram
-	ops      int64
-	throttle int64
-	errs     int64
-	shreds   int64
-	elapsed  time.Duration
-	firstErr error
+	hist        *obs.Histogram
+	shredHist   *obs.Histogram
+	ops         int64
+	duringShred int64
+	throttle    int64
+	errs        int64
+	shreds      int64
+	elapsed     time.Duration
+	firstErr    error
 }
 
 func newCellAccum() *cellAccum {
-	return &cellAccum{hist: obs.NewHistogram(obs.DurationBuckets)}
+	return &cellAccum{
+		hist:      obs.NewHistogram(obs.DurationBuckets),
+		shredHist: obs.NewHistogram(obs.DurationBuckets),
+	}
 }
 
 func (a *cellAccum) qps() float64 {
@@ -235,31 +259,61 @@ var sliceSeq atomic.Int64
 
 // runServeSlice drives the workload against one daemon for one
 // sub-window, accumulating into acc.
-func runServeSlice(base string, shredXML []byte, clients int, window time.Duration, acc *cellAccum) {
+//
+// With writers == 0 every client runs the classic mix (1 shred op in
+// shredEvery). With writers > 0 the clients run a pure query mix while
+// the dedicated writers shred and drop continuously; a query that starts
+// while any shred cycle is in flight is additionally observed into
+// acc.shredHist — the during-shred latency column.
+func runServeSlice(base string, shredXML []byte, clients, writers int, window time.Duration, acc *cellAccum) {
 	slice := sliceSeq.Add(1)
 	var (
-		ops, throttled, errCount, shreds atomic.Int64
-		firstErr                         atomic.Value
+		ops, duringShred, throttled, errCount, shreds atomic.Int64
+		shredBusy                                     atomic.Int64
+		firstErr                                      atomic.Value
 	)
 	start := time.Now()
 	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; time.Since(start) < window; i++ {
+				shredBusy.Add(1)
+				was, err := shredCycle(client, base, shredXML, slice, 1_000_000+w, i)
+				shredBusy.Add(-1)
+				shreds.Add(1)
+				if err != nil {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				} else if was {
+					throttled.Add(1)
+				}
+			}
+		}(w)
+	}
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			client := &http.Client{}
 			for i := c; time.Since(start) < window; i++ {
+				busy := shredBusy.Load() > 0 // overlap check: sampled at both ends
 				t0 := time.Now()
 				var (
 					was bool
 					err error
 				)
-				if i%shredEvery == shredEvery-1 {
+				query := true
+				if writers == 0 && i%shredEvery == shredEvery-1 {
+					query = false
 					shreds.Add(1)
 					was, err = shredCycle(client, base, shredXML, slice, c, i)
 				} else {
 					was, err = serveQueryMix[i%len(serveQueryMix)](client, base, c, i)
 				}
+				busy = busy || shredBusy.Load() > 0
 				if err != nil {
 					errCount.Add(1)
 					firstErr.CompareAndSwap(nil, err)
@@ -269,14 +323,20 @@ func runServeSlice(base string, shredXML []byte, clients int, window time.Durati
 					throttled.Add(1)
 					continue
 				}
-				acc.hist.Observe(time.Since(t0).Seconds())
+				d := time.Since(t0).Seconds()
+				acc.hist.Observe(d)
 				ops.Add(1)
+				if query && busy {
+					acc.shredHist.Observe(d)
+					duringShred.Add(1)
+				}
 			}
 		}(c)
 	}
 	wg.Wait()
 	acc.elapsed += time.Since(start)
 	acc.ops += ops.Load()
+	acc.duringShred += duringShred.Load()
 	acc.throttle += throttled.Load()
 	acc.errs += errCount.Load()
 	acc.shreds += shreds.Load()
@@ -289,7 +349,7 @@ func runServeSlice(base string, shredXML []byte, clients int, window time.Durati
 // alternating obsSlices (on, off) sub-windows. The primary columns
 // come from the obs-on arm; QPSObsOff and the overhead come from the
 // off arm's accumulated throughput.
-func runServeCell(eng *engine.Engine, onBase, offBase string, shredXML []byte, clients int, window time.Duration) (ServeRow, error) {
+func runServeCell(eng *engine.Engine, onBase, offBase string, shredXML []byte, clients, writers int, window time.Duration) (ServeRow, error) {
 	hitsBefore, missesBefore := eng.CacheStats()
 	statsBefore := eng.Stats()
 
@@ -300,11 +360,11 @@ func runServeCell(eng *engine.Engine, onBase, offBase string, shredXML []byte, c
 	}
 	for k := 0; k < obsSlices; k++ {
 		if k%2 == 0 {
-			runServeSlice(onBase, shredXML, clients, slice, on)
-			runServeSlice(offBase, shredXML, clients, slice, off)
+			runServeSlice(onBase, shredXML, clients, writers, slice, on)
+			runServeSlice(offBase, shredXML, clients, writers, slice, off)
 		} else {
-			runServeSlice(offBase, shredXML, clients, slice, off)
-			runServeSlice(onBase, shredXML, clients, slice, on)
+			runServeSlice(offBase, shredXML, clients, writers, slice, off)
+			runServeSlice(onBase, shredXML, clients, writers, slice, on)
 		}
 	}
 
@@ -313,6 +373,7 @@ func runServeCell(eng *engine.Engine, onBase, offBase string, shredXML []byte, c
 	snap := on.hist.Snapshot()
 	row := ServeRow{
 		Clients:   clients,
+		Writers:   writers,
 		Ops:       on.ops,
 		QPS:       on.qps(),
 		QPSObsOff: off.qps(),
@@ -322,6 +383,14 @@ func runServeCell(eng *engine.Engine, onBase, offBase string, shredXML []byte, c
 		Throttled: on.throttle,
 		Errors:    on.errs + off.errs,
 		ShredOps:  on.shreds,
+	}
+	if on.duringShred > 0 {
+		ssnap := on.shredHist.Snapshot()
+		row.QueryP99DuringShredMs = ssnap.P99 * 1e3
+		row.QueriesDuringShred = on.duringShred
+	}
+	if dSync := statsAfter.SyncCalls - statsBefore.SyncCalls; dSync > 0 {
+		row.WALFsyncsPerSync = float64(statsAfter.WALFsyncs-statsBefore.WALFsyncs) / float64(dSync)
 	}
 	if offQPS := off.qps(); offQPS > 0 {
 		row.ObsOverheadPct = (offQPS - row.QPS) / offQPS * 100
@@ -369,9 +438,18 @@ func RunServe(cfg Config) ([]ServeRow, error) {
 	// does not swamp the query mix.
 	shredXML := []byte(xmark.Generate(xmark.Config{Factor: 0.01, Seed: cfg.Seed + 1}).XML(false))
 
-	eng, err := engine.Open(path,
+	engOpts := []engine.Option{
 		engine.WithCachePages(cfg.servePoolPages()),
-		engine.WithDurability(cfg.Durability))
+		engine.WithDurability(cfg.Durability),
+	}
+	if cfg.ServeWriters > 0 && cfg.Durability {
+		// Dedicated writers sync sparsely (once per shred, once per drop);
+		// the follower window is what lets their commits share WAL fsyncs.
+		engOpts = append([]engine.Option{engine.WithKVOptions(&kvstore.Options{
+			GroupCommitWait: 500 * time.Millisecond,
+		})}, engOpts...)
+	}
+	eng, err := engine.Open(path, engOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +483,7 @@ func RunServe(cfg Config) ([]ServeRow, error) {
 
 	var rows []ServeRow
 	for _, nc := range cfg.serveClients() {
-		row, err := runServeCell(eng, srvOn.URL, srvOff.URL, shredXML, nc, cfg.serveWindow())
+		row, err := runServeCell(eng, srvOn.URL, srvOff.URL, shredXML, nc, cfg.ServeWriters, cfg.serveWindow())
 		if err != nil {
 			return nil, err
 		}
@@ -486,10 +564,13 @@ func ServeReportFor(cfg Config, rows []ServeRow) *ServeReport {
 		TraceSample:    cfg.serveSample(),
 		SlowQueryMs:    cfg.serveSlowThreshold().Seconds() * 1e3,
 		Durability:     cfg.Durability,
+		Writers:        cfg.ServeWriters,
 		Clients:        cfg.serveClients(),
 		ObsOverheadPct: overhead,
 		Rows:           rows,
 		Store:          storeHistograms(),
+		GroupCommitSizeP50: obs.Default.Snapshot().
+			Histograms["kvstore_group_commit_size"].P50,
 	}
 }
 
@@ -497,13 +578,15 @@ func ServeReportFor(cfg Config, rows []ServeRow) *ServeReport {
 func ServeTable(rows []ServeRow) string {
 	t := &Table{
 		Title:   "xmorphd service (mixed query/shred over HTTP, fixed window per cell)",
-		Columns: []string{"clients", "ops", "qps", "qps-off", "obs%", "p50ms", "p95ms", "p99ms", "429s", "429%", "errors", "shreds", "guard-hit%", "pool-hit%"},
+		Columns: []string{"clients", "writers", "ops", "qps", "qps-off", "obs%", "p50ms", "p95ms", "p99ms", "p99-shred", "fsync/sync", "429s", "429%", "errors", "shreds", "guard-hit%", "pool-hit%"},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", r.Clients), fmt.Sprintf("%d", r.Ops), f2(r.QPS),
+			fmt.Sprintf("%d", r.Clients), fmt.Sprintf("%d", r.Writers),
+			fmt.Sprintf("%d", r.Ops), f2(r.QPS),
 			f2(r.QPSObsOff), f1(r.ObsOverheadPct),
 			f1(r.P50Ms), f1(r.P95Ms), f1(r.P99Ms),
+			f1(r.QueryP99DuringShredMs), f2(r.WALFsyncsPerSync),
 			fmt.Sprintf("%d", r.Throttled), f1(r.ThrottledRate * 100),
 			fmt.Sprintf("%d", r.Errors), fmt.Sprintf("%d", r.ShredOps),
 			f1(r.GuardCacheHitRatio * 100), f1(r.StoreHitRatio * 100),

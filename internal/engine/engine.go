@@ -159,20 +159,23 @@ func (e *Engine) Shred(ctx context.Context, name string, r io.Reader, sp *obs.Sp
 // Docs lists the stored document names, sorted.
 func (e *Engine) Docs() ([]string, error) { return e.st.Documents() }
 
-// Shape loads a document's adorned shape. Under a non-nil span it opens a
-// "load-shape" child annotated with the pages read.
+// Shape loads a document's adorned shape on one store view. Under a
+// non-nil span it opens a "load-shape" child annotated with the pages
+// read.
 func (e *Engine) Shape(ctx context.Context, name string, sp *obs.Span) (*Shape, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	if _, ok, err := e.st.DocVersion(name); err != nil {
+	v := e.st.View()
+	defer v.Close()
+	if _, ok, err := v.DocVersion(name); err != nil {
 		return nil, err
 	} else if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	ssp := sp.Child("load-shape")
 	before := e.st.Stats()
-	sh, err := e.st.Shape(name)
+	sh, err := v.Shape(name)
 	setPageIO(ssp, before, e.st.Stats())
 	ssp.End()
 	return sh, err
@@ -210,15 +213,21 @@ func (e *Engine) Drop(ctx context.Context, name string) error {
 // pipeline (parse-guard, typecheck, loss-check); a hit opens a "compile"
 // child annotated cached=1.
 func (e *Engine) Check(ctx context.Context, name, guardSrc string, sp *obs.Span) (*Checked, error) {
-	checked, _, err := e.compile(ctx, name, guardSrc, sp)
+	v := e.st.View()
+	defer v.Close()
+	checked, _, err := e.compileIn(ctx, v, name, guardSrc, sp)
 	return checked, err
 }
 
-func (e *Engine) compile(ctx context.Context, name, guardSrc string, sp *obs.Span) (*Checked, bool, error) {
+// compileIn runs the compile phase against one store view, so the shred
+// version it caches under and the shape it compiles against come from
+// the same committed epoch (a re-shred landing mid-compile cannot pair
+// the new version with the old shape, or vice versa).
+func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc string, sp *obs.Span) (*Checked, bool, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, false, err
 	}
-	ver, ok, err := e.st.DocVersion(name)
+	ver, ok, err := v.DocVersion(name)
 	if err != nil {
 		return nil, false, err
 	}
@@ -234,7 +243,7 @@ func (e *Engine) compile(ctx context.Context, name, guardSrc string, sp *obs.Spa
 
 	ssp := sp.Child("load-shape")
 	before := e.st.Stats()
-	sh, err := e.st.Shape(name)
+	sh, err := v.Shape(name)
 	setPageIO(ssp, before, e.st.Stats())
 	ssp.End()
 	if err != nil {
@@ -283,7 +292,13 @@ func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (
 	sp := opts.Span
 	pagesBefore := e.st.Stats().BlocksRead
 
-	checked, hit, err := e.compile(ctx, name, guardSrc, sp)
+	// One view for the whole request: the compile phase, the document's
+	// lazy node loads, and the render all answer from a single committed
+	// epoch, and never wait behind a concurrent shred.
+	v := e.st.View()
+	defer v.Close()
+
+	checked, hit, err := e.compileIn(ctx, v, name, guardSrc, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +308,7 @@ func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (
 
 	dsp := sp.Child("load-doc")
 	before := e.st.Stats()
-	doc, err := e.st.Doc(name)
+	doc, err := v.Doc(name)
 	setPageIO(dsp, before, e.st.Stats())
 	dsp.End()
 	if err != nil {
@@ -335,14 +350,18 @@ func (e *Engine) Query(ctx context.Context, name, guardSrc, query string, sp *ob
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	if _, ok, err := e.st.DocVersion(name); err != nil {
+	// One view per query: shape, document, and evaluation all read the
+	// same committed epoch, without waiting behind concurrent shreds.
+	v := e.st.View()
+	defer v.Close()
+	if _, ok, err := v.DocVersion(name); err != nil {
 		return nil, err
 	} else if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	ssp := sp.Child("load-shape")
 	before := e.st.Stats()
-	sh, err := e.st.Shape(name)
+	sh, err := v.Shape(name)
 	setPageIO(ssp, before, e.st.Stats())
 	ssp.End()
 	if err != nil {
@@ -350,7 +369,7 @@ func (e *Engine) Query(ctx context.Context, name, guardSrc, query string, sp *ob
 	}
 	dsp := sp.Child("load-doc")
 	before = e.st.Stats()
-	doc, err := e.st.Doc(name)
+	doc, err := v.Doc(name)
 	setPageIO(dsp, before, e.st.Stats())
 	dsp.End()
 	if err != nil {

@@ -571,6 +571,13 @@ func MirrorStoreStats(reg *obs.Registry, s kvstore.Stats) {
 	reg.Gauge("kvstore_wal_bytes").Set(float64(s.WALBytes))
 	reg.Gauge("kvstore_wal_commits").Set(float64(s.WALCommits))
 	reg.Gauge("kvstore_recoveries").Set(float64(s.Recoveries))
+	reg.Gauge("kvstore_snapshots_open").Set(float64(s.SnapshotsOpen))
+	reg.Gauge("kvstore_epoch").Set(float64(s.Epoch))
+	reg.Gauge("kvstore_pages_retained").Set(float64(s.PagesRetained))
+	reg.Gauge("kvstore_pages_retired").Set(float64(s.PagesRetired))
+	reg.Gauge("kvstore_sync_calls").Set(float64(s.SyncCalls))
+	reg.Gauge("kvstore_group_commits").Set(float64(s.GroupCommits))
+	reg.Gauge("kvstore_wal_commit_fsyncs").Set(float64(s.WALFsyncs))
 }
 
 // bytesBuilder is a minimal strings.Builder-alike that implements

@@ -3,11 +3,13 @@ package kvstore
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Maximum sizes; a leaf must fit at least two entries per page.
@@ -22,21 +24,55 @@ const (
 )
 
 // DB is a B+tree keyed by []byte in lexicographic order. Mutations
-// (Put, PutBatch, Delete) and the range scans Ascend/AscendPrefix are
-// safe for concurrent use; a raw Iterator from Seek/First must not run
-// concurrently with writers.
+// (Put, PutBatch, Delete) are serialized against each other; reads
+// (Get, Seek, First, Ascend, AscendPrefix, or an explicit OpenSnapshot)
+// run on MVCC snapshots of the last committed epoch and never wait for —
+// or block — a writer. Everything is safe for concurrent use.
 type DB struct {
-	// mu serializes tree mutations against each other and against range
-	// scans: writers take the write lock, Get/Ascend/AscendPrefix the
-	// read lock.
-	mu    sync.RWMutex
+	// writerMu serializes writer transactions: exactly one mutation
+	// builds shadow pages at a time. Readers never touch it.
+	writerMu sync.Mutex
+	// publishMu guards the committed (root, epoch, npages) triple, the
+	// snapshot pin registry, and the flush collector's cut. Held briefly:
+	// opening/closing a snapshot, publishing a commit, collecting a flush
+	// batch. See mvcc.go for the full lock order.
+	publishMu sync.Mutex
+	// versionMu guards the retained-version table.
+	versionMu sync.Mutex
+
 	pager *pager
-	root  uint32
 	path  string
 
-	// Last header image written (or loaded): writeHeader skips the page
-	// write when root and page count are unchanged, so an empty Sync
-	// dirties nothing and commits nothing. Guarded by mu (write).
+	// Committed state (published under publishMu; the single writer may
+	// read it without, since only commitWrite ever changes it).
+	root  uint32
+	epoch uint64
+
+	// Snapshot pins: open-snapshot count per epoch, plus the cached
+	// minimum (valid while len(pins) > 0). Guarded by publishMu.
+	pins   map[uint64]int
+	minPin uint64
+
+	// Retained superseded page images, keyed by page id, each holding
+	// versions in ascending supersededAt order. Guarded by versionMu;
+	// retainedCount mirrors the total for a lock-free emptiness check on
+	// the read path.
+	retained      map[uint32][]pageVersion
+	retainedCount atomic.Int64
+	retiredPages  atomic.Int64
+	snapshotsOpen atomic.Int64
+
+	// w is the in-flight writer transaction (guarded by writerMu).
+	w writeTxn
+
+	// gc is the group-commit ticket state shared by Sync callers; gcWait
+	// is the leader's follower window (Options.GroupCommitWait).
+	gc     groupCommit
+	gcWait time.Duration
+
+	// Last header image written (or loaded): writeHeaderW skips the page
+	// write when root and page count are unchanged, so a transaction that
+	// grows nothing re-dirties nothing. Guarded by writerMu.
 	hdrValid  bool
 	hdrRoot   uint32
 	hdrNpages uint32
@@ -44,7 +80,7 @@ type DB struct {
 	// Sorted-insert fast path: the leaf that served the last Put plus the
 	// separator bounds [fastLow, fastHigh) routing to it. When the next
 	// key still falls in that range and the insert cannot split, the
-	// root-to-leaf descent is skipped entirely. Guarded by mu (write).
+	// root-to-leaf descent is skipped entirely. Guarded by writerMu.
 	fastValid     bool
 	fastLeaf      uint32
 	fastLow       []byte // nil = unbounded below
@@ -88,12 +124,22 @@ type Options struct {
 	// scan result is identical either way (a test guards this). The knob
 	// exists for ablation benchmarks, mirroring BalancedSplitOnly.
 	DisableReadAhead bool
+	// GroupCommitWait is how long a group-commit leader with no follower
+	// holds its ticket open before flushing, giving concurrent committers
+	// a window to share the WAL fsync; the wait ends early the moment one
+	// joins. Zero (the default) flushes immediately — right for
+	// single-writer workloads and for the crash-sweep tests, whose write
+	// sequences it leaves untouched either way (the window delays the
+	// flush, it never changes what is written). Only meaningful with
+	// Durability-style explicit Syncs under multiple writers.
+	GroupCommitWait time.Duration
 	// Durability enables the write-ahead-log commit protocol: Sync
 	// records every dirty page image plus a commit marker in <path>.wal
 	// (fsynced) before any in-place page write, and empties the log once
 	// the in-place writes are on stable storage, so a crash or torn
 	// write at any point leaves the store recoverable to its last
-	// committed state. Between Syncs dirty pages are pinned in memory
+	// committed state. Concurrent Syncs share one commit — see
+	// groupcommit.go. Between Syncs dirty pages are pinned in memory
 	// instead of being flushed on eviction. Ignored by OpenMemory.
 	// Independent of this flag, Open always replays (or discards) a
 	// leftover <path>.wal — see wal.go for the protocol.
@@ -111,11 +157,15 @@ const defaultReadAhead = 8
 // resolveOptions applies opts to the DB's tuning fields.
 func (db *DB) resolveOptions(opts *Options) {
 	db.readAhead = defaultReadAhead
+	db.pins = make(map[uint64]int)
+	db.retained = make(map[uint32][]pageVersion)
+	db.gc.wake = make(chan struct{})
 	if opts == nil {
 		return
 	}
 	db.noFastPath = opts.DisableFastPath
 	db.balancedSplit = opts.BalancedSplitOnly
+	db.gcWait = opts.GroupCommitWait
 	if opts.ReadAheadPages > 0 {
 		db.readAhead = opts.ReadAheadPages
 	}
@@ -187,32 +237,37 @@ func OpenMemory(opts *Options) *DB {
 	return db
 }
 
+// initialize builds the empty tree as the first committed transaction:
+// page 0 = header, page 1 = empty root leaf.
 func (db *DB) initialize() error {
-	hdr := db.pager.alloc() // page 0: header
+	db.beginWrite()
+	hdr := db.walloc() // page 0: header
 	if hdr != 0 {
 		return fmt.Errorf("kvstore: header must be page 0, got %d", hdr)
 	}
-	root := db.pager.alloc()
-	db.root = root
-	if err := db.writeNode(root, &node{typ: pageLeaf}); err != nil {
+	root := db.walloc()
+	db.w.root = root
+	if err := db.writeNodeW(root, &node{typ: pageLeaf}); err != nil {
 		return err
 	}
-	return db.writeHeader()
+	if err := db.writeHeaderW(); err != nil {
+		return err
+	}
+	return db.commitWrite()
 }
 
-func (db *DB) writeHeader() error {
-	np := db.pager.npages.Load()
-	if db.hdrValid && db.hdrRoot == db.root && db.hdrNpages == np {
+// writeHeaderW writes the header page into the transaction's shadow set
+// when the root or page count changed since the last header image.
+func (db *DB) writeHeaderW() error {
+	if db.hdrValid && db.hdrRoot == db.w.root && db.hdrNpages == db.w.npages {
 		return nil
 	}
 	buf := make([]byte, PageSize)
 	copy(buf, magic)
-	binary.BigEndian.PutUint32(buf[8:], db.root)
-	binary.BigEndian.PutUint32(buf[12:], np)
-	if err := db.pager.write(0, buf); err != nil {
-		return err
-	}
-	db.hdrValid, db.hdrRoot, db.hdrNpages = true, db.root, np
+	binary.BigEndian.PutUint32(buf[8:], db.w.root)
+	binary.BigEndian.PutUint32(buf[12:], db.w.npages)
+	db.w.set[0] = buf
+	db.hdrValid, db.hdrRoot, db.hdrNpages = true, db.w.root, db.w.npages
 	return nil
 }
 
@@ -229,7 +284,7 @@ func (db *DB) loadHeader() error {
 		return fmt.Errorf("kvstore: corrupt header: root page %d of %d", db.root, db.pager.npages.Load())
 	}
 	// Record the header as stored (not as derived from the file size), so
-	// the skip in writeHeader never leaves a stale image on disk.
+	// the skip in writeHeaderW never leaves a stale image on disk.
 	db.hdrValid, db.hdrRoot, db.hdrNpages = true, db.root, binary.BigEndian.Uint32(buf[12:])
 	return nil
 }
@@ -344,6 +399,7 @@ func deserialize(buf []byte) (*node, error) {
 	return n, nil
 }
 
+// readNode decodes a page of the last committed state.
 func (db *DB) readNode(id uint32) (*node, error) {
 	buf, err := db.pager.read(id)
 	if err != nil {
@@ -352,22 +408,21 @@ func (db *DB) readNode(id uint32) (*node, error) {
 	return deserialize(buf)
 }
 
-func (db *DB) writeNode(id uint32, n *node) error {
-	buf, err := n.serialize()
-	if err != nil {
-		return err
-	}
-	return db.pager.write(id, buf)
+// Get returns the value for key, or (nil, false, nil) when absent. It
+// runs on a snapshot of the last committed epoch, so it never waits for
+// an in-flight mutation.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	snap := db.OpenSnapshot()
+	defer snap.Close()
+	return snap.Get(key)
 }
 
-// Get returns the value for key, or (nil, false, nil) when absent.
-func (db *DB) Get(key []byte) ([]byte, bool, error) {
-	atomic.AddInt64(&db.gets, 1)
-	rlockTimed(&db.mu, dbRLockWait)
-	defer db.mu.RUnlock()
-	id := db.root
+// Get returns the value for key as of the snapshot's epoch.
+func (s *Snapshot) Get(key []byte) ([]byte, bool, error) {
+	atomic.AddInt64(&s.db.gets, 1)
+	id := s.root
 	for {
-		n, err := db.readNode(id)
+		n, err := s.readNode(id)
 		if err != nil {
 			return nil, false, err
 		}
@@ -382,15 +437,25 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	}
 }
 
-// Put inserts or replaces a key.
+// Put inserts or replaces a key. The mutation is one transaction:
+// readers observe either none or all of it.
 func (db *DB) Put(key, value []byte) error {
 	if err := validatePut(key, value); err != nil {
 		return err
 	}
 	atomic.AddInt64(&db.puts, 1)
-	wlockTimed(&db.mu, dbLockWait)
-	defer db.mu.Unlock()
-	return db.putLocked(key, value)
+	lockTimed(&db.writerMu, writerLockWait)
+	defer db.writerMu.Unlock()
+	db.beginWrite()
+	if err := db.putTxn(key, value); err != nil {
+		db.abortWrite()
+		return err
+	}
+	if err := db.commitWrite(); err != nil {
+		db.abortWrite()
+		return err
+	}
+	return nil
 }
 
 // PutBatch inserts (or replaces) many keys in one pass: the batch is
@@ -398,6 +463,8 @@ func (db *DB) Put(key, value []byte) error {
 // Puts) and applied in key order, which drives almost every insert
 // through the cached-leaf fast path — leaves are walked once instead of
 // descending from the root per key. keys and vals must be parallel.
+// The whole batch commits as one transaction (one epoch): a concurrent
+// snapshot sees all of it or none of it.
 func (db *DB) PutBatch(keys, vals [][]byte) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("kvstore: PutBatch: %d keys but %d values", len(keys), len(vals))
@@ -420,12 +487,18 @@ func (db *DB) PutBatch(keys, vals [][]byte) error {
 	}
 	atomic.AddInt64(&db.puts, int64(len(keys)))
 	atomic.AddInt64(&db.batchedPuts, int64(len(keys)))
-	wlockTimed(&db.mu, dbLockWait)
-	defer db.mu.Unlock()
+	lockTimed(&db.writerMu, writerLockWait)
+	defer db.writerMu.Unlock()
+	db.beginWrite()
 	for _, i := range order {
-		if err := db.putLocked(keys[i], vals[i]); err != nil {
+		if err := db.putTxn(keys[i], vals[i]); err != nil {
+			db.abortWrite()
 			return err
 		}
+	}
+	if err := db.commitWrite(); err != nil {
+		db.abortWrite()
+		return err
 	}
 	return nil
 }
@@ -448,7 +521,8 @@ type pathEntry struct {
 	ci int
 }
 
-// putLocked inserts one key with db.mu held.
+// putTxn inserts one key into the transaction's shadow tree (writerMu
+// held, beginWrite done).
 //
 // Fast path: when the previous Put cached a leaf whose separator range
 // still covers key and the insert cannot overflow the page, the new
@@ -457,9 +531,9 @@ type pathEntry struct {
 // splits propagate iteratively; it re-caches the target leaf for the
 // next call. Both paths produce byte-identical trees to the pre-cache
 // recursive insert (guarded by TestFastPathTreeIdentical).
-func (db *DB) putLocked(key, value []byte) error {
+func (db *DB) putTxn(key, value []byte) error {
 	if db.fastValid && !db.noFastPath && db.fastCovers(key) {
-		n, err := db.readNode(db.fastLeaf)
+		n, err := db.readNodeW(db.fastLeaf)
 		if err != nil {
 			return err
 		}
@@ -467,7 +541,7 @@ func (db *DB) putLocked(key, value []byte) error {
 			leafInsert(n, key, value)
 			if n.size() <= PageSize {
 				atomic.AddInt64(&db.fastHits, 1)
-				return db.writeNode(db.fastLeaf, n)
+				return db.writeNodeW(db.fastLeaf, n)
 			}
 		}
 		// The leaf would split (or the cache is stale): fall back to the
@@ -479,11 +553,11 @@ func (db *DB) putLocked(key, value []byte) error {
 		path      []pathEntry
 		low, high []byte
 	)
-	id := db.root
+	id := db.w.root
 	var n *node
 	for {
 		var err error
-		n, err = db.readNode(id)
+		n, err = db.readNodeW(id)
 		if err != nil {
 			return err
 		}
@@ -503,7 +577,7 @@ func (db *DB) putLocked(key, value []byte) error {
 	at := leafInsert(n, key, value)
 	if n.size() <= PageSize {
 		db.fastValid, db.fastLeaf, db.fastLow, db.fastHigh = true, id, low, high
-		return db.writeNode(id, n)
+		return db.writeNodeW(id, n)
 	}
 	// Split: the cached leaf's range is about to change.
 	db.fastValid = false
@@ -526,13 +600,13 @@ func (db *DB) putLocked(key, value []byte) error {
 	}
 	if promoted != nil {
 		// Root split: grow the tree.
-		newRoot := db.pager.alloc()
-		nr := &node{typ: pageInternal, keys: [][]byte{promoted}, children: []uint32{db.root, right}}
-		if err := db.writeNode(newRoot, nr); err != nil {
+		newRoot := db.walloc()
+		nr := &node{typ: pageInternal, keys: [][]byte{promoted}, children: []uint32{db.w.root, right}}
+		if err := db.writeNodeW(newRoot, nr); err != nil {
 			return err
 		}
-		db.root = newRoot
-		return db.writeHeader()
+		db.w.root = newRoot
+		return db.writeHeaderW()
 	}
 	return nil
 }
@@ -566,9 +640,10 @@ func leafInsert(n *node, key, value []byte) int {
 	return i
 }
 
-// finishInsert writes the node back, splitting it first if it overflows.
-// The split point balances *bytes*, not entry counts: with variable-length
-// entries a count split can leave one half still overflowing.
+// finishInsert writes the node back into the transaction, splitting it
+// first if it overflows. The split point balances *bytes*, not entry
+// counts: with variable-length entries a count split can leave one half
+// still overflowing.
 //
 // insertAt is the index of the entry whose insertion caused the overflow
 // (-1 when unknown, e.g. internal cascades). When it lies at or past the
@@ -585,7 +660,7 @@ func leafInsert(n *node, key, value []byte) int {
 // restores the old policy for ablation runs.
 func (db *DB) finishInsert(id uint32, n *node, insertAt int) ([]byte, uint32, error) {
 	if n.size() <= PageSize {
-		return nil, 0, db.writeNode(id, n)
+		return nil, 0, db.writeNodeW(id, n)
 	}
 	mid := n.splitPoint()
 	if !db.balancedSplit && n.typ == pageLeaf &&
@@ -611,17 +686,17 @@ func (db *DB) finishInsert(id uint32, n *node, insertAt int) ([]byte, uint32, er
 		left = &node{typ: pageInternal, keys: n.keys[:mid], children: n.children[:mid+1]}
 		rightN = &node{typ: pageInternal, keys: n.keys[mid+1:], children: n.children[mid+1:]}
 	}
-	rightID := db.pager.alloc()
+	rightID := db.walloc()
 	if n.typ == pageLeaf {
 		left.next = rightID
 	}
-	if err := db.writeNode(id, left); err != nil {
+	if err := db.writeNodeW(id, left); err != nil {
 		return nil, 0, err
 	}
-	if err := db.writeNode(rightID, rightN); err != nil {
+	if err := db.writeNodeW(rightID, rightN); err != nil {
 		return nil, 0, err
 	}
-	if err := db.writeHeader(); err != nil { // page count changed
+	if err := db.writeHeaderW(); err != nil { // page count changed
 		return nil, 0, err
 	}
 	return promoted, rightID, nil
@@ -655,54 +730,56 @@ func (n *node) splitPoint() int {
 	return len(n.keys) / 2
 }
 
-// Delete removes a key; deleting an absent key is a no-op. Leaves are not
-// rebalanced (space is reclaimed on compaction, which this store does not
-// implement — deletions in the XMorph workload are whole-store drops).
+// Delete removes a key; deleting an absent key is a no-op (and publishes
+// no epoch). Leaves are not rebalanced (space is reclaimed on
+// compaction, which this store does not implement — deletions in the
+// XMorph workload are whole-store drops).
 func (db *DB) Delete(key []byte) error {
 	atomic.AddInt64(&db.deletes, 1)
-	wlockTimed(&db.mu, dbLockWait)
-	defer db.mu.Unlock()
+	lockTimed(&db.writerMu, writerLockWait)
+	defer db.writerMu.Unlock()
+	db.beginWrite()
 	// The cached fast-path leaf stays valid: deletion never merges pages,
 	// so separator ranges are unchanged.
-	id := db.root
+	id := db.w.root
 	for {
-		n, err := db.readNode(id)
+		n, err := db.readNodeW(id)
 		if err != nil {
+			db.abortWrite()
 			return err
 		}
 		if n.typ == pageLeaf {
 			i, found := search(n.keys, key)
 			if !found {
-				return nil
+				return db.commitWrite() // empty set: no-op
 			}
 			n.keys = append(n.keys[:i], n.keys[i+1:]...)
 			n.vals = append(n.vals[:i], n.vals[i+1:]...)
-			return db.writeNode(id, n)
+			if err := db.writeNodeW(id, n); err != nil {
+				db.abortWrite()
+				return err
+			}
+			if err := db.commitWrite(); err != nil {
+				db.abortWrite()
+				return err
+			}
+			return nil
 		}
 		id = n.children[childIndex(n.keys, key)]
 	}
 }
 
-// Sync flushes dirty pages and the header to stable storage.
-func (db *DB) Sync() error {
-	wlockTimed(&db.mu, dbLockWait)
-	defer db.mu.Unlock()
-	if err := db.writeHeader(); err != nil {
-		return err
-	}
-	return db.pager.sync()
-}
-
-// Close syncs and releases the file handles (store and log).
+// Close syncs and releases the file handles (store and log). The pager
+// is closed even when the final sync fails — a failed flush must not
+// leak the descriptors — and both errors are reported.
 func (db *DB) Close() error {
-	if err := db.Sync(); err != nil {
-		return err
-	}
-	return db.pager.close()
+	syncErr := db.Sync()
+	closeErr := db.pager.close()
+	return errors.Join(syncErr, closeErr)
 }
 
-// Stats returns cumulative block I/O, buffer-pool, and operation
-// counters.
+// Stats returns cumulative block I/O, buffer-pool, MVCC, group-commit,
+// and operation counters.
 func (db *DB) Stats() Stats {
 	s := db.pager.stats()
 	s.Gets = atomic.LoadInt64(&db.gets)
@@ -711,6 +788,9 @@ func (db *DB) Stats() Stats {
 	s.Seeks = atomic.LoadInt64(&db.seeks)
 	s.FastPathHits = atomic.LoadInt64(&db.fastHits)
 	s.BatchedPuts = atomic.LoadInt64(&db.batchedPuts)
+	s.SnapshotsOpen = db.snapshotsOpen.Load()
+	s.PagesRetained = db.retainedCount.Load()
+	s.PagesRetired = db.retiredPages.Load()
 	return s
 }
 

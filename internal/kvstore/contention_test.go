@@ -62,7 +62,13 @@ func TestLockTimedHelpers(t *testing.T) {
 	})
 }
 
-func TestDBContentionObserved(t *testing.T) {
+// TestWriterNotBlockedByScan is the MVCC inversion of the old
+// reader/writer contention test: a Put issued while a scan is mid-flight
+// must complete *during* the scan (the pre-MVCC read lock would hold it
+// until the scan finished — this test would deadlock), and the scan,
+// frozen at its snapshot's epoch, must not see the concurrently
+// committed key.
+func TestWriterNotBlockedByScan(t *testing.T) {
 	db, err := Open(filepath.Join(t.TempDir(), "contention.db"), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -75,32 +81,71 @@ func TestDBContentionObserved(t *testing.T) {
 		}
 	}
 
-	before := dbLockWait.Snapshot().Count
-	started := make(chan struct{})
+	putDone := make(chan error, 1)
 	var once sync.Once
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		<-started
-		// Blocks behind the scan's read lock: TryLock fails, the wait
-		// is observed into kvstore_db_lock_wait_seconds.
-		if err := db.Put([]byte("contender"), []byte("v")); err != nil {
-			t.Error(err)
-		}
-	}()
+	sawContender := false
 	err = db.Ascend(nil, nil, func(k, v []byte) bool {
-		once.Do(func() { close(started) })
-		time.Sleep(100 * time.Microsecond)
+		once.Do(func() {
+			go func() { putDone <- db.Put([]byte("contender"), []byte("v")) }()
+			// The scan does not advance until the concurrent Put has
+			// committed; under a tree-wide read lock this would deadlock.
+			if err := <-putDone; err != nil {
+				t.Error(err)
+			}
+		})
+		if string(k) == "contender" {
+			sawContender = true
+		}
 		return true
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wg.Wait()
-	if got := dbLockWait.Snapshot().Count; got <= before {
-		t.Error("writer blocked by a scan was not observed in the lock-wait histogram")
+	if sawContender {
+		t.Error("snapshot scan observed a key committed after it opened")
 	}
+	if v, ok, err := db.Get([]byte("contender")); err != nil || !ok || string(v) != "v" {
+		t.Errorf("post-scan Get(contender) = %q, %v, %v; want committed value", v, ok, err)
+	}
+}
+
+// TestDBContentionObserved pins the new histograms to the locks they
+// watch: a writer queued behind writerMu and a snapshot open queued
+// behind publishMu must each land one observation.
+func TestDBContentionObserved(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "contention2.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	t.Run("writer lock", func(t *testing.T) {
+		before := writerLockWait.Snapshot().Count
+		db.writerMu.Lock()
+		done := make(chan error, 1)
+		go func() { done <- db.Put([]byte("w"), []byte("v")) }()
+		time.Sleep(5 * time.Millisecond) // let the Put fail TryLock and block
+		db.writerMu.Unlock()
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		if got := writerLockWait.Snapshot().Count; got <= before {
+			t.Error("writer queued behind writerMu was not observed in kvstore_writer_lock_wait_seconds")
+		}
+	})
+
+	t.Run("publish lock", func(t *testing.T) {
+		before := publishLockWait.Snapshot().Count
+		db.publishMu.Lock()
+		done := make(chan struct{})
+		go func() { db.OpenSnapshot().Close(); close(done) }()
+		time.Sleep(5 * time.Millisecond)
+		db.publishMu.Unlock()
+		<-done
+		if got := publishLockWait.Snapshot().Count; got <= before {
+			t.Error("snapshot open queued behind publishMu was not observed in kvstore_publish_lock_wait_seconds")
+		}
+	})
 }
 
 func TestFsyncHistogramsObserved(t *testing.T) {

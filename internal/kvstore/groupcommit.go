@@ -1,0 +1,204 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Group commit: concurrent Sync callers share one flush.
+//
+// Sync no longer owns the tree lock (there is none to own) — it joins
+// the pending commit ticket. The first joiner to find no flush in
+// progress becomes the leader: it detaches the ticket, collects the
+// dirty set, and runs the full commit protocol (WAL append + one fsync,
+// in-place writes, data-file fsync, WAL reset) once for every member.
+// Callers that arrive while a flush is running accumulate on the next
+// ticket and park; when the running flush finishes it wakes everyone —
+// members of the finished ticket return its result, and one member of
+// the next ticket finds the leader seat empty and takes it. A solo Sync
+// degenerates to exactly the pre-group-commit write sequence, which is
+// what keeps the PR-4 crash-point sweeps byte-identical.
+//
+// Durability contract per member: a member's own commits were published
+// (publishMu) before its Sync call joined the ticket, and the leader
+// detaches the ticket before collecting the dirty set under that same
+// publishMu — so the batch always covers every member's pages.
+
+// commitTicket is one pending flush group. joined is closed when a
+// second member joins, releasing a leader waiting out the group-commit
+// window early.
+type commitTicket struct {
+	members int
+	joined  chan struct{}
+	done    bool
+	err     error
+}
+
+// groupCommit is the DB's commit-ticket state, guarded by mu. wake is
+// closed (and replaced) each time a flush completes — a broadcast that
+// lets parked members re-check their ticket.
+type groupCommit struct {
+	mu       sync.Mutex
+	wake     chan struct{}
+	flushing bool
+	cur      *commitTicket
+}
+
+// flushPage is one dirty page captured for a flush batch: the id, the
+// buffer as of the collect (immutable), and the cache entry so the
+// leader can clear the dirty flag afterwards — but only when the buffer
+// is still the one it wrote (a commit that lands mid-flush leaves its
+// page dirty for the next batch).
+type flushPage struct {
+	id  uint32
+	buf []byte
+	c   *cached
+}
+
+// Sync makes every committed page durable. Concurrent callers batch into
+// one group commit: a single WAL fsync covers all of them. The error of
+// the shared flush is delivered to every member.
+func (db *DB) Sync() error {
+	p := db.pager
+	p.syncCalls.Add(1)
+	g := &db.gc
+	g.mu.Lock()
+	if g.cur == nil {
+		g.cur = &commitTicket{joined: make(chan struct{})}
+	}
+	t := g.cur
+	if t.members++; t.members == 2 {
+		close(t.joined)
+	}
+	for g.flushing {
+		wake := g.wake
+		g.mu.Unlock()
+		<-wake
+		g.mu.Lock()
+		if t.done {
+			err := t.err
+			g.mu.Unlock()
+			return err
+		}
+	}
+	// Leader: take the flush slot. With a group-commit window configured
+	// (Options.GroupCommitWait) and no follower yet, hold the ticket open
+	// until one joins or the window closes — on fast devices the flush
+	// itself is too quick for concurrent committers to pile up on their
+	// own, so the window is what lets sparse Syncs share an fsync. The
+	// wait ends the moment a follower arrives, so it prices at most one
+	// window per flush and nothing when committers are already queued.
+	g.flushing = true
+	if db.gcWait > 0 && t.members == 1 {
+		g.mu.Unlock()
+		select {
+		case <-t.joined:
+		case <-time.After(db.gcWait):
+		}
+		g.mu.Lock()
+	}
+	// Detach the ticket so later arrivals start the next group.
+	g.cur = nil
+	g.mu.Unlock()
+
+	err := db.flushBatch()
+	p.groupCommits.Add(1)
+	groupCommitSize.Observe(float64(t.members))
+
+	g.mu.Lock()
+	t.done, t.err = true, err
+	g.flushing = false
+	close(g.wake)
+	g.wake = make(chan struct{})
+	g.mu.Unlock()
+	return err
+}
+
+// flushBatch runs one commit protocol over the current dirty set. The
+// collect runs under publishMu, so the batch is a consistent cut of
+// committed transactions — each one entirely in or entirely out — and
+// the page count it records matches. A crash anywhere inside replays to
+// exactly this cut or the previous one, never half of it.
+func (db *DB) flushBatch() error {
+	p := db.pager
+	lockTimed(&db.publishMu, publishLockWait)
+	var batch []flushPage
+	for i := range p.shards {
+		s := &p.shards[i]
+		lockTimed(&s.mu, shardLockWait)
+		for _, c := range s.cache {
+			if c.dirty {
+				batch = append(batch, flushPage{id: c.id, buf: c.buf, c: c})
+			}
+		}
+		s.mu.Unlock()
+	}
+	npages := p.npages.Load()
+	db.publishMu.Unlock()
+	sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
+
+	if p.file == nil {
+		for _, fp := range batch {
+			s := p.shardOf(fp.id)
+			lockTimed(&s.mu, shardLockWait)
+			if c, ok := s.cache[fp.id]; ok && c.dirty {
+				_ = p.flushLocked(c) // memory backend cannot fail
+			}
+			s.mu.Unlock()
+		}
+		return nil
+	}
+
+	if p.durable {
+		if len(batch) > 0 {
+			if err := p.walCommit(batch, npages); err != nil {
+				return err
+			}
+		}
+		for _, fp := range batch {
+			start := time.Now()
+			_, err := p.file.WriteAt(fp.buf, int64(fp.id)*PageSize)
+			p.ioNanos.Add(int64(time.Since(start)))
+			if err != nil {
+				return fmt.Errorf("kvstore: sync page %d: %w", fp.id, err)
+			}
+			p.writes.Add(1)
+			// Clear dirty only while the entry still holds the buffer we
+			// just wrote; a commit that superseded it mid-flush must stay
+			// dirty for the next batch (its image is in neither the WAL nor
+			// the file yet).
+			s := p.shardOf(fp.id)
+			lockTimed(&s.mu, shardLockWait)
+			if &fp.c.buf[0] == &fp.buf[0] {
+				fp.c.dirty = false
+			}
+			s.mu.Unlock()
+		}
+	} else {
+		// Without the WAL there is no atomicity contract: flush whatever
+		// each page's current committed buffer is (evictions may already
+		// have written — or even dropped — some of them).
+		for _, fp := range batch {
+			s := p.shardOf(fp.id)
+			lockTimed(&s.mu, shardLockWait)
+			if c, ok := s.cache[fp.id]; ok && c.dirty {
+				if err := p.flushLocked(c); err != nil {
+					s.mu.Unlock()
+					return fmt.Errorf("kvstore: sync page %d: %w", fp.id, err)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	if err := fsyncTimed(p.file, fileFsyncTime); err != nil {
+		return err
+	}
+	if p.durable && len(batch) > 0 {
+		if err := p.walReset(); err != nil {
+			return err
+		}
+	}
+	return p.takeEvictErr()
+}

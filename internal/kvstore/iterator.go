@@ -5,14 +5,21 @@ import (
 	"sync/atomic"
 )
 
-// Iterator walks keys in ascending order. It materializes its position as
-// a stack of (page, index) frames; pages are re-read through the buffer
-// pool, so iteration plays well with eviction. The frames hold decoded
-// snapshots: mutating the tree (Put/Delete) while iterating leaves the
-// iterator on a stale view — finish the scan first, as the store's
-// callers do.
+// Iterator walks keys in ascending order over one MVCC snapshot. It
+// materializes its position as a stack of (page, index) frames; pages
+// are re-read through the snapshot (buffer pool or retained versions),
+// so iteration plays well with eviction and never observes a concurrent
+// commit — the view is frozen at the snapshot's epoch for the whole
+// scan.
+//
+// Iterators obtained from DB.Seek / DB.First own a private snapshot,
+// released automatically when the scan is exhausted or errors; call
+// Close to release it early (stopping mid-scan). Iterators from
+// Snapshot.Seek / Snapshot.First borrow the caller's snapshot and never
+// close it.
 type Iterator struct {
-	db    *DB
+	snap  *Snapshot
+	owned bool // close snap when the scan ends
 	stack []frame
 	err   error
 	key   []byte
@@ -26,16 +33,29 @@ type frame struct {
 	idx int
 }
 
-// Seek positions the iterator at the smallest key >= target. The
-// iterator is not synchronized against writers; use Ascend/AscendPrefix
-// (which hold the store's read lock for the whole scan) when Puts may
-// run concurrently.
+// Seek positions a new iterator at the smallest key >= target, on a
+// snapshot of the current committed state. The iterator's view is fixed
+// at that instant: concurrent writers proceed without blocking it and
+// without becoming visible to it.
 func (db *DB) Seek(target []byte) *Iterator {
-	atomic.AddInt64(&db.seeks, 1)
-	it := &Iterator{db: db}
-	id := db.root
+	it := db.OpenSnapshot().Seek(target)
+	it.owned = true
+	it.maybeAutoClose()
+	return it
+}
+
+// First positions a new iterator at the smallest key (see Seek).
+func (db *DB) First() *Iterator { return db.Seek(nil) }
+
+// Seek positions an iterator at the smallest key >= target as of the
+// snapshot's epoch. The iterator borrows the snapshot: closing is the
+// caller's business, and multiple iterators may share one snapshot.
+func (s *Snapshot) Seek(target []byte) *Iterator {
+	atomic.AddInt64(&s.db.seeks, 1)
+	it := &Iterator{snap: s}
+	id := s.root
 	for {
-		n, err := db.readNode(id)
+		n, err := s.readNode(id)
 		if err != nil {
 			it.err = err
 			return it
@@ -52,8 +72,8 @@ func (db *DB) Seek(target []byte) *Iterator {
 	}
 }
 
-// First positions the iterator at the smallest key.
-func (db *DB) First() *Iterator { return db.Seek(nil) }
+// First positions an iterator at the snapshot's smallest key.
+func (s *Snapshot) First() *Iterator { return s.Seek(nil) }
 
 // settle loads the current entry, popping exhausted frames and descending
 // into following subtrees until it finds a leaf entry or the end.
@@ -80,7 +100,7 @@ func (it *Iterator) settle() {
 			}
 			continue
 		}
-		child, err := it.db.readNode(top.n.children[top.idx])
+		child, err := it.snap.readNode(top.n.children[top.idx])
 		if err != nil {
 			it.err = err
 			it.valid = false
@@ -93,21 +113,42 @@ func (it *Iterator) settle() {
 			// chain into the buffer pool ahead of the cursor. Seek's
 			// initial leaf never prefetches — a scan that ends inside
 			// its first leaf (point-ish lookups, early callback stops)
-			// reads nothing beyond its own root-to-leaf path.
-			it.db.maybeReadAhead(child)
+			// reads nothing beyond its own root-to-leaf path. The chain
+			// walked is the *current* committed one — read-ahead is
+			// purely advisory (it only warms the pool), so a sibling
+			// pointer that moved since the snapshot's epoch costs at
+			// worst a useless prefetch, never a wrong result.
+			it.snap.db.maybeReadAhead(child)
 		}
 	}
 	it.valid = false
 }
 
 // maybeReadAhead prefetches up to db.readAhead leaf pages following n's
-// sibling chain. It runs under whatever lock the scan holds (Ascend and
-// AscendPrefix hold the store's read lock), so the chain is stable.
+// sibling chain into the buffer pool.
 func (db *DB) maybeReadAhead(n *node) {
 	if db.readAhead <= 0 || n.next == 0 {
 		return
 	}
 	db.pager.readAhead(n.next, db.readAhead, pageLeaf)
+}
+
+// maybeAutoClose releases an owned snapshot once the scan can make no
+// further progress (exhausted or failed), so the common
+// iterate-to-the-end pattern needs no explicit Close.
+func (it *Iterator) maybeAutoClose() {
+	if it.owned && (!it.valid || it.err != nil) {
+		it.snap.Close() // idempotent
+	}
+}
+
+// Close releases the iterator's snapshot if it owns one (iterators from
+// DB.Seek / DB.First). Harmless to call more than once, or on an
+// iterator that borrows a caller-managed snapshot.
+func (it *Iterator) Close() {
+	if it.owned {
+		it.snap.Close()
+	}
 }
 
 // Valid reports whether the iterator is positioned at an entry.
@@ -130,16 +171,25 @@ func (it *Iterator) Next() {
 	it.stack[len(it.stack)-1].idx++
 	it.valid = false
 	it.settle()
+	it.maybeAutoClose()
 }
 
 // Ascend calls fn for every key in [start, end) in order; a nil end means
-// "to the last key". fn returning false stops the scan. The scan holds
-// the store's read lock, so it sees a consistent tree even with
-// concurrent writers; fn must not mutate the store.
+// "to the last key". fn returning false stops the scan. The whole scan
+// runs on one snapshot, so it sees a consistent tree even with
+// concurrent writers — without blocking them; fn must not mutate the
+// store (a mutation would simply not be seen, but the restriction keeps
+// the contract obvious).
 func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
-	rlockTimed(&db.mu, dbRLockWait)
-	defer db.mu.RUnlock()
-	it := db.Seek(start)
+	s := db.OpenSnapshot()
+	defer s.Close()
+	return s.Ascend(start, end, fn)
+}
+
+// Ascend calls fn for every key in [start, end) as of the snapshot's
+// epoch (see DB.Ascend).
+func (s *Snapshot) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
+	it := s.Seek(start)
 	for it.Valid() {
 		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
 			break
@@ -153,11 +203,17 @@ func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
 }
 
 // AscendPrefix calls fn for every key with the given prefix, in order,
-// under the store's read lock (see Ascend).
+// on one snapshot (see Ascend).
 func (db *DB) AscendPrefix(prefix []byte, fn func(k, v []byte) bool) error {
-	rlockTimed(&db.mu, dbRLockWait)
-	defer db.mu.RUnlock()
-	it := db.Seek(prefix)
+	s := db.OpenSnapshot()
+	defer s.Close()
+	return s.AscendPrefix(prefix, fn)
+}
+
+// AscendPrefix calls fn for every key with the given prefix as of the
+// snapshot's epoch.
+func (s *Snapshot) AscendPrefix(prefix []byte, fn func(k, v []byte) bool) error {
+	it := s.Seek(prefix)
 	for it.Valid() {
 		if !bytes.HasPrefix(it.Key(), prefix) {
 			break

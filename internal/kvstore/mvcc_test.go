@@ -1,0 +1,252 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotStableAcrossCommits: a snapshot keeps answering from its
+// epoch no matter how many commits land after it opened.
+func TestSnapshotStableAcrossCommits(t *testing.T) {
+	db := OpenMemory(nil)
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	s := db.OpenSnapshot()
+	defer s.Close()
+	e := s.Epoch()
+	for i := 1; i <= 100; i++ {
+		if err := db.Put([]byte("k"), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok, err := s.Get([]byte("k")); err != nil || !ok || string(v) != "v0" {
+		t.Fatalf("snapshot Get = %q, %v, %v; want frozen v0", v, ok, err)
+	}
+	if s.Epoch() != e {
+		t.Fatalf("snapshot epoch moved: %d -> %d", e, s.Epoch())
+	}
+	if v, _, _ := db.Get([]byte("k")); string(v) != "v100" {
+		t.Fatalf("committed Get = %q, want v100", v)
+	}
+}
+
+// TestSnapshotEpochIsolation runs 8 snapshot readers against a
+// committing writer under -race. The writer commits rounds where every
+// key of the round carries the same round number (one PutBatch = one
+// epoch); a reader that opens a snapshot must see a single uniform
+// round across all keys — a mixed view would mean it straddled a
+// commit — and re-reads through the same snapshot must stay identical.
+func TestSnapshotEpochIsolation(t *testing.T) {
+	db := OpenMemory(&Options{CachePages: 32}) // small pool: force version retention + disk-less eviction
+	defer db.Close()
+	const (
+		keys    = 16
+		rounds  = 200
+		readers = 8
+	)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key%02d", i)) }
+	commit := func(round int) error {
+		ks := make([][]byte, keys)
+		vs := make([][]byte, keys)
+		for i := range ks {
+			ks[i] = key(i)
+			vs[i] = []byte(fmt.Sprintf("round%06d", round))
+		}
+		return db.PutBatch(ks, vs)
+	}
+	if err := commit(0); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s := db.OpenSnapshot()
+				var first []byte
+				for i := 0; i < keys; i++ {
+					v, ok, err := s.Get(key(i))
+					if err != nil || !ok {
+						errs <- fmt.Errorf("snapshot Get(%s) = %v, %v", key(i), ok, err)
+						s.Close()
+						return
+					}
+					if first == nil {
+						first = append([]byte(nil), v...)
+					} else if !bytes.Equal(first, v) {
+						errs <- fmt.Errorf("epoch %d: torn view: key00=%s but %s=%s", s.Epoch(), first, key(i), v)
+						s.Close()
+						return
+					}
+				}
+				// Re-read through the same snapshot: must be unchanged even
+				// though the writer kept committing meanwhile.
+				if v, _, _ := s.Get(key(0)); !bytes.Equal(v, first) {
+					errs <- fmt.Errorf("epoch %d: re-read moved: %s -> %s", s.Epoch(), first, v)
+					s.Close()
+					return
+				}
+				s.Close()
+			}
+		}()
+	}
+	for round := 1; round <= rounds; round++ {
+		if err := commit(round); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// With every snapshot closed, retained versions must drain to zero on
+	// the next close cycle (the last Close prunes to the committed epoch).
+	s := db.OpenSnapshot()
+	s.Close()
+	st := db.Stats()
+	if st.SnapshotsOpen != 0 {
+		t.Errorf("SnapshotsOpen = %d after all closes", st.SnapshotsOpen)
+	}
+	if st.PagesRetained != 0 {
+		t.Errorf("PagesRetained = %d after all snapshots closed, want 0", st.PagesRetained)
+	}
+	if st.Epoch < int64(rounds) {
+		t.Errorf("Epoch = %d, want >= %d", st.Epoch, rounds)
+	}
+}
+
+// TestSnapshotSeesRetainedIterator: an iterator opened before a burst of
+// commits scans the old tree even after its pages were superseded and
+// the tree regrew elsewhere.
+func TestSnapshotIteratorFrozen(t *testing.T) {
+	db := OpenMemory(&Options{CachePages: 16})
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("a%03d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := db.OpenSnapshot()
+	defer s.Close()
+	// Supersede everything: overwrite all values and add new keys.
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("a%03d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Put([]byte(fmt.Sprintf("z%03d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := s.Ascend(nil, nil, func(k, v []byte) bool {
+		if string(v) != "old" {
+			t.Errorf("snapshot scan saw %s=%s", k, v)
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Errorf("snapshot scan saw %d keys, want 50", count)
+	}
+	// The committed view sees all 100.
+	count = 0
+	if err := db.Ascend(nil, nil, func(k, v []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("committed scan saw %d keys, want 100", count)
+	}
+}
+
+// TestSnapshotCloseIdempotent: double-Close must not unbalance the pin
+// registry.
+func TestSnapshotCloseIdempotent(t *testing.T) {
+	db := OpenMemory(nil)
+	defer db.Close()
+	s1 := db.OpenSnapshot()
+	s2 := db.OpenSnapshot()
+	s1.Close()
+	s1.Close()
+	if got := db.Stats().SnapshotsOpen; got != 1 {
+		t.Fatalf("SnapshotsOpen = %d after double close, want 1", got)
+	}
+	s2.Close()
+	if got := db.Stats().SnapshotsOpen; got != 0 {
+		t.Fatalf("SnapshotsOpen = %d, want 0", got)
+	}
+}
+
+// TestIteratorCloseEarly: abandoning an owned iterator mid-scan via
+// Close releases its snapshot pin.
+func TestIteratorCloseEarly(t *testing.T) {
+	db := OpenMemory(nil)
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := db.First()
+	if !it.Valid() {
+		t.Fatal("iterator empty")
+	}
+	if got := db.Stats().SnapshotsOpen; got != 1 {
+		t.Fatalf("SnapshotsOpen = %d mid-scan, want 1", got)
+	}
+	it.Close()
+	it.Close()
+	if got := db.Stats().SnapshotsOpen; got != 0 {
+		t.Fatalf("SnapshotsOpen = %d after Close, want 0", got)
+	}
+	// Iterating to exhaustion auto-closes.
+	for it2 := db.First(); it2.Valid(); it2.Next() {
+	}
+	if got := db.Stats().SnapshotsOpen; got != 0 {
+		t.Fatalf("SnapshotsOpen = %d after exhausted scan, want 0", got)
+	}
+}
+
+// TestAbortedTxnInvisible: a failed mutation publishes nothing — the
+// committed state and epoch are untouched.
+func TestAbortedTxnInvisible(t *testing.T) {
+	db := OpenMemory(nil)
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats().Epoch
+	big := make([]byte, MaxValueSize+1)
+	if err := db.Put([]byte("k2"), big); err == nil {
+		t.Fatal("oversized put succeeded")
+	}
+	if err := db.PutBatch([][]byte{[]byte("x")}, [][]byte{[]byte("y"), []byte("z")}); err == nil {
+		t.Fatal("mismatched batch succeeded")
+	}
+	if got := db.Stats().Epoch; got != before {
+		t.Fatalf("failed mutations moved the epoch: %d -> %d", before, got)
+	}
+	if _, ok, _ := db.Get([]byte("k2")); ok {
+		t.Fatal("aborted key visible")
+	}
+	// Deleting an absent key is a committed no-op: same epoch.
+	if err := db.Delete([]byte("absent")); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Epoch; got != before {
+		t.Fatalf("no-op delete moved the epoch: %d -> %d", before, got)
+	}
+}

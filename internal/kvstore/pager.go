@@ -3,8 +3,10 @@
 // paper's architecture (Section VIII). It provides ordered iteration
 // (needed for the TypeToSequence scans of the renderer), a sharded buffer
 // pool with per-shard LRU eviction, scan read-ahead over leaf sibling
-// pointers, an optional write-ahead log that makes Sync a crash-atomic
-// commit (see wal.go), and block read/write counters that the benchmark
+// pointers, MVCC snapshot reads over copy-on-write page versions (see
+// mvcc.go), a group-committing write-ahead log that makes Sync a
+// crash-atomic commit shared between concurrent callers (see wal.go and
+// groupcommit.go), and block read/write counters that the benchmark
 // harness samples to regenerate the paper's vmstat figures (Figs. 11-12).
 package kvstore
 
@@ -12,7 +14,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,9 +62,10 @@ type Stats struct {
 	// read-ahead (a subset of CacheMisses/BlocksRead).
 	ReadAheads int64
 	// WALBytes counts bytes appended to the write-ahead log (durable
-	// stores only); WALCommits counts Syncs that completed the full
-	// log-then-in-place commit protocol. Recoveries is 1 when Open found
-	// a complete log from an interrupted commit and replayed it, else 0.
+	// stores only); WALCommits counts flush batches that completed the
+	// full log-then-in-place commit protocol. Recoveries is 1 when Open
+	// found a complete log from an interrupted commit and replayed it,
+	// else 0.
 	WALBytes   int64
 	WALCommits int64
 	Recoveries int64
@@ -78,6 +80,24 @@ type Stats struct {
 	// through PutBatch. Both are subsets of Puts.
 	FastPathHits int64
 	BatchedPuts  int64
+	// MVCC counters: SnapshotsOpen is the number of snapshots currently
+	// pinning an epoch; Epoch is the last committed epoch; PagesRetained
+	// is the number of superseded page images currently held for open
+	// snapshots; PagesRetired counts superseded images released after
+	// their last pinning snapshot closed.
+	SnapshotsOpen int64
+	Epoch         int64
+	PagesRetained int64
+	PagesRetired  int64
+	// Group-commit counters: SyncCalls counts Sync invocations,
+	// GroupCommits counts leader-run flush batches (SyncCalls divided by
+	// GroupCommits is the mean group size), and WALFsyncs counts
+	// commit-record fsyncs — the durability-critical device round-trip.
+	// Under concurrent committers WALFsyncs stays below SyncCalls: one
+	// leader fsync covers the whole group.
+	SyncCalls    int64
+	GroupCommits int64
+	WALFsyncs    int64
 }
 
 // HitRatio is the buffer-pool hit ratio over page lookups, in [0, 1];
@@ -105,18 +125,30 @@ type shard struct {
 //
 // Locking: each page id maps to exactly one shard and every access to a
 // page's cache entry happens under that shard's mutex; at most one shard
-// mutex is ever held at a time (read-ahead walks the leaf chain one page
-// — one shard lock — at a time), so shard locks cannot deadlock. npages
-// and all counters are atomics. The mem slice and file growth (alloc)
-// are serialized by the DB's write lock: alloc is only reached from
-// mutations, which the B+tree runs under db.mu held exclusively, while
-// readers (holding db.mu read-locked) only index mem at existing pages.
-// sync also runs under the exclusive DB lock, which is what lets it
-// collect the dirty set and clear dirty flags without racing anyone.
+// mutex is ever held at a time by readers (read-ahead walks the leaf
+// chain one page — one shard lock — at a time), so shard locks cannot
+// deadlock. npages and all counters are atomics.
+//
+// Page buffers are immutable: install replaces a cache entry's buf
+// pointer with a freshly serialized image and never copies into a live
+// buffer, so a snapshot reader that obtained the old slice keeps a
+// consistent pre-commit image without holding any lock. Each entry is
+// stamped with the epoch of the commit that installed it (disk fetches
+// stamp the current committed epoch, a conservative upper bound); the
+// snapshot read path compares that stamp against its own epoch to decide
+// whether to consult the retained-version table (mvcc.go).
+//
+// The mem slice of the memory backend is guarded by memMu (it is
+// appended to at commit publish and indexed by concurrent lock-free
+// readers). File growth is logical only — npages is stored at commit
+// publish under the DB's publishMu, so a write-ahead-log commit record
+// always names a page count consistent with the batch it covers.
 type pager struct {
-	file   File     // nil for the memory backend
-	mem    [][]byte // memory backend pages
+	file   File // nil for the memory backend
+	memMu  sync.Mutex
+	mem    [][]byte // memory backend pages, guarded by memMu
 	npages atomic.Uint32
+	epoch  atomic.Uint64 // last committed epoch (mirror of DB.epoch)
 	shards [numShards]shard
 
 	// Durability state: fs opens the write-ahead log lazily at walPath
@@ -133,21 +165,29 @@ type pager struct {
 	evictMu  sync.Mutex
 	evictErr error
 
-	reads      atomic.Int64
-	writes     atomic.Int64
-	ioNanos    atomic.Int64
-	hits       atomic.Int64
-	misses     atomic.Int64
-	evictions  atomic.Int64
-	readAheads atomic.Int64
-	walBytes   atomic.Int64
-	walCommits atomic.Int64
-	recoveries atomic.Int64
+	reads        atomic.Int64
+	writes       atomic.Int64
+	ioNanos      atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	evictions    atomic.Int64
+	readAheads   atomic.Int64
+	walBytes     atomic.Int64
+	walCommits   atomic.Int64
+	recoveries   atomic.Int64
+	syncCalls    atomic.Int64
+	groupCommits atomic.Int64
+	walFsyncs    atomic.Int64
 }
 
+// cached is one buffer-pool entry. buf is immutable once installed —
+// commits swap the pointer, never the bytes — and epoch records which
+// commit installed it (or the committed epoch at fetch time, an upper
+// bound, for pages loaded from the backing store).
 type cached struct {
 	id         uint32
 	buf        []byte
+	epoch      uint64
 	dirty      bool
 	prev, next *cached
 }
@@ -180,14 +220,17 @@ func newPager(f File, capacity int) (*pager, error) {
 
 func (p *pager) shardOf(id uint32) *shard { return &p.shards[id&(numShards-1)] }
 
-// alloc appends a fresh zeroed page and returns its id. Callers hold the
-// DB write lock (allocation only happens during mutations), which is
-// what serializes npages growth against the mem slice append.
+// alloc appends a fresh zeroed page and returns its id. It is only used
+// while initializing an empty store (before any concurrency exists);
+// writer transactions allocate privately and publish their page count at
+// commit (DB.walloc / commitWrite).
 func (p *pager) alloc() uint32 {
 	id := p.npages.Add(1) - 1
 	c := &cached{id: id, buf: make([]byte, PageSize), dirty: true}
 	if p.file == nil {
+		p.memMu.Lock()
 		p.mem = append(p.mem, nil)
+		p.memMu.Unlock()
 	}
 	s := p.shardOf(id)
 	lockTimed(&s.mu, shardLockWait)
@@ -196,24 +239,46 @@ func (p *pager) alloc() uint32 {
 	return id
 }
 
-// read returns the page buffer; the caller must not retain it across other
-// pager calls unless it pins the cache by holding no more than capacity
-// pages (the B+tree copies what it needs).
+// setNpages publishes a committed page count, growing the memory
+// backend's slice to cover it. Called under the DB's publishMu.
+func (p *pager) setNpages(n uint32) {
+	if p.file == nil {
+		p.memMu.Lock()
+		for uint32(len(p.mem)) < n {
+			p.mem = append(p.mem, nil)
+		}
+		p.memMu.Unlock()
+	}
+	p.npages.Store(n)
+}
+
+// read returns the current committed page buffer. The buffer is
+// immutable — callers may retain and decode it without any lock.
 func (p *pager) read(id uint32) ([]byte, error) {
+	buf, _, err := p.readStamped(id)
+	return buf, err
+}
+
+// readStamped returns the current page buffer plus the epoch stamp of
+// the commit that installed it. Pages fetched from the backing store are
+// stamped with the committed epoch at fetch time — an upper bound on the
+// image's true epoch, which at worst sends a snapshot reader on a
+// harmless retained-version lookup that finds nothing.
+func (p *pager) readStamped(id uint32) ([]byte, uint64, error) {
 	s := p.shardOf(id)
 	lockTimed(&s.mu, shardLockWait)
 	defer s.mu.Unlock()
 	if c, ok := s.cache[id]; ok {
 		p.hits.Add(1)
 		p.touchLocked(s, c)
-		return c.buf, nil
+		return c.buf, c.epoch, nil
 	}
 	p.misses.Add(1)
 	c, err := p.fetchLocked(s, id)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return c.buf, nil
+	return c.buf, c.epoch, nil
 }
 
 // fetchLocked loads a page absent from the pool from the backing store
@@ -230,11 +295,17 @@ func (p *pager) fetchLocked(s *shard, id uint32) (*cached, error) {
 		if err != nil && err != io.EOF {
 			return nil, fmt.Errorf("kvstore: read page %d: %w", id, err)
 		}
-	} else if p.mem[id] != nil {
-		copy(buf, p.mem[id])
+	} else {
+		p.memMu.Lock()
+		if p.mem[id] != nil {
+			copy(buf, p.mem[id])
+		}
+		p.memMu.Unlock()
 	}
 	p.reads.Add(1)
-	c := &cached{id: id, buf: buf}
+	// Stamp after the backing read: the image on stable storage can be no
+	// newer than the committed epoch observed afterwards.
+	c := &cached{id: id, buf: buf, epoch: p.epoch.Load()}
 	p.insertLocked(s, c)
 	return c, nil
 }
@@ -246,6 +317,9 @@ func (p *pager) fetchLocked(s *shard, id uint32) (*cached, error) {
 // of the chain, at a non-leaf page (possible only on corruption), or on
 // any I/O error — read-ahead is advisory, so errors are left for the
 // scan itself to rediscover and report. It locks one shard at a time.
+// The chain it follows is the *current* committed one; a snapshot scan
+// over an older epoch still benefits for every leaf the two epochs
+// share, and a stray prefetch only warms the pool.
 func (p *pager) readAhead(id uint32, k int, leafType byte) {
 	for i := 0; i < k && id != 0; i++ {
 		if id >= p.npages.Load() {
@@ -273,23 +347,26 @@ func (p *pager) readAhead(id uint32, k int, leafType byte) {
 	}
 }
 
-// write replaces a page's contents and marks it dirty.
-func (p *pager) write(id uint32, buf []byte) error {
+// install publishes a committed page image into the pool, marking it
+// dirty for the next flush. The entry's buffer pointer is replaced —
+// never written through — so readers holding the previous buffer keep a
+// consistent image; epoch stamps which commit produced it. Callers hold
+// the DB's publishMu (commits and initialization), which also keeps the
+// flush collector from observing half a transaction.
+func (p *pager) install(id uint32, buf []byte, epoch uint64) {
 	s := p.shardOf(id)
 	lockTimed(&s.mu, shardLockWait)
-	defer s.mu.Unlock()
 	if c, ok := s.cache[id]; ok {
-		copy(c.buf, buf)
+		c.buf = buf
+		c.epoch = epoch
 		c.dirty = true
 		p.touchLocked(s, c)
-		return nil
+		s.mu.Unlock()
+		return
 	}
-	if id >= p.npages.Load() {
-		return fmt.Errorf("kvstore: write page %d out of range", id)
-	}
-	c := &cached{id: id, buf: append(make([]byte, 0, PageSize), buf...), dirty: true}
+	c := &cached{id: id, buf: buf, epoch: epoch, dirty: true}
 	p.insertLocked(s, c)
-	return nil
+	s.mu.Unlock()
 }
 
 // insertLocked adds a page at the shard's LRU head, evicting if over
@@ -395,9 +472,10 @@ func (s *shard) unlink(c *cached) {
 	c.prev, c.next = nil, nil
 }
 
-// flushLocked writes one page back to the backing store (page stays
-// cached; the caller decides whether to evict). Callers hold the page's
-// shard mutex.
+// flushLocked writes one page's current buffer back to the backing store
+// (page stays cached; the caller decides whether to evict). Callers hold
+// the page's shard mutex, which pins the buffer pointer for the duration
+// of the write; the buffer itself is immutable.
 func (p *pager) flushLocked(c *cached) error {
 	if p.file != nil {
 		start := time.Now()
@@ -407,64 +485,13 @@ func (p *pager) flushLocked(c *cached) error {
 			return err
 		}
 	} else {
+		p.memMu.Lock()
 		p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
+		p.memMu.Unlock()
 	}
 	p.writes.Add(1)
 	c.dirty = false
 	return nil
-}
-
-// sync makes every dirty page durable. It runs under the DB's exclusive
-// lock, so the dirty set is stable: collect it (sorted by page id, for a
-// deterministic write order the crash sweep can replay), commit it to
-// the write-ahead log when durability is on, write the pages in place,
-// fsync, and finally truncate the log. Any deferred eviction write error
-// is surfaced after the flush succeeds.
-func (p *pager) sync() error {
-	var dirty []*cached
-	for i := range p.shards {
-		s := &p.shards[i]
-		lockTimed(&s.mu, shardLockWait)
-		for _, c := range s.cache {
-			if c.dirty {
-				dirty = append(dirty, c)
-			}
-		}
-		s.mu.Unlock()
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
-	if p.file == nil {
-		for _, c := range dirty {
-			p.mem[c.id] = append(make([]byte, 0, PageSize), c.buf...)
-			p.writes.Add(1)
-			c.dirty = false
-		}
-		return nil
-	}
-	if p.durable && len(dirty) > 0 {
-		if err := p.walCommit(dirty); err != nil {
-			return err
-		}
-	}
-	for _, c := range dirty {
-		start := time.Now()
-		_, err := p.file.WriteAt(c.buf, int64(c.id)*PageSize)
-		p.ioNanos.Add(int64(time.Since(start)))
-		if err != nil {
-			return fmt.Errorf("kvstore: sync page %d: %w", c.id, err)
-		}
-		p.writes.Add(1)
-		c.dirty = false
-	}
-	if err := fsyncTimed(p.file, fileFsyncTime); err != nil {
-		return err
-	}
-	if p.durable && len(dirty) > 0 {
-		if err := p.walReset(); err != nil {
-			return err
-		}
-	}
-	return p.takeEvictErr()
 }
 
 // close releases the file handles (the DB syncs first).
@@ -494,5 +521,9 @@ func (p *pager) stats() Stats {
 		WALBytes:      p.walBytes.Load(),
 		WALCommits:    p.walCommits.Load(),
 		Recoveries:    p.recoveries.Load(),
+		Epoch:         int64(p.epoch.Load()),
+		SyncCalls:     p.syncCalls.Load(),
+		GroupCommits:  p.groupCommits.Load(),
+		WALFsyncs:     p.walFsyncs.Load(),
 	}
 }

@@ -198,11 +198,17 @@ func recoverWAL(fs VFS, path string, db File) (bool, error) {
 	return len(batches) > 0, nil
 }
 
-// walCommit makes a batch of dirty pages durable in the log: header,
-// one page record each, commit record, fsync. Called by pager.sync
+// walCommit makes a flush batch durable in the log: header, one page
+// record each, commit record, fsync. Called by the group-commit leader
 // before any in-place write; the log was left empty by the previous
-// commit (or recovery), so the batch starts at offset 0.
-func (p *pager) walCommit(dirty []*cached) error {
+// commit (or recovery), so the batch starts at offset 0. The page images
+// and the committed page count were captured together under the DB's
+// publishMu, so the batch is a consistent cut: a transaction's pages are
+// either all in the batch or all left for the next one, and npages never
+// exceeds what replay's growth bound allows. The single fsync here is
+// the durability point the whole group of committers shares (WALFsyncs
+// counts exactly these).
+func (p *pager) walCommit(batch []flushPage, npages uint32) error {
 	if p.wal == nil {
 		w, err := p.fs.OpenFile(p.walPath, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
@@ -222,17 +228,18 @@ func (p *pager) walCommit(dirty []*cached) error {
 	if err := put([]byte(walMagic)); err != nil {
 		return err
 	}
-	for _, c := range dirty {
-		if err := put(walEncodePage(c.id, c.buf)); err != nil {
+	for _, fp := range batch {
+		if err := put(walEncodePage(fp.id, fp.buf)); err != nil {
 			return err
 		}
 	}
-	if err := put(walEncodeCommit(uint32(len(dirty)), p.npages.Load())); err != nil {
+	if err := put(walEncodeCommit(uint32(len(batch)), npages)); err != nil {
 		return err
 	}
 	if err := fsyncTimed(p.wal, walFsyncTime); err != nil {
 		return fmt.Errorf("kvstore: wal sync: %w", err)
 	}
+	p.walFsyncs.Add(1)
 	return nil
 }
 

@@ -95,6 +95,14 @@ var WaitBuckets = []float64{
 	0.1, 0.25, 0.5, 1,
 }
 
+// GroupSizeBuckets are histogram bounds for group-commit batch sizes —
+// how many Sync callers shared one flush. Sizes are small integers, so
+// the buckets are unit-ish steps: a p50 above 1 means fsyncs are being
+// amortized across committers.
+var GroupSizeBuckets = []float64{
+	1, 2, 3, 4, 6, 8, 12, 16, 24, 32,
+}
+
 // Histogram is a fixed-bucket histogram. Bucket i counts observations v
 // with v <= Bounds[i] (and > Bounds[i-1]); one extra overflow bucket
 // counts everything above the last bound. Observe is lock-free.

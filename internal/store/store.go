@@ -113,11 +113,53 @@ func OpenMemory(opts ...Option) *Store {
 // Close flushes and closes the underlying store.
 func (s *Store) Close() error { return s.db.Close() }
 
-// Sync flushes dirty pages.
+// Sync flushes dirty pages. Concurrent Syncs share one group commit.
 func (s *Store) Sync() error { return s.db.Sync() }
 
 // Stats returns the underlying block I/O counters.
 func (s *Store) Stats() kvstore.Stats { return s.db.Stats() }
+
+// reader is the read surface the store's lookups run on: either the live
+// DB (each Get/scan runs on its own implicit snapshot) or one pinned
+// kvstore.Snapshot (a View's frozen epoch).
+type reader interface {
+	Get(key []byte) ([]byte, bool, error)
+	AscendPrefix(prefix []byte, fn func(k, v []byte) bool) error
+}
+
+// View is a consistent read-only view of the whole store at one committed
+// epoch: every lookup and scan through it — documents, shapes, node
+// sequences — answers from the same instant, no matter how many shreds or
+// drops commit meanwhile, and none of them wait for writers. Views are
+// cheap (an epoch pin, no copying) but must be Closed so superseded pages
+// can retire; Close is idempotent. A View is safe for concurrent use.
+type View struct {
+	s    *Store
+	snap *kvstore.Snapshot
+}
+
+// View pins the current committed state.
+func (s *Store) View() *View { return &View{s: s, snap: s.db.OpenSnapshot()} }
+
+// Close releases the view's snapshot pin.
+func (v *View) Close() { v.snap.Close() }
+
+// Epoch identifies the committed state the view observes.
+func (v *View) Epoch() uint64 { return v.snap.Epoch() }
+
+// DocVersion returns a document's shred version as of the view.
+func (v *View) DocVersion(name string) (uint32, bool, error) { return docIDIn(v.snap, name) }
+
+// Documents lists the view's document names, sorted.
+func (v *View) Documents() ([]string, error) { return documentsIn(v.snap) }
+
+// Shape loads a document's adorned shape as of the view.
+func (v *View) Shape(name string) (*shape.Shape, error) { return shapeIn(v.snap, name) }
+
+// Doc opens a lazy document view frozen at the view's epoch; its node
+// sequences stay loadable (and consistent) for as long as the View is
+// open.
+func (v *View) Doc(name string) (*Doc, error) { return docIn(v.snap, name) }
 
 func docKey(name string) []byte { return append([]byte{'D'}, name...) }
 
@@ -197,11 +239,11 @@ func (s *Store) putBlob(key []byte, val []byte) error {
 	return nil
 }
 
-// getBlob reassembles a chunked value.
-func (s *Store) getBlob(key []byte) ([]byte, bool, error) {
+// getBlob reassembles a chunked value through r.
+func getBlob(r reader, key []byte) ([]byte, bool, error) {
 	ck := make([]byte, len(key)+2)
 	copy(ck, key)
-	first, ok, err := s.db.Get(ck)
+	first, ok, err := r.Get(ck)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
@@ -212,7 +254,7 @@ func (s *Store) getBlob(key []byte) ([]byte, bool, error) {
 	out := append([]byte(nil), first[2:]...)
 	for i := 1; i < n; i++ {
 		binary.BigEndian.PutUint16(ck[len(key):], uint16(i))
-		chunk, ok, err := s.db.Get(ck)
+		chunk, ok, err := r.Get(ck)
 		if err != nil {
 			return nil, false, err
 		}
@@ -224,9 +266,9 @@ func (s *Store) getBlob(key []byte) ([]byte, bool, error) {
 	return out, true, nil
 }
 
-// docID resolves a stored document's id.
-func (s *Store) docID(name string) (uint32, bool, error) {
-	v, ok, err := s.db.Get(docKey(name))
+// docIDIn resolves a stored document's id through r.
+func docIDIn(r reader, name string) (uint32, bool, error) {
+	v, ok, err := r.Get(docKey(name))
 	if err != nil || !ok {
 		return 0, ok, err
 	}
@@ -236,16 +278,19 @@ func (s *Store) docID(name string) (uint32, bool, error) {
 	return binary.BigEndian.Uint32(v), true, nil
 }
 
+// docID resolves a stored document's id against the committed state.
+func (s *Store) docID(name string) (uint32, bool, error) { return docIDIn(s.db, name) }
+
 // DocVersion returns a document's shred version: its internal docID,
 // which the store never reuses (drop + re-shred assigns a fresh id from a
 // monotonic counter). Compiled-guard caches key on it so a re-shredded
 // document invalidates every cached compilation against its old shape.
 func (s *Store) DocVersion(name string) (uint32, bool, error) { return s.docID(name) }
 
-// Documents lists the stored document names, sorted.
-func (s *Store) Documents() ([]string, error) {
+// documentsIn lists the document names visible through r, sorted.
+func documentsIn(r reader) ([]string, error) {
 	var names []string
-	err := s.db.AscendPrefix([]byte{'D'}, func(k, v []byte) bool {
+	err := r.AscendPrefix([]byte{'D'}, func(k, v []byte) bool {
 		names = append(names, string(k[1:]))
 		return true
 	})
@@ -253,16 +298,19 @@ func (s *Store) Documents() ([]string, error) {
 	return names, err
 }
 
-// Shape loads a document's adorned shape from the AdornedShapes record.
-func (s *Store) Shape(name string) (*shape.Shape, error) {
-	id, ok, err := s.docID(name)
+// Documents lists the stored document names, sorted.
+func (s *Store) Documents() ([]string, error) { return documentsIn(s.db) }
+
+// shapeIn loads a document's adorned shape through r.
+func shapeIn(r reader, name string) (*shape.Shape, error) {
+	id, ok, err := docIDIn(r, name)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("store: document %q not found", name)
 	}
-	blob, ok, err := s.getBlob(blobKey('S', id))
+	blob, ok, err := getBlob(r, blobKey('S', id))
 	if err != nil {
 		return nil, err
 	}
@@ -272,9 +320,18 @@ func (s *Store) Shape(name string) (*shape.Shape, error) {
 	return decodeShape(string(blob))
 }
 
-// types loads the type registry (typeID = index).
-func (s *Store) types(id uint32) ([]string, error) {
-	blob, ok, err := s.getBlob(blobKey('T', id))
+// Shape loads a document's adorned shape from the AdornedShapes record.
+// The chunked record is read through one view, so a concurrent drop +
+// re-shred cannot tear it.
+func (s *Store) Shape(name string) (*shape.Shape, error) {
+	v := s.View()
+	defer v.Close()
+	return v.Shape(name)
+}
+
+// typesIn loads the type registry (typeID = index) through r.
+func typesIn(r reader, id uint32) ([]string, error) {
+	blob, ok, err := getBlob(r, blobKey('T', id))
 	if err != nil {
 		return nil, err
 	}
@@ -345,8 +402,13 @@ func decodeShape(enc string) (*shape.Shape, error) {
 // Doc is a lazy view over a stored document: type sequences load from the
 // store on first use, so a transformation touches only the key ranges of
 // the types its target mentions. It implements render.Source.
+//
+// A Doc reads through the reader it was opened on: Store.Doc binds to the
+// live store (every lazy load scans a fresh snapshot of the committed
+// state), View.Doc binds to the view's pinned snapshot (every lazy load
+// answers from the view's epoch, for as long as the View stays open).
 type Doc struct {
-	store  *Store
+	r      reader
 	id     uint32
 	name   string
 	typeID map[string]uint32
@@ -355,20 +417,20 @@ type Doc struct {
 	cache  map[string][]*xmltree.Node
 }
 
-// Doc opens a lazy view of a stored document.
-func (s *Store) Doc(name string) (*Doc, error) {
-	id, ok, err := s.docID(name)
+// docIn opens a lazy document view reading through r.
+func docIn(r reader, name string) (*Doc, error) {
+	id, ok, err := docIDIn(r, name)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("store: document %q not found", name)
 	}
-	types, err := s.types(id)
+	types, err := typesIn(r, id)
 	if err != nil {
 		return nil, err
 	}
-	d := &Doc{store: s, id: id, name: name, types: types,
+	d := &Doc{r: r, id: id, name: name, types: types,
 		typeID: make(map[string]uint32, len(types)),
 		cache:  map[string][]*xmltree.Node{}}
 	for i, t := range types {
@@ -376,6 +438,9 @@ func (s *Store) Doc(name string) (*Doc, error) {
 	}
 	return d, nil
 }
+
+// Doc opens a lazy view of a stored document over the live store.
+func (s *Store) Doc(name string) (*Doc, error) { return docIn(s.db, name) }
 
 // Types returns the document's type paths (typeID order).
 func (d *Doc) Types() []string { return d.types }
@@ -418,7 +483,7 @@ func (d *Doc) NodesOfType(t string) []*xmltree.Node {
 			pending = false
 		}
 	}
-	_ = d.store.db.AscendPrefix(prefix, func(k, v []byte) bool {
+	_ = d.r.AscendPrefix(prefix, func(k, v []byte) bool {
 		if len(k) != len(prefix)+4*depth+2 {
 			return true // malformed; skip defensively
 		}
@@ -466,7 +531,7 @@ func (d *Doc) Size() int {
 	prefix[0] = 'N'
 	binary.BigEndian.PutUint32(prefix[1:], d.id)
 	n := 0
-	_ = d.store.db.AscendPrefix(prefix, func(k, v []byte) bool {
+	_ = d.r.AscendPrefix(prefix, func(k, v []byte) bool {
 		if len(k) >= 2 && binary.BigEndian.Uint16(k[len(k)-2:]) == 0 {
 			n++
 		}
