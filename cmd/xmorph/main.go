@@ -31,6 +31,7 @@ import (
 
 	"xmorph/internal/engine"
 	"xmorph/internal/obs"
+	"xmorph/internal/plan"
 )
 
 func main() {
@@ -235,7 +236,7 @@ func dispatch(o options, args []string) error {
 			return err
 		}
 		defer eng.Close()
-		names, err := eng.Docs()
+		names, err := eng.Docs(ctx, root)
 		if err != nil {
 			return err
 		}
@@ -283,7 +284,11 @@ func dispatch(o options, args []string) error {
 			}
 			root.Set("pages-read", res.PagesRead)
 			if !quiet {
-				fmt.Fprintf(os.Stderr, "\n-- streamed %d nodes --\n", res.Streamed)
+				exec := "join-backed"
+				if res.StreamExec {
+					exec = "one-pass"
+				}
+				fmt.Fprintf(os.Stderr, "\n-- plan: %s; streamed %d nodes (%s) --\n", res.Plan, res.Streamed, exec)
 			}
 			return nil
 		}
@@ -328,6 +333,7 @@ func dispatch(o options, args []string) error {
 		}
 		fmt.Printf("-- label-to-type report --\n%s", checked.LabelReport())
 		fmt.Printf("-- information-loss report --\n%s\n", checked.Loss)
+		fmt.Printf("-- streaming plan --\n%s\n", plan.Classify(checked.Plan.ComposedTarget()))
 		fmt.Printf("-- target shape --\n%s", checked.Plan.ComposedTarget())
 		return nil
 

@@ -28,11 +28,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, serve, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, serve, stream, all")
 	factors := flag.String("factors", "", "comma-separated XMark factors (default 0.01..0.05)")
 	hotFactors := flag.String("hotpath-factors", "", "comma-separated XMark factors for -exp hotpath (default 0.2,1.0)")
-	jsonOut := flag.String("json", "", "with -exp hotpath/concurrency: also write the report to this file (e.g. BENCH_hotpath.json)")
+	jsonOut := flag.String("json", "", "with -exp hotpath/concurrency/serve/stream: also write the report to this file (e.g. BENCH_stream.json)")
 	concFactors := flag.String("conc-factors", "", "comma-separated XMark factors for -exp concurrency (default 0.2,1.0)")
+	streamFactors := flag.String("stream-factors", "", "comma-separated XMark factors for -exp stream (default 0.2,1.0)")
 	clients := flag.String("clients", "", "comma-separated client counts for -exp concurrency (default 1,2,4,8)")
 	concWindow := flag.Duration("conc-window", 0, "measurement window per concurrency cell (default 3s)")
 	concCache := flag.Int("conc-cache", 0, "buffer pool pages for -exp concurrency (default 4096)")
@@ -93,6 +94,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.ConcFactors = fs
+	}
+	if *streamFactors != "" {
+		fs, err := parseFloats(*streamFactors)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.StreamFactors = fs
 	}
 	if *clients != "" {
 		ns, err := parseInts(*clients)
@@ -211,6 +219,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 		}
 		fmt.Fprintf(os.Stderr, "concurrency suite took %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// stream is opt-in (not part of "all"): its default factors shred an
+	// XMark factor-1 document and run the full transformation both ways.
+	if *exp == "stream" {
+		start := time.Now()
+		rows, err := bench.RunStream(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.StreamTable(rows))
+		if *jsonOut != "" {
+			if err := bench.StreamReportFor(cfg, rows).WriteJSON(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		fmt.Fprintf(os.Stderr, "stream suite took %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	// serve is opt-in (not part of "all"): it starts the xmorphd handler

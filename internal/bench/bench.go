@@ -39,6 +39,10 @@ type Config struct {
 	// ConcFactors are the RunConcurrency scales; empty means {0.2, 1.0}
 	// (the committed BENCH_concurrency.json numbers).
 	ConcFactors []float64
+	// StreamFactors are the RunStream scales; empty means {0.2, 1.0}
+	// (the committed BENCH_stream.json numbers — CI smoke overrides with
+	// smaller factors).
+	StreamFactors []float64
 	// ConcClients are the RunConcurrency client counts; empty means
 	// {1, 2, 4, 8}.
 	ConcClients []int

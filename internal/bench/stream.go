@@ -1,0 +1,366 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"xmorph/internal/engine"
+	"xmorph/internal/gen/xmark"
+)
+
+// streamGuards are the -exp stream workload: XMark transformations the
+// planner marks streamable, so both executors can run them and the
+// comparison isolates the execution strategy. Each runs twice per scale:
+// exec "stream" (the one-pass executor: scan cursors straight off the
+// kvstore iterator, no join graphs, no result tree) and exec "store" (the
+// join-backed path forced via ExecStore: materialized type sequences,
+// CSR closest-join caches, output streamed).
+var streamGuards = []struct{ name, src string }{
+	{"identity", "CAST MUTATE site"},
+	{"bidders", "CAST MORPH open_auction [ bidder [ increase ] ]"},
+	{"people", "CAST MORPH person [ name emailaddress ] | TRANSLATE person -> individual"},
+}
+
+// StreamRow is one (guard, factor, exec) cell of the streaming-executor
+// comparison. PeakHeapBytes is the headline: sampled live heap above the
+// post-GC baseline while the run was in flight — the one-pass executor's
+// must stay scale-independent, the store-backed path's grows with the
+// document.
+type StreamRow struct {
+	Guard           string  `json:"guard"`
+	Factor          float64 `json:"factor"`
+	Exec            string  `json:"exec"`
+	MsPerOp         float64 `json:"ms_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+	TTFBMicros      float64 `json:"ttfb_us"`
+	BytesOut        int64   `json:"bytes_out"`
+	Nodes           int     `json:"nodes"`
+	SHA256          string  `json:"sha256"`
+	Scans           int     `json:"scans,omitempty"`
+}
+
+// StreamSummary aggregates the acceptance headlines across all cells.
+type StreamSummary struct {
+	// AllocReduction is the worst-case (minimum) store/stream allocs-per-op
+	// ratio over the guards at the largest measured factor — the
+	// scale-representative cell; at tiny factors both paths are
+	// setup-dominated and the ratio says nothing about scaling.
+	AllocReduction float64 `json:"alloc_reduction"`
+	// PeakHeapReduction is the worst-case store/stream peak-heap ratio at
+	// the largest factor (cells too small to register peak are skipped).
+	PeakHeapReduction float64 `json:"peak_heap_reduction"`
+	// StreamPeakHeapGrowth is the one-pass executor's peak heap at the
+	// largest factor divided by its peak at the smallest — near 1 means
+	// constant memory, scale-independent.
+	StreamPeakHeapGrowth float64 `json:"stream_peak_heap_growth"`
+}
+
+// StreamReport is the BENCH_stream.json document.
+type StreamReport struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"go_version"`
+	Factors   []float64     `json:"factors"`
+	Rows      []StreamRow   `json:"rows"`
+	Summary   StreamSummary `json:"summary"`
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *StreamReport) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// streamFactors returns cfg.StreamFactors or the default two scales.
+func (c *Config) streamFactors() []float64 {
+	if len(c.StreamFactors) > 0 {
+		return c.StreamFactors
+	}
+	return []float64{0.2, 1.0}
+}
+
+// ttfbWriter discards output while hashing it, counting bytes, and
+// recording the latency of the first byte out of the executor.
+type ttfbWriter struct {
+	h     hash.Hash
+	n     int64
+	start time.Time
+	ttfb  time.Duration
+}
+
+func (t *ttfbWriter) Write(p []byte) (int, error) {
+	if t.ttfb == 0 && len(p) > 0 {
+		t.ttfb = time.Since(t.start)
+	}
+	t.n += int64(len(p))
+	t.h.Write(p)
+	return len(p), nil
+}
+
+// heapSampler polls the live heap while a measurement runs, keeping the
+// maximum it observed. Sampling at 500µs bounds how much of a short run
+// can hide between samples.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var m runtime.MemStats
+		tick := time.NewTicker(500 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > s.peak {
+					s.peak = m.HeapAlloc
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) Stop() uint64 {
+	close(s.stop)
+	<-s.done
+	return s.peak
+}
+
+// RunStream measures the one-pass streaming executor against the
+// join-backed store path on the same streamable guards, at each
+// cfg.StreamFactors XMark scale. Both modes stream their output (no
+// result tree either way), so the deltas isolate what the planner buys:
+// no materialized type sequences and no closest-join graphs. Output
+// hashes must agree between modes — a mismatch is an error, not a row.
+func RunStream(cfg Config) ([]StreamRow, error) {
+	dir, cleanup, err := cfg.workdir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	ctx := context.Background()
+
+	var rows []StreamRow
+	for _, factor := range cfg.streamFactors() {
+		doc := xmark.Generate(xmark.Config{Factor: factor, Seed: cfg.Seed})
+		xml := doc.XML(false)
+		path := filepath.Join(dir, fmt.Sprintf("stream-%g.db", factor))
+		os.Remove(path)
+		// The pool is sized to hold the whole document: both paths run
+		// warm, so the measured allocations are the execution layer's own
+		// (sequences, join graphs, output), not page decode. The cold-I/O
+		// trajectory is the hotpath experiment's story.
+		cachePages := 2*len(xml)/4096 + 256
+		if cachePages < cfg.CachePages {
+			cachePages = cfg.CachePages
+		}
+		eng, err := engine.Open(path, engine.WithCachePages(cachePages))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Shred(ctx, "d", strings.NewReader(xml), nil); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		reps := 3
+		if doc.Size() > 200_000 {
+			reps = 1
+		}
+		for _, g := range streamGuards {
+			var shas [2]string
+			for i, mode := range []engine.ExecMode{engine.ExecStream, engine.ExecStore} {
+				row, err := measureStream(ctx, eng, g.name, g.src, factor, mode, reps)
+				if err != nil {
+					eng.Close()
+					return nil, fmt.Errorf("%s at sf %g: %w", g.name, factor, err)
+				}
+				shas[i] = row.SHA256
+				rows = append(rows, *row)
+			}
+			if shas[0] != shas[1] {
+				eng.Close()
+				return nil, fmt.Errorf("%s at sf %g: stream output %s != store output %s",
+					g.name, factor, shas[0], shas[1])
+			}
+		}
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+		os.Remove(path)
+		os.Remove(path + ".wal")
+	}
+	return rows, nil
+}
+
+// measureStream runs one (guard, exec) cell: a warmup rep (compile cache,
+// buffer pool), then reps measured runs with the heap sampler active.
+func measureStream(ctx context.Context, eng *engine.Engine, name, src string, factor float64, mode engine.ExecMode, reps int) (*StreamRow, error) {
+	run := func() (*ttfbWriter, *engine.RunResult, error) {
+		tw := &ttfbWriter{h: sha256.New(), start: time.Now()}
+		res, err := eng.Run(ctx, "d", src, engine.RunOpts{StreamTo: tw, Exec: mode})
+		return tw, res, err
+	}
+	if _, _, err := run(); err != nil {
+		return nil, err
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sampler := startHeapSampler()
+	start := time.Now()
+	var (
+		tw  *ttfbWriter
+		res *engine.RunResult
+		err error
+	)
+	var ttfb time.Duration
+	for i := 0; i < reps; i++ {
+		if tw, res, err = run(); err != nil {
+			sampler.Stop()
+			return nil, err
+		}
+		ttfb += tw.ttfb
+	}
+	elapsed := time.Since(start)
+	peak := sampler.Stop()
+	runtime.ReadMemStats(&m1)
+
+	execName := "store"
+	if res.StreamExec {
+		execName = "stream"
+	}
+	if mode == engine.ExecStream && !res.StreamExec {
+		return nil, fmt.Errorf("guard %q did not take the one-pass path (plan: %s)", name, res.Plan)
+	}
+	over := uint64(0)
+	if peak > m0.HeapAlloc {
+		over = peak - m0.HeapAlloc
+	}
+	return &StreamRow{
+		Guard:           name,
+		Factor:          factor,
+		Exec:            execName,
+		MsPerOp:         ms(elapsed) / float64(reps),
+		AllocsPerOp:     float64(m1.Mallocs-m0.Mallocs) / float64(reps),
+		AllocBytesPerOp: float64(m1.TotalAlloc-m0.TotalAlloc) / float64(reps),
+		PeakHeapBytes:   over,
+		TTFBMicros:      float64(ttfb.Microseconds()) / float64(reps),
+		BytesOut:        tw.n,
+		Nodes:           res.Streamed,
+		SHA256:          hex.EncodeToString(tw.h.Sum(nil)),
+		Scans:           res.Plan.Scans,
+	}, nil
+}
+
+// StreamSummaryFor computes the acceptance ratios from the measured rows.
+func StreamSummaryFor(rows []StreamRow) StreamSummary {
+	type cell struct{ stream, store *StreamRow }
+	cells := map[string]*cell{}
+	var minF, maxF float64
+	var streamMinPeak, streamMaxPeak uint64
+	for i := range rows {
+		r := &rows[i]
+		key := fmt.Sprintf("%s@%g", r.Guard, r.Factor)
+		c := cells[key]
+		if c == nil {
+			c = &cell{}
+			cells[key] = c
+		}
+		if r.Exec == "stream" {
+			c.stream = r
+			if minF == 0 || r.Factor < minF {
+				minF = r.Factor
+			}
+			if r.Factor > maxF {
+				maxF = r.Factor
+			}
+		} else {
+			c.store = r
+		}
+	}
+	s := StreamSummary{}
+	for _, r := range rows {
+		if r.Exec != "stream" {
+			continue
+		}
+		if r.Factor == minF && r.PeakHeapBytes > streamMinPeak {
+			streamMinPeak = r.PeakHeapBytes
+		}
+		if r.Factor == maxF && r.PeakHeapBytes > streamMaxPeak {
+			streamMaxPeak = r.PeakHeapBytes
+		}
+	}
+	for _, c := range cells {
+		if c.stream == nil || c.store == nil || c.stream.Factor != maxF || c.stream.AllocsPerOp == 0 {
+			continue
+		}
+		ar := c.store.AllocsPerOp / c.stream.AllocsPerOp
+		if s.AllocReduction == 0 || ar < s.AllocReduction {
+			s.AllocReduction = ar
+		}
+		if c.stream.PeakHeapBytes == 0 {
+			continue
+		}
+		hr := float64(c.store.PeakHeapBytes) / float64(c.stream.PeakHeapBytes)
+		if s.PeakHeapReduction == 0 || hr < s.PeakHeapReduction {
+			s.PeakHeapReduction = hr
+		}
+	}
+	if streamMinPeak > 0 && minF != maxF {
+		s.StreamPeakHeapGrowth = float64(streamMaxPeak) / float64(streamMinPeak)
+	}
+	return s
+}
+
+// StreamReportFor wraps rows into the JSON report document.
+func StreamReportFor(cfg Config, rows []StreamRow) *StreamReport {
+	return &StreamReport{
+		Generated: "xmorphbench -exp stream -json",
+		GoVersion: runtime.Version(),
+		Factors:   cfg.streamFactors(),
+		Rows:      rows,
+		Summary:   StreamSummaryFor(rows),
+	}
+}
+
+// StreamTable renders the rows for stdout.
+func StreamTable(rows []StreamRow) string {
+	t := &Table{
+		Title:   "Streaming executor vs store-backed path (streamable guards)",
+		Columns: []string{"guard", "factor", "exec", "ms/op", "allocs/op", "alloc-mb/op", "peak-heap-mb", "ttfb-us", "bytes-out", "nodes"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Guard, fmt.Sprintf("%g", r.Factor), r.Exec,
+			f2(r.MsPerOp), fmt.Sprintf("%.0f", r.AllocsPerOp),
+			f2(r.AllocBytesPerOp / (1 << 20)), f2(float64(r.PeakHeapBytes) / (1 << 20)),
+			fmt.Sprintf("%.0f", r.TTFBMicros), fmt.Sprintf("%d", r.BytesOut), fmt.Sprintf("%d", r.Nodes),
+		})
+	}
+	s := t.String()
+	sum := StreamSummaryFor(rows)
+	return s + fmt.Sprintf("\nalloc reduction (worst cell): %.1fx   peak-heap reduction (worst cell): %.1fx   stream peak-heap growth across scales: %.2fx\n",
+		sum.AllocReduction, sum.PeakHeapReduction, sum.StreamPeakHeapGrowth)
+}

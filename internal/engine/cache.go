@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"xmorph/internal/plan"
 )
 
 // guardCache is a small LRU of compiled guards keyed by (document shred
@@ -27,6 +29,9 @@ type cacheKey struct {
 type cacheEntry struct {
 	key     cacheKey
 	checked *Checked
+	// verdict is the streamability classification of the compiled
+	// target, computed once at compile time and served with the guard.
+	verdict plan.Decision
 }
 
 // newGuardCache builds a cache holding up to capacity entries; a
@@ -39,22 +44,23 @@ func newGuardCache(capacity int) *guardCache {
 	}
 }
 
-func (c *guardCache) get(version uint32, guard string) *Checked {
+func (c *guardCache) get(version uint32, guard string) (*Checked, plan.Decision) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[cacheKey{version, guard}]
 	if !ok {
 		c.misses.Add(1)
 		metricCacheMisses.Inc()
-		return nil
+		return nil, plan.Decision{}
 	}
 	c.order.MoveToFront(el)
 	c.hits.Add(1)
 	metricCacheHits.Inc()
-	return el.Value.(*cacheEntry).checked
+	ent := el.Value.(*cacheEntry)
+	return ent.checked, ent.verdict
 }
 
-func (c *guardCache) put(version uint32, guard string, checked *Checked) {
+func (c *guardCache) put(version uint32, guard string, checked *Checked, verdict plan.Decision) {
 	if c.cap <= 0 {
 		return
 	}
@@ -63,10 +69,11 @@ func (c *guardCache) put(version uint32, guard string, checked *Checked) {
 	key := cacheKey{version, guard}
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).checked = checked
+		ent := el.Value.(*cacheEntry)
+		ent.checked, ent.verdict = checked, verdict
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, checked: checked})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, checked: checked, verdict: verdict})
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)

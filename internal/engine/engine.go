@@ -20,8 +20,10 @@ import (
 	"xmorph/internal/kvstore"
 	"xmorph/internal/logical"
 	"xmorph/internal/obs"
+	"xmorph/internal/plan"
 	"xmorph/internal/shape"
 	"xmorph/internal/store"
+	"xmorph/internal/stream"
 	"xmorph/internal/xmltree"
 )
 
@@ -45,12 +47,22 @@ var (
 	ErrNotFound = errors.New("engine: document not found")
 	// ErrExists reports a shred of a name that is already shredded.
 	ErrExists = errors.New("engine: document already shredded")
+	// ErrNotStreamable reports a Run forced onto the streaming executor
+	// (ExecStream) for a guard the planner classified store-backed.
+	ErrNotStreamable = stream.ErrNotStreamable
 )
 
 var (
 	metricCacheHits    = obs.Default.Counter("engine_guard_cache_hits_total")
 	metricCacheMisses  = obs.Default.Counter("engine_guard_cache_misses_total")
 	metricCacheEntries = obs.Default.Gauge("engine_guard_cache_entries")
+
+	// Streaming-executor metrics: runs that took the one-pass path, runs
+	// that wanted to stream but fell back to the join-backed renderer,
+	// and the nodes the one-pass path emitted.
+	metricStreamRuns      = obs.Default.Counter("engine_stream_runs_total")
+	metricStreamFallbacks = obs.Default.Counter("engine_stream_fallbacks_total")
+	metricStreamNodes     = obs.Default.Counter("engine_stream_nodes_total")
 )
 
 // Option configures an Engine at Open time; the configuration is
@@ -58,8 +70,9 @@ var (
 type Option func(*config)
 
 type config struct {
-	storeOpts []store.Option
-	cacheSize int
+	storeOpts  []store.Option
+	cacheSize  int
+	streamExec bool
 }
 
 // WithCachePages sets the store's buffer pool size in pages.
@@ -91,12 +104,21 @@ func WithGuardCache(n int) Option {
 	return func(c *config) { c.cacheSize = n }
 }
 
+// WithStreamingExec toggles the one-pass streaming executor for guards
+// the planner marks streamable (default on). Off, every streamed Run
+// uses the join-backed renderer; RunOpts.Exec == ExecStream still forces
+// the one-pass path.
+func WithStreamingExec(on bool) Option {
+	return func(c *config) { c.streamExec = on }
+}
+
 // Engine is the unified pipeline handle. It is safe for concurrent use:
 // the store serializes writers against readers internally, and cached
 // Checked values are immutable after construction.
 type Engine struct {
-	st    *store.Store
-	cache *guardCache
+	st         *store.Store
+	cache      *guardCache
+	streamExec bool
 }
 
 // Open opens (or creates) a store file and wraps it in an Engine.
@@ -106,20 +128,21 @@ func Open(path string, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{st: st, cache: newGuardCache(cfg.cacheSize)}, nil
+	return &Engine{st: st, cache: newGuardCache(cfg.cacheSize), streamExec: cfg.streamExec}, nil
 }
 
 // OpenMemory builds an Engine over an in-memory store (tests, examples).
 func OpenMemory(opts ...Option) *Engine {
 	cfg := newConfig(opts)
 	return &Engine{
-		st:    store.OpenMemory(cfg.storeOpts...),
-		cache: newGuardCache(cfg.cacheSize),
+		st:         store.OpenMemory(cfg.storeOpts...),
+		cache:      newGuardCache(cfg.cacheSize),
+		streamExec: cfg.streamExec,
 	}
 }
 
 func newConfig(opts []Option) *config {
-	cfg := &config{cacheSize: 64}
+	cfg := &config{cacheSize: 64, streamExec: true}
 	for _, o := range opts {
 		if o != nil {
 			o(cfg)
@@ -156,8 +179,20 @@ func (e *Engine) Shred(ctx context.Context, name string, r io.Reader, sp *obs.Sp
 	return e.st.Shred(name, r, sp)
 }
 
-// Docs lists the stored document names, sorted.
-func (e *Engine) Docs() ([]string, error) { return e.st.Documents() }
+// Docs lists the stored document names, sorted. Like the other facade
+// verbs it honors cancellation and, under a non-nil span, opens a
+// "list-docs" child annotated with the pages read.
+func (e *Engine) Docs(ctx context.Context, sp *obs.Span) ([]string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	dsp := sp.Child("list-docs")
+	before := e.st.Stats()
+	names, err := e.st.Documents()
+	setPageIO(dsp, before, e.st.Stats())
+	dsp.End()
+	return names, err
+}
 
 // Shape loads a document's adorned shape on one store view. Under a
 // non-nil span it opens a "load-shape" child annotated with the pages
@@ -215,7 +250,7 @@ func (e *Engine) Drop(ctx context.Context, name string) error {
 func (e *Engine) Check(ctx context.Context, name, guardSrc string, sp *obs.Span) (*Checked, error) {
 	v := e.st.View()
 	defer v.Close()
-	checked, _, err := e.compileIn(ctx, v, name, guardSrc, sp)
+	checked, _, _, err := e.compileIn(ctx, v, name, guardSrc, sp)
 	return checked, err
 }
 
@@ -223,22 +258,25 @@ func (e *Engine) Check(ctx context.Context, name, guardSrc string, sp *obs.Span)
 // version it caches under and the shape it compiles against come from
 // the same committed epoch (a re-shred landing mid-compile cannot pair
 // the new version with the old shape, or vice versa).
-func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc string, sp *obs.Span) (*Checked, bool, error) {
+// It also returns the cached streamability verdict, classified once per
+// compilation and annotated on the span as "plan".
+func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc string, sp *obs.Span) (*Checked, plan.Decision, bool, error) {
 	if err := ctxErr(ctx); err != nil {
-		return nil, false, err
+		return nil, plan.Decision{}, false, err
 	}
 	ver, ok, err := v.DocVersion(name)
 	if err != nil {
-		return nil, false, err
+		return nil, plan.Decision{}, false, err
 	}
 	if !ok {
-		return nil, false, fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, plan.Decision{}, false, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	if checked := e.cache.get(ver, guardSrc); checked != nil {
+	if checked, verdict := e.cache.get(ver, guardSrc); checked != nil {
 		csp := sp.Child("compile")
 		csp.Set("cached", 1)
 		csp.End()
-		return checked, true, nil
+		sp.SetStr("plan", verdict.String())
+		return checked, verdict, true, nil
 	}
 
 	ssp := sp.Child("load-shape")
@@ -247,15 +285,32 @@ func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc st
 	setPageIO(ssp, before, e.st.Stats())
 	ssp.End()
 	if err != nil {
-		return nil, false, err
+		return nil, plan.Decision{}, false, err
 	}
 	checked, err := core.Check(guardSrc, sh, sp)
 	if err != nil {
-		return nil, false, err
+		return nil, plan.Decision{}, false, err
 	}
-	e.cache.put(ver, guardSrc, checked)
-	return checked, false, nil
+	verdict := plan.Classify(checked.Plan.ComposedTarget())
+	sp.SetStr("plan", verdict.String())
+	e.cache.put(ver, guardSrc, checked, verdict)
+	return checked, verdict, false, nil
 }
+
+// ExecMode selects the execution strategy for a streamed Run.
+type ExecMode int
+
+const (
+	// ExecAuto (the default) picks the one-pass streaming executor when
+	// the planner marks the guard streamable and the engine has
+	// streaming enabled, falling back to the join-backed renderer.
+	ExecAuto ExecMode = iota
+	// ExecStream forces the one-pass executor; Run fails with
+	// ErrNotStreamable for store-backed guards.
+	ExecStream
+	// ExecStore forces the join-backed path (bench comparisons).
+	ExecStore
+)
 
 // RunOpts tunes a single Run call.
 type RunOpts struct {
@@ -265,6 +320,8 @@ type RunOpts struct {
 	// without materializing the output tree; RunResult.Output stays nil
 	// and Streamed counts the nodes written.
 	StreamTo io.Writer
+	// Exec selects the streamed execution strategy (needs StreamTo).
+	Exec ExecMode
 }
 
 // RunResult is a completed transformation with its provenance.
@@ -281,6 +338,11 @@ type RunResult struct {
 	CacheHit bool
 	// PagesRead counts store pages read across the whole call.
 	PagesRead int64
+	// Plan is the streamability verdict cached with the compiled guard.
+	Plan plan.Decision
+	// StreamExec reports that the one-pass streaming executor produced
+	// the output (constant memory, no join graphs).
+	StreamExec bool
 }
 
 // Run compiles guardSrc against the stored document name (cached) and
@@ -298,7 +360,10 @@ func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (
 	v := e.st.View()
 	defer v.Close()
 
-	checked, hit, err := e.compileIn(ctx, v, name, guardSrc, sp)
+	if opts.Exec == ExecStream && opts.StreamTo == nil {
+		return nil, errors.New("engine: ExecStream requires RunOpts.StreamTo")
+	}
+	checked, verdict, hit, err := e.compileIn(ctx, v, name, guardSrc, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -318,14 +383,45 @@ func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (
 		return nil, err
 	}
 
-	res := &RunResult{Checked: checked, CacheHit: hit}
+	res := &RunResult{Checked: checked, CacheHit: hit, Plan: verdict}
 	start := time.Now()
 	if opts.StreamTo != nil {
-		n, err := checked.Stream(doc, opts.StreamTo, sp)
-		if err != nil {
-			return nil, err
+		useStream := false
+		switch opts.Exec {
+		case ExecStream:
+			if !verdict.Streamable {
+				return nil, fmt.Errorf("%w: %s", ErrNotStreamable, verdict.Reason)
+			}
+			useStream = true
+		case ExecStore:
+		default:
+			useStream = e.streamExec && verdict.Streamable
+			if e.streamExec && !verdict.Streamable {
+				metricStreamFallbacks.Inc()
+			}
 		}
-		res.Streamed = n
+		if useStream {
+			ssp := sp.Child("stream")
+			ssp.Set("streamed", 1)
+			before = e.st.Stats()
+			n, err := stream.Execute(stream.FromDoc(doc), checked.Plan.ComposedTarget(), opts.StreamTo, ssp)
+			setPageIO(ssp, before, e.st.Stats())
+			ssp.End()
+			if err != nil {
+				return nil, err
+			}
+			res.Streamed = n
+			res.StreamExec = true
+			sp.Set("streamed", 1)
+			metricStreamRuns.Inc()
+			metricStreamNodes.Add(int64(n))
+		} else {
+			n, err := checked.Stream(doc, opts.StreamTo, sp)
+			if err != nil {
+				return nil, err
+			}
+			res.Streamed = n
+		}
 	} else {
 		rsp := sp.Child("render")
 		before = e.st.Stats()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"xmorph/internal/core"
+	"xmorph/internal/plan"
 	"xmorph/internal/store"
 )
 
@@ -217,16 +218,19 @@ func TestEnginePersistsAcrossOpen(t *testing.T) {
 func TestGuardCacheLRUEviction(t *testing.T) {
 	c := newGuardCache(2)
 	a, b, d := &Checked{}, &Checked{}, &Checked{}
-	c.put(1, "a", a)
-	c.put(1, "b", b)
-	if c.get(1, "a") != a {
-		t.Fatal("a evicted too early")
+	streamable := plan.Decision{Streamable: true, Scans: 3}
+	c.put(1, "a", a, streamable)
+	c.put(1, "b", b, plan.Decision{})
+	if got, v := c.get(1, "a"); got != a || v != streamable {
+		t.Fatalf("a evicted too early or verdict lost: %+v", v)
 	}
-	c.put(1, "d", d) // evicts b (least recently used)
-	if c.get(1, "b") != nil {
+	c.put(1, "d", d, plan.Decision{}) // evicts b (least recently used)
+	if got, _ := c.get(1, "b"); got != nil {
 		t.Error("b survived past capacity")
 	}
-	if c.get(1, "a") != a || c.get(1, "d") != d {
+	ga, _ := c.get(1, "a")
+	gd, _ := c.get(1, "d")
+	if ga != a || gd != d {
 		t.Error("a or d missing after eviction")
 	}
 	hits, misses := c.stats()

@@ -332,7 +332,7 @@ func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
-	names, err := s.eng.Docs()
+	names, err := s.eng.Docs(r.Context(), spanFrom(r.Context()))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -376,12 +376,18 @@ type queryRequest struct {
 // queryResponse is the JSON answer for a morph (and, with Answer set, a
 // guarded query).
 type queryResponse struct {
-	Doc           string `json:"doc"`
-	XML           string `json:"xml,omitempty"`
-	Answer        string `json:"answer,omitempty"`
-	Loss          string `json:"loss,omitempty"`
-	Labels        string `json:"labels,omitempty"`
-	Verdict       string `json:"verdict,omitempty"`
+	Doc     string `json:"doc"`
+	XML     string `json:"xml,omitempty"`
+	Answer  string `json:"answer,omitempty"`
+	Loss    string `json:"loss,omitempty"`
+	Labels  string `json:"labels,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+	// Exec names the execution path that produced XML ("stream": the
+	// one-pass streaming executor; "store": the join-backed renderer), and
+	// Streamable/PlanReason report the planner's verdict on the guard.
+	Exec          string `json:"exec,omitempty"`
+	Streamable    bool   `json:"streamable,omitempty"`
+	PlanReason    string `json:"plan_reason,omitempty"`
 	CacheHit      bool   `json:"cache_hit"`
 	PagesRead     int64  `json:"pages_read"`
 	CompileMicros int64  `json:"compile_us"`
@@ -439,6 +445,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			RenderedNodes: res.RenderedNodes,
 			KeptTypes:     res.KeptTypes,
 			TotalTypes:    res.TotalTypes,
+			Streamable:    res.Streamable,
+			PlanReason:    res.PlanReason,
 		}
 		if explain {
 			explainInto(&resp, tr)
@@ -463,7 +471,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.eng.Run(ctx, req.Doc, req.Guard, RunOpts{Span: sp})
+	// JSON responses render into a buffer anyway, so let the engine stream
+	// into it: streamable guards take the one-pass executor (no result
+	// tree), store-backed ones the join-backed streamer — bytes identical
+	// either way. Pretty-printing and raw-XML responses need the
+	// materialized tree.
+	opts := RunOpts{Span: sp}
+	var xml bytesBuilder
+	streaming := req.Format != "xml" && !req.Indent
+	if streaming {
+		opts.StreamTo = &xml
+	}
+	res, err := s.eng.Run(ctx, req.Doc, req.Guard, opts)
 	if err != nil {
 		writeError(w, httpStatus(err), err)
 		return
@@ -473,10 +492,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res.Output.WriteXML(w, req.Indent)
 		return
 	}
-	var xml bytesBuilder
-	if err := res.Output.WriteXML(&xml, req.Indent); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+	if !streaming {
+		if err := res.Output.WriteXML(&xml, req.Indent); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	exec := "store"
+	if res.StreamExec {
+		exec = "stream"
 	}
 	resp := queryResponse{
 		Doc:           req.Doc,
@@ -484,6 +508,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Loss:          res.Loss.String(),
 		Labels:        res.LabelReport(),
 		Verdict:       res.Loss.Verdict.String(),
+		Exec:          exec,
+		Streamable:    res.Plan.Streamable,
+		PlanReason:    res.Plan.Reason,
 		CacheHit:      res.CacheHit,
 		PagesRead:     res.PagesRead,
 		CompileMicros: res.CompileTime.Microseconds(),

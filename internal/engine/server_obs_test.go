@@ -105,7 +105,7 @@ func TestDebugTracesRingAndSlowRetention(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("trace fetch status %d: %s", resp.StatusCode, body)
 	}
-	for _, want := range []string{`"id":"q-3"`, `"name":"query"`, `"load-doc"`, `"render"`, `"pages-read"`} {
+	for _, want := range []string{`"id":"q-3"`, `"name":"query"`, `"load-doc"`, `"stream"`, `"pages-read"`} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("trace body missing %s:\n%s", want, body)
 		}
@@ -152,7 +152,7 @@ func TestQueryExplain(t *testing.T) {
 	tree := string(qr.Trace)
 	// The span tree carries per-stage durations, page I/O, and the loss
 	// verdict (on the compile pipeline's loss-check span).
-	for _, want := range []string{`"load-shape"`, `"compile"`, `"render"`, `"dur_ns"`, `"pages-read"`, `"page-hits"`, `"verdict"`} {
+	for _, want := range []string{`"load-shape"`, `"compile"`, `"stream"`, `"dur_ns"`, `"pages-read"`, `"page-hits"`, `"verdict"`} {
 		if !strings.Contains(tree, want) {
 			t.Errorf("explain trace missing %s:\n%s", want, tree)
 		}

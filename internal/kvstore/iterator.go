@@ -2,15 +2,19 @@ package kvstore
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"sync/atomic"
 )
 
-// Iterator walks keys in ascending order over one MVCC snapshot. It
-// materializes its position as a stack of (page, index) frames; pages
-// are re-read through the snapshot (buffer pool or retained versions),
-// so iteration plays well with eviction and never observes a concurrent
-// commit — the view is frozen at the snapshot's epoch for the whole
-// scan.
+// Iterator walks keys in ascending order over one MVCC snapshot. Internal
+// pages are materialized as a stack of (page, index) frames; the leaf the
+// cursor is in is decoded *in place* — entries are parsed straight out of
+// the immutable page image, so a sequential scan allocates one small
+// offset index per leaf instead of two copies per entry. Pages are
+// re-read through the snapshot (buffer pool or retained versions), so
+// iteration plays well with eviction and never observes a concurrent
+// commit — the view is frozen at the snapshot's epoch for the whole scan.
 //
 // Iterators obtained from DB.Seek / DB.First own a private snapshot,
 // released automatically when the scan is exhausted or errors; call
@@ -18,19 +22,92 @@ import (
 // Snapshot.Seek / Snapshot.First borrow the caller's snapshot and never
 // close it.
 type Iterator struct {
-	snap  *Snapshot
-	owned bool // close snap when the scan ends
-	stack []frame
-	err   error
-	key   []byte
-	val   []byte
-	valid bool
+	snap    *Snapshot
+	owned   bool // close snap when the scan ends
+	stack   []frame
+	leaf    leafView
+	leafIdx int
+	inLeaf  bool
+	err     error
+	key     []byte
+	val     []byte
+	valid   bool
 }
 
 type frame struct {
 	id  uint32
 	n   *node
 	idx int
+}
+
+// leafView is a zero-copy decoding of one leaf page: offs indexes the
+// entries inside the immutable page buffer, and key/val return subslices
+// of it. Because committed page images are never mutated in place (the
+// pool swaps pointers), the subslices stay valid as long as the caller
+// holds them — retaining one merely pins the page image for the GC.
+type leafView struct {
+	buf  []byte
+	next uint32
+	offs []int32 // offset of entry i's key-length field
+}
+
+// parse indexes buf's entries, reusing the offs backing array across
+// leaves — after the first few leaves a sequential scan stops allocating.
+func (v *leafView) parse(buf []byte) error {
+	if len(buf) < 7 || buf[0] != pageLeaf {
+		return fmt.Errorf("kvstore: corrupt leaf page")
+	}
+	v.buf = buf
+	nkeys := int(binary.BigEndian.Uint16(buf[1:]))
+	v.next = binary.BigEndian.Uint32(buf[3:])
+	v.offs = v.offs[:0]
+	off := 7
+	for i := 0; i < nkeys; i++ {
+		if off+2 > len(buf) {
+			return fmt.Errorf("kvstore: corrupt leaf page: key %d", i)
+		}
+		kl := int(binary.BigEndian.Uint16(buf[off:]))
+		if off+2+kl+2 > len(buf) {
+			return fmt.Errorf("kvstore: corrupt leaf page: key %d length", i)
+		}
+		vl := int(binary.BigEndian.Uint16(buf[off+2+kl:]))
+		if off+2+kl+2+vl > len(buf) {
+			return fmt.Errorf("kvstore: corrupt leaf page: value %d length", i)
+		}
+		v.offs = append(v.offs, int32(off))
+		off += 2 + kl + 2 + vl
+	}
+	return nil
+}
+
+func (v *leafView) count() int { return len(v.offs) }
+
+func (v *leafView) key(i int) []byte {
+	off := int(v.offs[i])
+	kl := int(binary.BigEndian.Uint16(v.buf[off:]))
+	return v.buf[off+2 : off+2+kl]
+}
+
+func (v *leafView) val(i int) []byte {
+	off := int(v.offs[i])
+	kl := int(binary.BigEndian.Uint16(v.buf[off:]))
+	vo := off + 2 + kl
+	vl := int(binary.BigEndian.Uint16(v.buf[vo:]))
+	return v.buf[vo+2 : vo+2+vl]
+}
+
+// search returns the index of the first key >= target.
+func (v *leafView) search(target []byte) int {
+	lo, hi := 0, v.count()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(v.key(mid), target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Seek positions a new iterator at the smallest key >= target, on a
@@ -55,15 +132,24 @@ func (s *Snapshot) Seek(target []byte) *Iterator {
 	it := &Iterator{snap: s}
 	id := s.root
 	for {
-		n, err := s.readNode(id)
+		buf, err := s.readPage(id)
 		if err != nil {
 			it.err = err
 			return it
 		}
-		if n.typ == pageLeaf {
-			i, _ := search(n.keys, target)
-			it.stack = append(it.stack, frame{id: id, n: n, idx: i})
+		if len(buf) > 0 && buf[0] == pageLeaf {
+			if err := it.leaf.parse(buf); err != nil {
+				it.err = err
+				return it
+			}
+			it.inLeaf = true
+			it.leafIdx = it.leaf.search(target)
 			it.settle()
+			return it
+		}
+		n, err := deserialize(buf)
+		if err != nil {
+			it.err = err
 			return it
 		}
 		ci := childIndex(n.keys, target)
@@ -78,21 +164,25 @@ func (s *Snapshot) First() *Iterator { return s.Seek(nil) }
 // settle loads the current entry, popping exhausted frames and descending
 // into following subtrees until it finds a leaf entry or the end.
 func (it *Iterator) settle() {
-	for len(it.stack) > 0 {
-		top := &it.stack[len(it.stack)-1]
-		if top.n.typ == pageLeaf {
-			if top.idx < len(top.n.keys) {
-				it.key = top.n.keys[top.idx]
-				it.val = top.n.vals[top.idx]
+	for {
+		if it.inLeaf {
+			if it.leafIdx < it.leaf.count() {
+				it.key = it.leaf.key(it.leafIdx)
+				it.val = it.leaf.val(it.leafIdx)
 				it.valid = true
 				return
 			}
-			it.stack = it.stack[:len(it.stack)-1]
+			it.inLeaf = false
 			if len(it.stack) > 0 {
 				it.stack[len(it.stack)-1].idx++
 			}
 			continue
 		}
+		if len(it.stack) == 0 {
+			it.valid = false
+			return
+		}
+		top := &it.stack[len(it.stack)-1]
 		if top.idx >= len(top.n.children) {
 			it.stack = it.stack[:len(it.stack)-1]
 			if len(it.stack) > 0 {
@@ -100,14 +190,21 @@ func (it *Iterator) settle() {
 			}
 			continue
 		}
-		child, err := it.snap.readNode(top.n.children[top.idx])
+		id := top.n.children[top.idx]
+		buf, err := it.snap.readPage(id)
 		if err != nil {
 			it.err = err
 			it.valid = false
 			return
 		}
-		it.stack = append(it.stack, frame{id: top.n.children[top.idx], n: child, idx: 0})
-		if child.typ == pageLeaf {
+		if len(buf) > 0 && buf[0] == pageLeaf {
+			if err := it.leaf.parse(buf); err != nil {
+				it.err = err
+				it.valid = false
+				return
+			}
+			it.inLeaf = true
+			it.leafIdx = 0
 			// The scan just crossed into a new leaf, so it is provably
 			// sequential: prefetch the next leaves along the sibling
 			// chain into the buffer pool ahead of the cursor. Seek's
@@ -118,19 +215,26 @@ func (it *Iterator) settle() {
 			// purely advisory (it only warms the pool), so a sibling
 			// pointer that moved since the snapshot's epoch costs at
 			// worst a useless prefetch, never a wrong result.
-			it.snap.db.maybeReadAhead(child)
+			it.snap.db.maybeReadAhead(it.leaf.next)
+			continue
 		}
+		child, err := deserialize(buf)
+		if err != nil {
+			it.err = err
+			it.valid = false
+			return
+		}
+		it.stack = append(it.stack, frame{id: id, n: child, idx: 0})
 	}
-	it.valid = false
 }
 
-// maybeReadAhead prefetches up to db.readAhead leaf pages following n's
-// sibling chain into the buffer pool.
-func (db *DB) maybeReadAhead(n *node) {
-	if db.readAhead <= 0 || n.next == 0 {
+// maybeReadAhead prefetches up to db.readAhead leaf pages following the
+// sibling chain starting at next into the buffer pool.
+func (db *DB) maybeReadAhead(next uint32) {
+	if db.readAhead <= 0 || next == 0 {
 		return
 	}
-	db.pager.readAhead(n.next, db.readAhead, pageLeaf)
+	db.pager.readAhead(next, db.readAhead, pageLeaf)
 }
 
 // maybeAutoClose releases an owned snapshot once the scan can make no
@@ -157,10 +261,11 @@ func (it *Iterator) Valid() bool { return it.valid && it.err == nil }
 // Err returns the first error the iterator hit.
 func (it *Iterator) Err() error { return it.err }
 
-// Key returns the current key; valid until the next call to Next.
+// Key returns the current key. The slice aliases the immutable page
+// image: it stays valid after Next, but retaining it pins the page.
 func (it *Iterator) Key() []byte { return it.key }
 
-// Value returns the current value; valid until the next call to Next.
+// Value returns the current value (aliasing rules as for Key).
 func (it *Iterator) Value() []byte { return it.val }
 
 // Next advances to the following key.
@@ -168,7 +273,7 @@ func (it *Iterator) Next() {
 	if !it.Valid() {
 		return
 	}
-	it.stack[len(it.stack)-1].idx++
+	it.leafIdx++ // a valid position is always inside a leaf
 	it.valid = false
 	it.settle()
 	it.maybeAutoClose()
@@ -179,7 +284,8 @@ func (it *Iterator) Next() {
 // runs on one snapshot, so it sees a consistent tree even with
 // concurrent writers — without blocking them; fn must not mutate the
 // store (a mutation would simply not be seen, but the restriction keeps
-// the contract obvious).
+// the contract obvious). The k/v slices alias immutable page images:
+// copy before retaining to avoid pinning pages.
 func (db *DB) Ascend(start, end []byte, fn func(k, v []byte) bool) error {
 	s := db.OpenSnapshot()
 	defer s.Close()

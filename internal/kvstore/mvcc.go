@@ -137,6 +137,12 @@ func (s *Snapshot) readNode(id uint32) (*node, error) {
 	return deserialize(buf)
 }
 
+// readPage returns the raw immutable page image as of the snapshot's
+// epoch (zero-copy read paths decode it in place).
+func (s *Snapshot) readPage(id uint32) ([]byte, error) {
+	return s.db.snapRead(id, s.epoch)
+}
+
 // retain parks a superseded committed image for the snapshots that still
 // need it. Called by commitWrite (under publishMu) before the new image
 // is installed; commits are serialized, so versions of one page arrive

@@ -20,6 +20,7 @@ import (
 
 	"xmorph/internal/core"
 	"xmorph/internal/obs"
+	"xmorph/internal/plan"
 	"xmorph/internal/render"
 	"xmorph/internal/semantics"
 	"xmorph/internal/shape"
@@ -36,6 +37,10 @@ type Result struct {
 	// KeptTypes / TotalTypes count target types before and after pruning.
 	KeptTypes  int
 	TotalTypes int
+	// Streamable reports the planner's verdict on the guard's full
+	// (unpruned) target; PlanReason carries the blocking join when not.
+	Streamable bool
+	PlanReason string
 }
 
 // Evaluate type-checks the guard, prunes its target to the query's paths,
@@ -58,6 +63,7 @@ func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render
 	}
 	tgt := checked.Plan.ComposedTarget()
 	total := countTypes(tgt)
+	verdict := plan.Classify(tgt)
 
 	psp := parent.Child("prune")
 	chains, err := xq.ExtractPaths(query)
@@ -98,6 +104,8 @@ func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render
 		RenderedNodes: out.Size(),
 		KeptTypes:     kept,
 		TotalTypes:    total,
+		Streamable:    verdict.Streamable,
+		PlanReason:    verdict.Reason,
 	}, nil
 }
 

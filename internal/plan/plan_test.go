@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"xmorph/internal/guard"
+	"xmorph/internal/semantics"
+	"xmorph/internal/shape"
+	"xmorph/internal/xmltree"
+)
+
+func TestAxisOf(t *testing.T) {
+	cases := []struct {
+		join, src string
+		want      Axis
+	}{
+		{"a.b", "a.b", AxisSelf},
+		{"", "a", AxisDown},
+		{"", "a.b.c", AxisDown},
+		{"a", "a.b", AxisDown},
+		{"a.b", "a.b.c.d", AxisDown},
+		{"a.b.c", "a.b", AxisUp},
+		{"a.b.c.d", "a", AxisUp},
+		{"a.b", "a.c", AxisCross},
+		{"a.b.c", "a.b.d", AxisCross},
+		// Component boundaries, not string prefixes.
+		{"a.bb", "a.b", AxisCross},
+		{"a.b", "a.bb", AxisCross},
+	}
+	for _, tc := range cases {
+		if got := AxisOf(tc.join, tc.src); got != tc.want {
+			t.Errorf("AxisOf(%q, %q) = %s, want %s", tc.join, tc.src, got, tc.want)
+		}
+	}
+}
+
+const libDoc = `<lib>
+  <book>
+    <title>T1</title>
+    <author><name>A1</name><award>W1</award></author>
+  </book>
+  <book>
+    <title>T2</title>
+    <author><name>A2</name></author>
+  </book>
+</lib>`
+
+// classify compiles a guard against libDoc and classifies its composed
+// target.
+func classify(t *testing.T, guardSrc string) Decision {
+	t.Helper()
+	doc := xmltree.MustParse(libDoc)
+	plan, err := semantics.Compile(guard.MustParse(guardSrc), shape.FromDocument(doc))
+	if err != nil {
+		t.Fatalf("compile %q: %v", guardSrc, err)
+	}
+	return Classify(plan.ComposedTarget())
+}
+
+func TestClassifyStreamable(t *testing.T) {
+	cases := []struct {
+		guard string
+		scans int
+	}{
+		// Pure descendant projection: one scan per sourced node.
+		{"CAST MORPH book [ title author [ name ] ]", 4},
+		// Identity preserves the whole down-axis chain.
+		{"MUTATE lib", 6},
+		// Renaming changes nothing about the joins.
+		{"CAST MORPH book [ title ] | TRANSLATE book -> volume", 2},
+		// Self-axis RESTRICT recursion plus down-axis probe.
+		{"CAST MORPH (RESTRICT book [ award ]) [ title ]", 3},
+		// Up-axis leaf kid: an ancestor-stack lookup, no join.
+		{"CAST MORPH name [ book ]", 2},
+		// Up-axis RESTRICT: existence probe against the ancestor.
+		{"CAST MORPH (RESTRICT name [ lib ]) ", 2},
+		// Wrapper anchored on a down-axis child.
+		{"CAST-WIDENING MORPH (NEW entry) [ book [ title ] ]", 2},
+	}
+	for _, tc := range cases {
+		d := classify(t, tc.guard)
+		if !d.Streamable {
+			t.Errorf("%q: store-backed (%s), want streamable", tc.guard, d.Reason)
+			continue
+		}
+		if d.Scans != tc.scans {
+			t.Errorf("%q: scans = %d, want %d", tc.guard, d.Scans, tc.scans)
+		}
+	}
+}
+
+func TestClassifyStoreBacked(t *testing.T) {
+	cases := []struct {
+		guard  string
+		reason string
+	}{
+		// Sibling branches: title and name share no prefix relation.
+		{"CAST MORPH title [ name ]", "cross-axis closest join"},
+		// Rendering an ancestor's children would re-emit its subtree.
+		{"CAST MORPH name [ author [ award ] ]", "ancestor-axis"},
+		// Cross-axis RESTRICT probe.
+		{"CAST MORPH (RESTRICT title [ name ]) ", "cross-axis RESTRICT"},
+	}
+	for _, tc := range cases {
+		d := classify(t, tc.guard)
+		if d.Streamable {
+			t.Errorf("%q: streamable, want store-backed", tc.guard)
+			continue
+		}
+		if !strings.Contains(d.Reason, tc.reason) {
+			t.Errorf("%q: reason %q, want containing %q", tc.guard, d.Reason, tc.reason)
+		}
+		if !strings.Contains(d.String(), "store-backed") {
+			t.Errorf("%q: String() = %q", tc.guard, d.String())
+		}
+	}
+}
+
+// TestClassifyFillOnlyWrapper: a manufactured subtree with no sourced
+// child anywhere is a static fill — trivially streamable, zero scans.
+func TestClassifyFillOnlyWrapper(t *testing.T) {
+	tgt := &semantics.Target{Roots: []*semantics.TNode{{
+		Name: "top",
+		Kids: []*semantics.TNode{{Name: "inner"}},
+	}}}
+	d := Classify(tgt)
+	if !d.Streamable || d.Scans != 0 {
+		t.Errorf("fill-only wrapper: %+v", d)
+	}
+}
+
+// TestClassifyWrapperUpAnchor: a wrapper anchored on an ancestor-axis
+// child cannot stream (each parent would re-wrap the same ancestor).
+func TestClassifyWrapperUpAnchor(t *testing.T) {
+	d := classify(t, "CAST-WIDENING MORPH name [ (NEW w) [ author ] ]")
+	if d.Streamable {
+		t.Error("up-anchored wrapper should be store-backed")
+	}
+	if !strings.Contains(d.Reason, "anchors on") {
+		t.Errorf("reason: %q", d.Reason)
+	}
+}
+
+// TestClassifyFirstFailureWins: the reported reason is the first blocking
+// join in target order.
+func TestClassifyFirstFailureWins(t *testing.T) {
+	d := classify(t, "CAST MORPH title [ name award ]")
+	if d.Streamable {
+		t.Fatal("want store-backed")
+	}
+	if !strings.Contains(d.Reason, "name") {
+		t.Errorf("first failure should mention name: %q", d.Reason)
+	}
+}

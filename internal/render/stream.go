@@ -15,10 +15,13 @@ import (
 // immediately produce output, and stream the output node by node (in
 // document order)". Closest joins still run over whole type sequences
 // (sort-merge needs both sides), but output memory stays constant: nothing
-// of the result is retained.
+// of the result is retained. (internal/stream goes further for targets the
+// planner marks streamable, dropping the joins too.)
 //
 // The byte output equals Render(...).XML(false). Stream returns the number
-// of elements and attributes written.
+// of elements and attributes written. Write errors — including those the
+// final buffered flush surfaces — are returned after the count of nodes
+// written before the failure.
 //
 // When sp is non-nil it records join statistics, nodes emitted, and bytes
 // written on sp. The span's lifetime belongs to the caller; a nil sp
@@ -51,17 +54,18 @@ func Stream(doc Source, tgt *semantics.Target, w io.Writer, sp *obs.Span) (int, 
 			s.streamNode(root, v)
 		}
 	}
-	if s.err != nil {
-		return s.count, s.err
-	}
-	if err := bw.Flush(); err != nil {
-		return s.count, err
+	// The final flush must run even after a write error (it is a no-op
+	// then), and a flush failure must surface when the render itself
+	// succeeded: the buffer tail only reaches the sink here.
+	err := s.err
+	if ferr := bw.Flush(); err == nil {
+		err = ferr
 	}
 	if sp != nil {
 		annotateJoins(sp, rec, s.count)
 		sp.Set("bytes-out", cw.n)
 	}
-	return s.count, nil
+	return s.count, err
 }
 
 // countingWriter counts bytes on their way to the sink (placed under the
@@ -115,20 +119,40 @@ func (s *streamer) sep() {
 	s.wrote = true
 }
 
+// openTag closes the pending open tag with ">" exactly once; an element
+// whose flag stays false self-closes — matching the serializer, which
+// self-closes exactly when an element has no text and no element children.
+func (s *streamer) openTag(closed *bool) {
+	if !*closed {
+		s.str(">")
+		*closed = true
+	}
+}
+
 // rendersAsAttr mirrors the tree renderer's criterion: an attribute-
 // sourced leaf type inside an element stays an attribute.
 func rendersAsAttr(tn *semantics.TNode, v *xmltree.Node) bool {
 	return v.Attr && len(tn.Kids) == 0
 }
 
+func (s *streamer) writeAttr(name, val string) {
+	s.count++
+	s.str(" ")
+	s.str(name)
+	s.str(`="`)
+	s.attrVal(val)
+	s.str(`"`)
+}
+
 // streamNode writes one element: open tag with attribute kids, own text,
-// element kids, close tag.
+// element kids, close tag — self-closing when nothing followed the tag.
 func (s *streamer) streamNode(tn *semantics.TNode, v *xmltree.Node) {
 	s.count++
 	s.str("<")
 	s.str(tn.Name)
 
-	// Attribute kids go into the open tag, in kid order.
+	// Attribute kids go into the open tag, in kid order; the element
+	// partners are kept for the second pass.
 	type elemKid struct {
 		kid      *semantics.TNode
 		partners []*xmltree.Node
@@ -139,53 +163,42 @@ func (s *streamer) streamNode(tn *semantics.TNode, v *xmltree.Node) {
 			elems = append(elems, elemKid{kid: kid})
 			continue
 		}
-		partners := s.closestOf(v, kid.Source)
 		var kept []*xmltree.Node
-		attrKid := false
-		for _, wn := range partners {
+		for _, wn := range s.closestOf(v, kid.Source) {
 			if !s.satisfies(wn, kid.Require) {
 				continue
 			}
 			if rendersAsAttr(kid, wn) {
-				attrKid = true
-				s.count++
-				s.str(" ")
-				s.str(wn.LocalName())
-				s.str(`="`)
-				s.attrVal(wn.Value)
-				s.str(`"`)
+				// The attribute carries the target name, as the tree
+				// renderer's Builder.Attr does (visible under TRANSLATE).
+				s.writeAttr(kid.Name, wn.Value)
 				continue
 			}
 			kept = append(kept, wn)
 		}
-		if len(kept) > 0 || !attrKid {
+		if len(kept) > 0 {
 			elems = append(elems, elemKid{kid: kid, partners: kept})
 		}
 	}
 
-	hasContent := v.Value != ""
-	if !hasContent {
-		for _, e := range elems {
-			if e.kid.Source == "" || len(e.partners) > 0 {
-				hasContent = true
-				break
-			}
-		}
+	closed := false
+	if v.Value != "" {
+		s.openTag(&closed)
+		s.text(v.Value)
 	}
-	if !hasContent {
-		s.str("/>")
-		return
-	}
-	s.str(">")
-	s.text(v.Value)
 	for _, e := range elems {
 		if e.kid.Source == "" {
-			s.streamWrapper(e.kid, v)
+			s.streamWrapper(e.kid, v, &closed)
 			continue
 		}
 		for _, wn := range e.partners {
+			s.openTag(&closed)
 			s.streamNode(e.kid, wn)
 		}
+	}
+	if !closed {
+		s.str("/>")
+		return
 	}
 	s.str("</")
 	s.str(tn.Name)
@@ -193,10 +206,13 @@ func (s *streamer) streamNode(tn *semantics.TNode, v *xmltree.Node) {
 }
 
 // streamWrapper mirrors emitWrapper: one manufactured element per instance
-// of the wrapper's first sourced child.
-func (s *streamer) streamWrapper(tn *semantics.TNode, v *xmltree.Node) {
+// of the wrapper's first sourced child. The parent's tag stays open until
+// the wrapper actually emits something, so childless parents still
+// self-close.
+func (s *streamer) streamWrapper(tn *semantics.TNode, v *xmltree.Node, closed *bool) {
 	first := firstSourced(tn)
 	if first == nil {
+		s.openTag(closed)
 		s.streamFill(tn)
 		return
 	}
@@ -204,15 +220,8 @@ func (s *streamer) streamWrapper(tn *semantics.TNode, v *xmltree.Node) {
 		if !s.satisfies(wn, first.Require) {
 			continue
 		}
-		s.count++
-		s.str("<")
-		s.str(tn.Name)
-		s.str(">")
-		s.streamNode(first, wn)
-		s.streamSiblings(tn, first, wn)
-		s.str("</")
-		s.str(tn.Name)
-		s.str(">")
+		s.openTag(closed)
+		s.streamInstance(tn, first, wn)
 	}
 }
 
@@ -228,34 +237,71 @@ func (s *streamer) streamWrapperRoot(tn *semantics.TNode) {
 			continue
 		}
 		s.sep()
-		s.count++
-		s.str("<")
-		s.str(tn.Name)
-		s.str(">")
-		s.streamNode(first, wn)
-		s.streamSiblings(tn, first, wn)
-		s.str("</")
-		s.str(tn.Name)
-		s.str(">")
+		s.streamInstance(tn, first, wn)
 	}
 }
 
-func (s *streamer) streamSiblings(wrapper, first *semantics.TNode, wn *xmltree.Node) {
-	for _, kid := range wrapper.Kids {
+// streamInstance writes one wrapper element around anchor instance wn:
+// attribute-rendering kids land in the wrapper's tag (as the Builder puts
+// them), and an instance with only attributes self-closes.
+func (s *streamer) streamInstance(tn, first *semantics.TNode, wn *xmltree.Node) {
+	s.count++
+	s.str("<")
+	s.str(tn.Name)
+	firstAttr := rendersAsAttr(first, wn)
+	if firstAttr {
+		s.writeAttr(first.Name, wn.Value)
+	}
+	type elemKid struct {
+		kid      *semantics.TNode
+		partners []*xmltree.Node
+	}
+	var elems []elemKid
+	for _, kid := range tn.Kids {
 		if kid == first {
 			continue
 		}
 		if kid.Source == "" {
-			s.streamWrapper(kid, wn)
+			elems = append(elems, elemKid{kid: kid})
 			continue
 		}
+		var kept []*xmltree.Node
 		for _, u := range s.closestOf(wn, kid.Source) {
 			if !s.satisfies(u, kid.Require) {
 				continue
 			}
-			s.streamNode(kid, u)
+			if rendersAsAttr(kid, u) {
+				s.writeAttr(kid.Name, u.Value)
+				continue
+			}
+			kept = append(kept, u)
+		}
+		if len(kept) > 0 {
+			elems = append(elems, elemKid{kid: kid, partners: kept})
 		}
 	}
+	closed := false
+	if !firstAttr {
+		s.openTag(&closed)
+		s.streamNode(first, wn)
+	}
+	for _, e := range elems {
+		if e.kid.Source == "" {
+			s.streamWrapper(e.kid, wn, &closed)
+			continue
+		}
+		for _, u := range e.partners {
+			s.openTag(&closed)
+			s.streamNode(e.kid, u)
+		}
+	}
+	if !closed {
+		s.str("/>")
+		return
+	}
+	s.str("</")
+	s.str(tn.Name)
+	s.str(">")
 }
 
 // streamFill writes a childless-sourced wrapper and its manufactured kids.

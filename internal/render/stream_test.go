@@ -1,6 +1,8 @@
 package render
 
 import (
+	"errors"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -261,5 +263,111 @@ func TestComposedEqualsPerStage(t *testing.T) {
 		if composed.XML(false) != staged.XML(false) {
 			t.Errorf("%s:\ncomposed:  %s\nper-stage: %s", g, composed.XML(false), staged.XML(false))
 		}
+	}
+}
+
+// chokeWriter accepts limit bytes and then fails: with err set it returns
+// that error; with err nil it returns a short write, which bufio reports
+// as io.ErrShortWrite.
+type chokeWriter struct {
+	limit int
+	n     int
+	err   error
+}
+
+func (c *chokeWriter) Write(p []byte) (int, error) {
+	room := c.limit - c.n
+	if room >= len(p) {
+		c.n += len(p)
+		return len(p), nil
+	}
+	if room < 0 {
+		room = 0
+	}
+	c.n += room
+	return room, c.err
+}
+
+// TestStreamSurfacesFlushErrors: with output smaller than the bufio
+// buffer, the sink sees bytes only at the final flush — a failure there
+// must reach the caller instead of being dropped.
+func TestStreamSurfacesFlushErrors(t *testing.T) {
+	doc := xmltree.MustParse(fig1a)
+	plan, err := semantics.Compile(guard.MustParse("MORPH author [ name ]"), shape.FromDocument(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sink full")
+	for _, tc := range []struct {
+		name string
+		w    *chokeWriter
+		want error
+	}{
+		{"error-at-flush", &chokeWriter{limit: 3, err: boom}, boom},
+		{"short-write-at-flush", &chokeWriter{limit: 3}, io.ErrShortWrite},
+		{"error-at-first-byte", &chokeWriter{limit: 0, err: boom}, boom},
+	} {
+		_, err := Stream(doc, plan.ComposedTarget(), tc.w, nil)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestStreamSurfacesMidStreamWriteErrors: output larger than the bufio
+// buffer forces writes during streaming; the first failure must stick and
+// surface.
+func TestStreamSurfacesMidStreamWriteErrors(t *testing.T) {
+	b := xmltree.NewBuilder().Elem("root")
+	for i := 0; i < 400; i++ {
+		b.Elem("a").Text("some repeated element value text").End()
+	}
+	b.End()
+	doc := b.MustDocument()
+	plan, err := semantics.Compile(guard.MustParse("CAST MUTATE root"), shape.FromDocument(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("pipe broke")
+	_, err = Stream(doc, plan.ComposedTarget(), &chokeWriter{limit: 5000, err: boom}, nil)
+	if !errors.Is(err, boom) {
+		t.Errorf("mid-stream write error: got %v, want %v", err, boom)
+	}
+}
+
+// TestStreamEmptyWrapperSelfCloses: a wrapper kid whose anchor has no
+// instances under a given parent contributes nothing, so a parent with no
+// text and no other content must self-close exactly as the tree renderer
+// does (regression: the streamer used to emit <x></x> instead of <x/>).
+func TestStreamEmptyWrapperSelfCloses(t *testing.T) {
+	const src = `<data><g><x/><b>hit</b></g><g><x/></g></data>`
+	out := streamRun(t, "CAST MORPH x [ (NEW w) [ b ] ]", src)
+	if !strings.Contains(out, "<x/>") {
+		t.Errorf("childless parent should self-close:\n%s", out)
+	}
+	if !strings.Contains(out, "<w><b>hit</b></w>") {
+		t.Errorf("populated wrapper missing:\n%s", out)
+	}
+}
+
+// TestStreamAttrTranslate: a renamed attribute must carry the target name,
+// as Builder.Attr gives it (regression: the streamer printed the source
+// name).
+func TestStreamAttrTranslate(t *testing.T) {
+	const src = `<site><item id="i1"/></site>`
+	out := streamRun(t, "MUTATE site | TRANSLATE id -> ref", src)
+	if !strings.Contains(out, `ref="i1"`) {
+		t.Errorf("translated attribute name:\n%s", out)
+	}
+}
+
+// TestStreamAttrOnlyWrapper: a wrapper anchored on an attribute-sourced
+// leaf renders the attribute into the wrapper's own tag and self-closes
+// (regression: the streamer rendered it as a child element).
+func TestStreamAttrOnlyWrapper(t *testing.T) {
+	const src = `<site><item id="i1"/><item id="i2"/></site>`
+	out := streamRun(t, "CAST-WIDENING MORPH (NEW entry) [ id ]", src)
+	if !strings.Contains(out, `<entry id="i1"/>`) || !strings.Contains(out, `<entry id="i2"/>`) {
+		t.Errorf("attr-only wrapper instances:\n%s", out)
 	}
 }

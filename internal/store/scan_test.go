@@ -1,0 +1,160 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// collectScan drains a TypeScan, copying the aliased buffers.
+type scanned struct {
+	dewey string
+	value string
+}
+
+func collectScan(t *testing.T, s *TypeScan) []scanned {
+	t.Helper()
+	var out []scanned
+	for s.Next() {
+		out = append(out, scanned{s.Dewey().String(), string(s.Value())})
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("scan error: %v", err)
+	}
+	s.Close()
+	return out
+}
+
+// TestScanTypeMatchesNodesOfType: the pull cursor must yield exactly the
+// sequence NodesOfType materializes — same Dewey numbers, same values,
+// same order — for every type of the document.
+func TestScanTypeMatchesNodesOfType(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	if _, err := s.Shred("fig1a", strings.NewReader(fig1a), nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.Doc("fig1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := s.Shape("fig1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range sh.Types() {
+		nodes := doc.NodesOfType(tp)
+		got := collectScan(t, doc.ScanType(tp))
+		if len(got) != len(nodes) {
+			t.Fatalf("%s: scan yields %d nodes, sequence has %d", tp, len(got), len(nodes))
+		}
+		for i, n := range nodes {
+			if got[i].dewey != n.Dewey.String() || got[i].value != n.Value {
+				t.Errorf("%s[%d]: scan (%s, %q) != sequence (%s, %q)",
+					tp, i, got[i].dewey, got[i].value, n.Dewey, n.Value)
+			}
+		}
+	}
+}
+
+// TestScanTypeChunkedValues: multi-chunk values must reassemble across
+// continuation records, through the same reused buffer.
+func TestScanTypeChunkedValues(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	big := strings.Repeat("lorem ipsum ", 1000) // ~12 KB: spans several chunks
+	src := "<doc><body>" + big + "</body><body>small</body></doc>"
+	if _, err := s.Shred("d", strings.NewReader(src), nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.Doc("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectScan(t, doc.ScanType("doc.body"))
+	if len(got) != 2 {
+		t.Fatalf("bodies = %d, want 2", len(got))
+	}
+	if got[0].value != big {
+		t.Errorf("chunked value corrupted: len=%d want %d", len(got[0].value), len(big))
+	}
+	if got[1].value != "small" {
+		t.Errorf("value after chunked record: %q", got[1].value)
+	}
+}
+
+// TestScanTypeAttributes: attribute types scan like any other, and the
+// cursor reports their attr-ness.
+func TestScanTypeAttributes(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	if _, err := s.Shred("d", strings.NewReader(`<site><item id="i1"/><item id="i2"/></site>`), nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.Doc("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := doc.ScanType("site.item.@id")
+	if !sc.Attr() {
+		t.Error("attribute type not flagged")
+	}
+	got := collectScan(t, sc)
+	if len(got) != 2 || got[0].value != "i1" || got[1].value != "i2" {
+		t.Errorf("attr scan = %+v", got)
+	}
+}
+
+// TestScanTypeUnknownAndClosed: unknown types yield an empty scan, and a
+// closed scan stays exhausted.
+func TestScanTypeUnknownAndClosed(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	if _, err := s.Shred("d", strings.NewReader(`<a><b>1</b></a>`), nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.Doc("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := doc.ScanType("no.such.type")
+	if sc.Next() {
+		t.Error("unknown type should scan empty")
+	}
+	if err := sc.Err(); err != nil {
+		t.Errorf("unknown type err: %v", err)
+	}
+	sc.Close() // double close is fine
+
+	sc = doc.ScanType("a.b")
+	if !sc.Next() {
+		t.Fatal("expected a node")
+	}
+	sc.Close()
+	if sc.Next() {
+		t.Error("closed scan should be exhausted")
+	}
+	sc.Close()
+}
+
+// TestScanTypeViewIsolation: a View-bound scan reads the pinned epoch,
+// unaffected by a Drop landing after the view opened.
+func TestScanTypeViewIsolation(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	if _, err := s.Shred("d", strings.NewReader(`<a><b>1</b><b>2</b></a>`), nil); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	defer v.Close()
+	doc, err := v.Doc("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drop("d"); err != nil {
+		t.Fatal(err)
+	}
+	got := collectScan(t, doc.ScanType("a.b"))
+	if len(got) != 2 {
+		t.Errorf("view scan after drop: %d nodes, want 2", len(got))
+	}
+}

@@ -125,6 +125,7 @@ func (s *Store) Stats() kvstore.Stats { return s.db.Stats() }
 type reader interface {
 	Get(key []byte) ([]byte, bool, error)
 	AscendPrefix(prefix []byte, fn func(k, v []byte) bool) error
+	Seek(target []byte) *kvstore.Iterator
 }
 
 // View is a consistent read-only view of the whole store at one committed
