@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, serve, stream, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, cluster, serve, stream, all")
 	factors := flag.String("factors", "", "comma-separated XMark factors (default 0.01..0.05)")
 	hotFactors := flag.String("hotpath-factors", "", "comma-separated XMark factors for -exp hotpath (default 0.2,1.0)")
 	jsonOut := flag.String("json", "", "with -exp hotpath/concurrency/serve/stream: also write the report to this file (e.g. BENCH_stream.json)")
@@ -44,6 +44,14 @@ func main() {
 	serveSample := flag.Int("serve-sample", 0, "trace 1 in N requests on the obs-on daemon for -exp serve (default 1 = every request; negative disables)")
 	serveSlowMS := flag.Int("serve-slow-ms", 0, "obs-on daemon slow-query threshold in ms for -exp serve (default 250; negative disables)")
 	serveWriters := flag.Int("serve-writers", 0, "dedicated shred-writer goroutines per serve cell; clients then run a pure query mix and query p99 during shreds is reported separately (default 0 = classic mixed workload)")
+	clusterShards := flag.String("cluster-shards", "", "comma-separated shard counts for -exp cluster (default 1,2,4)")
+	clusterReplicas := flag.Int("cluster-replicas", 0, "read replicas per shard for -exp cluster's replica variant (default 1)")
+	clusterDocs := flag.Int("cluster-docs", 0, "document count for -exp cluster (default 16)")
+	clusterFactor := flag.Float64("cluster-factor", 0, "XMark factor per -exp cluster document (default 0.01)")
+	clusterClients := flag.Int("cluster-clients", 0, "concurrent readers per -exp cluster cell (default 4)")
+	clusterWindow := flag.Duration("cluster-window", 0, "measurement window per -exp cluster cell (default 2s)")
+	clusterCache := flag.Int("cluster-cache", 0, "buffer pool pages per shard for -exp cluster (default 1024)")
+	clusterLatency := flag.Duration("cluster-latency", 0, "modeled device read latency per page for -exp cluster (default 100µs; negative disables)")
 	dblpSizes := flag.String("dblp", "", "comma-separated DBLP publication counts")
 	seed := flag.Int64("seed", 42, "generator seed")
 	cache := flag.Int("cache", 128, "store buffer pool pages")
@@ -124,6 +132,20 @@ func main() {
 	cfg.ServeSample = *serveSample
 	cfg.ServeSlowMS = *serveSlowMS
 	cfg.ServeWriters = *serveWriters
+	if *clusterShards != "" {
+		ns, err := parseInts(*clusterShards)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ClusterShards = ns
+	}
+	cfg.ClusterReplicas = *clusterReplicas
+	cfg.ClusterDocs = *clusterDocs
+	cfg.ClusterFactor = *clusterFactor
+	cfg.ClusterClients = *clusterClients
+	cfg.ClusterWindow = *clusterWindow
+	cfg.ClusterCachePages = *clusterCache
+	cfg.ClusterReadLatency = *clusterLatency
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -237,6 +259,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 		}
 		fmt.Fprintf(os.Stderr, "stream suite took %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// cluster is opt-in (not part of "all"): each cell builds a full
+	// sharded cluster and drives it for a fixed multi-second window.
+	if *exp == "cluster" {
+		start := time.Now()
+		rows, err := bench.RunCluster(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.ClusterTable(rows))
+		if *jsonOut != "" {
+			if err := bench.ClusterReportFor(cfg, rows).WriteJSON(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		fmt.Fprintf(os.Stderr, "cluster suite took %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	// serve is opt-in (not part of "all"): it starts the xmorphd handler

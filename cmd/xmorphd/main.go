@@ -35,14 +35,17 @@ import (
 	"syscall"
 	"time"
 
+	"xmorph/internal/cluster"
 	"xmorph/internal/engine"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	storePath := flag.String("store", "xmorph.db", "store file for shredded documents")
-	cache := flag.Int("cache", 256, "buffer pool size in pages")
+	storePath := flag.String("store", "xmorph.db", "store file for shredded documents (a directory of per-shard files when -shards/-replicas select cluster mode)")
+	cache := flag.Int("cache", 256, "buffer pool size in pages (per shard in cluster mode)")
 	durability := flag.Bool("durability", false, "crash-safe commits: write-ahead log every sync")
+	shards := flag.Int("shards", 1, "shard the store across N engines on a consistent-hash ring (>1 selects cluster mode)")
+	replicas := flag.Int("replicas", 0, "read replicas per shard fed by WAL shipping (>0 selects cluster mode)")
 	guardCache := flag.Int("guard-cache", 64, "compiled-guard cache capacity in entries (0 disables)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
 	maxInflight := flag.Int("max-inflight", 0, "admitted concurrent requests (0 = GOMAXPROCS)")
@@ -74,7 +77,7 @@ func main() {
 		SlowRingSize:       *slowRing,
 		AccessLog:          logger,
 	}
-	if err := run(*addr, *storePath, *cache, *guardCache, *durability, *drain, cfg); err != nil {
+	if err := run(*addr, *storePath, *cache, *guardCache, *shards, *replicas, *durability, *drain, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xmorphd:", err)
 		os.Exit(1)
 	}
@@ -101,12 +104,44 @@ func openAccessLog(dest string) (*slog.Logger, func() error, error) {
 	return slog.New(slog.NewJSONHandler(w, nil)), closer, nil
 }
 
-func run(addr, storePath string, cache, guardCache int, durability bool,
+// openBackend builds the verb surface the server fronts: a single
+// engine by default, a sharded cluster when -shards/-replicas ask for
+// one. The HTTP surface is identical either way — the handlers only
+// see engine.Backend.
+func openBackend(storePath string, cache, guardCache, shards, replicas int, durability bool) (engine.Backend, string, error) {
+	if shards <= 1 && replicas <= 0 {
+		eng, err := engine.Open(storePath,
+			engine.WithCachePages(cache),
+			engine.WithDurability(durability),
+			engine.WithGuardCache(guardCache))
+		if err != nil {
+			return nil, "", err
+		}
+		return eng, storePath, nil
+	}
+	// Cluster mode: -store names a directory holding one file per shard
+	// leader (replicas are memory stores fed by WAL shipping).
+	if err := os.MkdirAll(storePath, 0o755); err != nil {
+		return nil, "", err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Shards:     shards,
+		Replicas:   replicas,
+		Dir:        storePath,
+		Durability: durability,
+		CachePages: cache,
+		EngineOpts: []engine.Option{engine.WithGuardCache(guardCache)},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("%s (%d shards x %d replicas)", storePath, shards, replicas)
+	return cl, desc, nil
+}
+
+func run(addr, storePath string, cache, guardCache, shards, replicas int, durability bool,
 	drain time.Duration, cfg engine.ServerConfig) error {
-	eng, err := engine.Open(storePath,
-		engine.WithCachePages(cache),
-		engine.WithDurability(durability),
-		engine.WithGuardCache(guardCache))
+	eng, desc, err := openBackend(storePath, cache, guardCache, shards, replicas, durability)
 	if err != nil {
 		return err
 	}
@@ -119,7 +154,7 @@ func run(addr, storePath string, cache, guardCache int, durability bool,
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "xmorphd: serving %s on %s\n", storePath, addr)
+	fmt.Fprintf(os.Stderr, "xmorphd: serving %s on %s\n", desc, addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

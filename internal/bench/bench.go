@@ -84,6 +84,33 @@ type Config struct {
 	// they stay close to the no-writer baseline. Zero keeps the classic
 	// mixed workload (1 shred op in 10, no separate column).
 	ServeWriters int
+	// ClusterShards are the RunCluster shard counts; empty means
+	// {1, 2, 4} (the committed BENCH_cluster.json series).
+	ClusterShards []int
+	// ClusterReplicas is the read-replica count per shard for
+	// RunCluster's replica-read variant; zero means 1.
+	ClusterReplicas int
+	// ClusterDocs is the RunCluster document count; zero means 16 —
+	// sized with ClusterFactor and ClusterCachePages so the set thrashes
+	// one shard's pool but fits the 4-shard aggregate.
+	ClusterDocs int
+	// ClusterFactor is the XMark scale of each RunCluster document; zero
+	// means 0.01 (~213 store pages per document).
+	ClusterFactor float64
+	// ClusterClients is the concurrent reader count per RunCluster cell;
+	// zero means 4.
+	ClusterClients int
+	// ClusterWindow is the measured wall-clock window per RunCluster
+	// cell; zero means 2s.
+	ClusterWindow time.Duration
+	// ClusterCachePages is each shard leader's buffer pool budget; zero
+	// means 1024 (4 MiB per shard).
+	ClusterCachePages int
+	// ClusterReadLatency is the modeled device cost of one page read off
+	// a shard leader's store during the measured window; zero means
+	// 100µs. Negative disables the model (tmpfs-speed reads, which
+	// collapse the hit/miss distinction the benchmark is about).
+	ClusterReadLatency time.Duration
 	// Seed feeds the generators.
 	Seed int64
 	// Durability opens every store file with the write-ahead log enabled,

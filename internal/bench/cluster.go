@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmorph/internal/cluster"
+	"xmorph/internal/engine"
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/kvstore"
+	"xmorph/internal/obs"
+	"xmorph/internal/store"
+)
+
+// The cluster benchmark measures what sharding buys a *read* workload:
+// aggregate buffer-pool capacity. The document set is sized to thrash a
+// single shard's pool but fit comfortably in four shards' combined
+// pools, so the same per-node cache budget turns cold device reads into
+// hits as shards are added — the classic fleet-scaling effect, and the
+// only one a single-core host can demonstrate honestly (CPU parallelism
+// is off the table when GOMAXPROCS is 1).
+//
+// Shard leaders run on a latency-modeled in-memory filesystem: every
+// page read off the "device" costs a fixed ClusterReadLatency (default
+// 100µs, the seek-free SSD regime). Without the model, a tmpfs-backed
+// miss costs about as much as a hit and the pool's hit ratio — the
+// quantity under study — stops mattering. The model is armed only for
+// the measured window; setup (shred, replica bootstrap, warm-up) runs
+// at memory speed.
+//
+// Two variants run per shard count: "leader" (Replicas:0 — every read
+// hits the leader's pooled device) and "replica" (reads served by
+// memory-backed WAL-shipping followers, which have no device at all).
+// The leader series is the scaling claim; the replica series shows
+// read offload making device latency vanish at any shard count.
+
+// ClusterRow is one cell: a shard count and read-routing variant driven
+// by a fixed client count for a fixed window.
+type ClusterRow struct {
+	Shards   int     `json:"shards"`
+	Replicas int     `json:"replicas"`
+	Variant  string  `json:"variant"`
+	Docs     int     `json:"docs"`
+	Factor   float64 `json:"factor"`
+	Clients  int     `json:"clients"`
+	Queries  int64   `json:"queries"`
+	QPS      float64 `json:"qps"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// HitRatio is the aggregate leader buffer-pool hit ratio over the
+	// measured window (replica reads never touch a leader pool, so the
+	// replica variant reports the residual leader traffic only).
+	HitRatio  float64 `json:"hit_ratio"`
+	PagesRead int64   `json:"pages_read"`
+	// Fallthroughs counts reads the epoch floor bounced from a lagging
+	// replica to the leader during the window.
+	Fallthroughs int64 `json:"fallthroughs"`
+	// Speedup is QPS relative to the 1-shard cell of the same variant.
+	Speedup float64 `json:"speedup"`
+	Note    string  `json:"note,omitempty"`
+}
+
+// ClusterReport is the BENCH_cluster.json document.
+type ClusterReport struct {
+	Generated     string       `json:"generated"`
+	GoVersion     string       `json:"go_version"`
+	CPUs          int          `json:"cpus"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	WindowSec     float64      `json:"window_sec"`
+	Shards        []int        `json:"shards"`
+	Docs          int          `json:"docs"`
+	Factor        float64      `json:"factor"`
+	CachePages    int          `json:"cache_pages_per_shard"`
+	ReadLatencyUs float64      `json:"device_read_latency_us"`
+	Rows          []ClusterRow `json:"rows"`
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *ClusterReport) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// latFS is the latency-modeled device: an in-memory filesystem whose
+// page reads cost a fixed delay once armed. Writes stay free — the
+// benchmark is about the read path, and pricing setup writes would only
+// slow the sweep down without changing any measured number.
+type latFS struct {
+	inner   *kvstore.FaultFS
+	readLat atomic.Int64 // nanoseconds; 0 = disarmed
+}
+
+func newLatFS() *latFS { return &latFS{inner: kvstore.NewFaultFS()} }
+
+// arm sets the per-read device latency (0 disarms).
+func (fs *latFS) arm(d time.Duration) { fs.readLat.Store(int64(d)) }
+
+func (fs *latFS) OpenFile(name string, flag int, perm os.FileMode) (kvstore.File, error) {
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &latFile{File: f, fs: fs}, nil
+}
+
+func (fs *latFS) Remove(name string) error { return fs.inner.Remove(name) }
+
+type latFile struct {
+	kvstore.File
+	fs *latFS
+}
+
+func (f *latFile) ReadAt(p []byte, off int64) (int, error) {
+	if d := f.fs.readLat.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return f.File.ReadAt(p, off)
+}
+
+// clusterQueries is the read mix, the concurrency benchmark's guards
+// routed through the Backend verb surface: two materialized morphs and
+// one streamed rendering. Every op re-reads the store through a buffer
+// pool; only the guard compilations are memoized (per-engine cache).
+var clusterQueries = []struct {
+	Name string
+	Run  func(b engine.Backend, name string) error
+}{
+	{"morph-auction", func(b engine.Backend, name string) error {
+		_, err := b.Run(context.Background(), name,
+			"CAST MORPH open_auction [ initial current quantity ]", engine.RunOpts{})
+		return err
+	}},
+	{"morph-person", func(b engine.Backend, name string) error {
+		_, err := b.Run(context.Background(), name,
+			"CAST MORPH person [ name emailaddress ]", engine.RunOpts{})
+		return err
+	}},
+	{"stream-person", func(b engine.Backend, name string) error {
+		_, err := b.Run(context.Background(), name,
+			"CAST MORPH person [ name emailaddress ]", engine.RunOpts{StreamTo: io.Discard})
+		return err
+	}},
+}
+
+// runClusterCell builds a cluster, loads the document set, and drives
+// the read mix for the window with the device latency armed.
+func runClusterCell(cfg Config, shards, replicas int, docs []string) (ClusterRow, error) {
+	variant := "leader"
+	if replicas > 0 {
+		variant = "replica"
+	}
+	fss := make([]*latFS, shards)
+	for i := range fss {
+		fss[i] = newLatFS()
+	}
+	c, err := cluster.New(cluster.Config{
+		Shards:   shards,
+		Replicas: replicas,
+		VNodes:   64,
+		Seed:     uint64(cfg.Seed),
+		OpenLeader: func(i int) (*store.Store, error) {
+			return store.Open("shard.db", store.WithKVOptions(&kvstore.Options{
+				FS:         fss[i],
+				CachePages: cfg.clusterCachePages(),
+				Durability: cfg.Durability,
+			}))
+		},
+	})
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	names := make([]string, len(docs))
+	for i, xml := range docs {
+		names[i] = fmt.Sprintf("cluster-%03d", i)
+		if _, err := c.Shred(ctx, names[i], strings.NewReader(xml), nil); err != nil {
+			return ClusterRow{}, err
+		}
+	}
+	// Warm up unmeasured and at memory speed: two passes of the mix so
+	// every cell starts from the same steady-state pool (at one shard
+	// that steady state is a thrashing pool — the point of the cell).
+	for pass := 0; pass < 2; pass++ {
+		for i, name := range names {
+			if err := clusterQueries[i%len(clusterQueries)].Run(c, name); err != nil {
+				return ClusterRow{}, err
+			}
+		}
+	}
+	// Replicas finish applying the setup's commit feed before the clock
+	// starts; the measured window is then pure steady-state reads.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < shards; i++ {
+		for c.ReplicaLag(i) != 0 {
+			if time.Now().After(deadline) {
+				return ClusterRow{}, fmt.Errorf("cluster bench: shard %d replicas still lag after setup", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	for _, fs := range fss {
+		fs.arm(cfg.clusterReadLatency())
+	}
+	defer func() {
+		for _, fs := range fss {
+			fs.arm(0)
+		}
+	}()
+
+	hist := obs.NewHistogram(obs.DurationBuckets)
+	var queries atomic.Int64
+	var firstErr atomic.Value
+	before := c.Stats()
+	ftBefore := obs.Default.Counter("cluster_fallthroughs_total").Value()
+
+	clients := cfg.clusterClients()
+	window := cfg.clusterWindow()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := cl; time.Since(start) < window; i++ {
+				q := clusterQueries[i%len(clusterQueries)]
+				// The 7-stride decorrelates document choice from query
+				// choice so each document sees every query.
+				name := names[(i*7+cl)%len(names)]
+				t0 := time.Now()
+				if err := q.Run(c, name); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%s on %s: %w", q.Name, name, err))
+					return
+				}
+				hist.Observe(time.Since(t0).Seconds())
+				queries.Add(1)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return ClusterRow{}, err
+	}
+
+	after := c.Stats()
+	snap := hist.Snapshot()
+	n := queries.Load()
+	delta := kvstore.Stats{
+		CacheHits:   after.CacheHits - before.CacheHits,
+		CacheMisses: after.CacheMisses - before.CacheMisses,
+	}
+	row := ClusterRow{
+		Shards: shards, Replicas: replicas, Variant: variant,
+		Docs: len(docs), Factor: cfg.clusterFactor(), Clients: clients,
+		Queries:      n,
+		QPS:          float64(n) / elapsed.Seconds(),
+		P50Ms:        snap.P50 * 1e3,
+		P95Ms:        snap.P95 * 1e3,
+		P99Ms:        snap.P99 * 1e3,
+		HitRatio:     delta.HitRatio(),
+		PagesRead:    after.BlocksRead - before.BlocksRead,
+		Fallthroughs: obs.Default.Counter("cluster_fallthroughs_total").Value() - ftBefore,
+	}
+	if n > 0 {
+		row.NsPerOp = float64(elapsed.Nanoseconds()) / float64(n)
+	}
+	return row, nil
+}
+
+// RunCluster measures read scaling across shard counts: the same
+// document set, per-shard cache budget, client count, and window at
+// each point of cfg.ClusterShards, in the leader-read and replica-read
+// variants. Speedup is relative to each variant's first (smallest)
+// shard count.
+func RunCluster(cfg Config) ([]ClusterRow, error) {
+	docs := make([]string, cfg.clusterDocs())
+	for i := range docs {
+		docs[i] = xmark.Generate(xmark.Config{
+			Factor: cfg.clusterFactor(),
+			Seed:   cfg.Seed + int64(i),
+		}).XML(false)
+	}
+
+	var rows []ClusterRow
+	for _, replicas := range []int{0, cfg.clusterReplicas()} {
+		var base float64
+		for _, shards := range cfg.clusterShards() {
+			row, err := runClusterCell(cfg, shards, replicas, docs)
+			if err != nil {
+				return nil, err
+			}
+			if base == 0 {
+				base = row.QPS
+			}
+			if base > 0 {
+				row.Speedup = row.QPS / base
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (c *Config) clusterShards() []int {
+	if len(c.ClusterShards) > 0 {
+		return c.ClusterShards
+	}
+	return []int{1, 2, 4}
+}
+
+func (c *Config) clusterReplicas() int {
+	if c.ClusterReplicas > 0 {
+		return c.ClusterReplicas
+	}
+	return 1
+}
+
+func (c *Config) clusterDocs() int {
+	if c.ClusterDocs > 0 {
+		return c.ClusterDocs
+	}
+	return 16
+}
+
+func (c *Config) clusterFactor() float64 {
+	if c.ClusterFactor > 0 {
+		return c.ClusterFactor
+	}
+	return 0.01
+}
+
+func (c *Config) clusterClients() int {
+	if c.ClusterClients > 0 {
+		return c.ClusterClients
+	}
+	return 4
+}
+
+func (c *Config) clusterWindow() time.Duration {
+	if c.ClusterWindow > 0 {
+		return c.ClusterWindow
+	}
+	return 2 * time.Second
+}
+
+func (c *Config) clusterCachePages() int {
+	if c.ClusterCachePages > 0 {
+		return c.ClusterCachePages
+	}
+	// The 16-document default set is ~3400 pages; 1024 pages per shard
+	// thrashes at one shard (3.3x the pool) and fits the most loaded
+	// shard of the 4-way split.
+	return 1024
+}
+
+func (c *Config) clusterReadLatency() time.Duration {
+	if c.ClusterReadLatency != 0 {
+		return c.ClusterReadLatency
+	}
+	return 100 * time.Microsecond
+}
+
+// ClusterReportFor wraps rows into the JSON report document.
+func ClusterReportFor(cfg Config, rows []ClusterRow) *ClusterReport {
+	return &ClusterReport{
+		Generated:     "xmorphbench -exp cluster -json",
+		GoVersion:     runtime.Version(),
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		WindowSec:     cfg.clusterWindow().Seconds(),
+		Shards:        cfg.clusterShards(),
+		Docs:          cfg.clusterDocs(),
+		Factor:        cfg.clusterFactor(),
+		CachePages:    cfg.clusterCachePages(),
+		ReadLatencyUs: float64(cfg.clusterReadLatency().Microseconds()),
+		Rows:          rows,
+	}
+}
+
+// ClusterTable renders the rows for stdout.
+func ClusterTable(rows []ClusterRow) string {
+	t := &Table{
+		Title:   "Cluster read scaling (fixed per-shard cache, latency-modeled device)",
+		Columns: []string{"shards", "replicas", "variant", "clients", "queries", "qps", "p50ms", "p95ms", "p99ms", "hit%", "pg-read", "fallthru", "speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Shards), fmt.Sprintf("%d", r.Replicas), r.Variant,
+			fmt.Sprintf("%d", r.Clients), fmt.Sprintf("%d", r.Queries), f2(r.QPS),
+			f1(r.P50Ms), f1(r.P95Ms), f1(r.P99Ms),
+			f1(r.HitRatio * 100), fmt.Sprintf("%d", r.PagesRead),
+			fmt.Sprintf("%d", r.Fallthroughs), f2(r.Speedup),
+		})
+	}
+	return t.String()
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash ring: document names map to shards through virtual
+// nodes, so adding a shard moves only ~1/N of the name space and every
+// process that builds a ring with the same (shards, vnodes, seed)
+// agrees on the placement — the routing is a pure function of the
+// configuration, never of arrival order.
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters; the ring folds
+// its seed into the offset so differently-seeded rings place names
+// independently.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hash64(seed uint64, s string) uint64 {
+	h := uint64(fnvOffset) ^ (seed * fnvPrime)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	// Raw FNV-1a leaves similar short strings clustered in the high bits
+	// (the trailing bytes barely diffuse upward), which would collapse the
+	// ring's placement. A 64-bit avalanche finalizer spreads every input
+	// bit across the word.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node: a position on the 64-bit circle owned
+// by a shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is an immutable consistent-hash ring over a fixed shard count.
+type Ring struct {
+	seed   uint64
+	points []ringPoint
+}
+
+// NewRing places vnodes virtual nodes per shard on the circle. The
+// layout is deterministic in (shards, vnodes, seed).
+func NewRing(shards, vnodes int, seed uint64) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if vnodes < 1 {
+		vnodes = 1
+	}
+	r := &Ring{seed: seed, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(seed, fmt.Sprintf("shard-%d-vnode-%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare) break on shard id so the sort — and
+		// therefore the routing — stays deterministic.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Lookup returns the shard owning name: the first virtual node at or
+// clockwise of the name's hash, wrapping at the top of the circle.
+func (r *Ring) Lookup(name string) int {
+	h := hash64(r.seed, name)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// Shards returns the number of distinct shards on the ring.
+func (r *Ring) Shards() int {
+	max := 0
+	for _, p := range r.points {
+		if p.shard > max {
+			max = p.shard
+		}
+	}
+	return max + 1
+}

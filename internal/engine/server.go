@@ -20,14 +20,15 @@ import (
 	"xmorph/internal/semantics"
 )
 
-// Server exposes an Engine over HTTP — the xmorphd query service. Every
-// request runs under a deadline, heavy endpoints pass an admission
-// semaphore (overload answers 429 with Retry-After rather than queueing
-// without bound), request bodies are size-capped, and each endpoint
-// reports request/error counters and a latency histogram into the obs
-// registry that /metrics serves.
+// Server exposes a Backend — a single Engine or a sharded Cluster —
+// over HTTP: the xmorphd query service. Every request runs under a
+// deadline, heavy endpoints pass an admission semaphore (overload
+// answers 429 with Retry-After rather than queueing without bound),
+// request bodies are size-capped, and each endpoint reports
+// request/error counters and a latency histogram into the obs registry
+// that /metrics serves.
 type Server struct {
-	eng     *Engine
+	eng     Backend
 	mux     *http.ServeMux
 	sem     chan struct{}
 	timeout time.Duration
@@ -74,7 +75,7 @@ type ServerConfig struct {
 }
 
 // NewServer wraps eng in the xmorphd HTTP API.
-func NewServer(eng *Engine, cfg ServerConfig) *Server {
+func NewServer(eng Backend, cfg ServerConfig) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
@@ -605,6 +606,8 @@ func MirrorStoreStats(reg *obs.Registry, s kvstore.Stats) {
 	reg.Gauge("kvstore_sync_calls").Set(float64(s.SyncCalls))
 	reg.Gauge("kvstore_group_commits").Set(float64(s.GroupCommits))
 	reg.Gauge("kvstore_wal_commit_fsyncs").Set(float64(s.WALFsyncs))
+	reg.Gauge("kvstore_commit_lsn").Set(float64(s.CommitLSN))
+	reg.Gauge("kvstore_applied_lsn").Set(float64(s.AppliedLSN))
 }
 
 // bytesBuilder is a minimal strings.Builder-alike that implements

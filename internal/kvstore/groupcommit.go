@@ -61,6 +61,15 @@ type flushPage struct {
 // one group commit: a single WAL fsync covers all of them. The error of
 // the shared flush is delivered to every member.
 func (db *DB) Sync() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	return db.sync()
+}
+
+// sync is Sync without the closed check — Close uses it for the final
+// flush after new Syncs are already being refused.
+func (db *DB) sync() error {
 	p := db.pager
 	p.syncCalls.Add(1)
 	g := &db.gc
@@ -136,7 +145,20 @@ func (db *DB) flushBatch() error {
 		s.mu.Unlock()
 	}
 	npages := p.npages.Load()
+	// Replication cut: the same publishMu section that fixes the flush
+	// batch fixes the replicated batch, so both describe one committed
+	// instant. Delivery happens after the lock drops — flushes are
+	// serialized, so subscriber queues still see ascending LSNs.
+	rb, subs, repErr := db.collectReplication()
 	db.publishMu.Unlock()
+	if repErr != nil {
+		return repErr
+	}
+	if rb != nil {
+		for _, sub := range subs {
+			sub.push(*rb)
+		}
+	}
 	sort.Slice(batch, func(i, j int) bool { return batch[i].id < batch[j].id })
 
 	if p.file == nil {

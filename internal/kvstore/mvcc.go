@@ -257,6 +257,13 @@ func (db *DB) commitWrite() error {
 			db.retain(id, img, newEpoch)
 		}
 	}
+	// Replication: while subscribers are attached, remember which pages
+	// this commit rewrote so the next flush cut can ship their images.
+	if len(db.repSubs) > 0 {
+		for id := range db.w.set {
+			db.repDirty[id] = struct{}{}
+		}
+	}
 	// Grow the page count before installing: installing a fresh page can
 	// evict another fresh page of this same commit, and the memory
 	// backend's eviction flush needs the backing slice grown already.

@@ -98,6 +98,11 @@ type Stats struct {
 	SyncCalls    int64
 	GroupCommits int64
 	WALFsyncs    int64
+	// Replication counters: CommitLSN is the last replicated flush cut
+	// this store emitted as a leader; AppliedLSN is the last batch it
+	// applied as a follower. Both stay 0 without replication.
+	CommitLSN  int64
+	AppliedLSN int64
 }
 
 // HitRatio is the buffer-pool hit ratio over page lookups, in [0, 1];

@@ -1,0 +1,30 @@
+package store
+
+import "xmorph/internal/kvstore"
+
+// Replication passthroughs: a cluster shard leader exposes its commit
+// feed, and a read replica applies it. The store layer adds nothing on
+// top of the kvstore contract — batches are whole-page images of
+// committed flush cuts, so replicas reproduce the shredded key layout
+// byte-for-byte.
+
+// SubscribeCommits opens a replication feed over the underlying store:
+// a bootstrap batch with the full committed page image, then one batch
+// per flush. Close the subscription when the follower detaches.
+func (s *Store) SubscribeCommits() (*kvstore.CommitSub, error) {
+	return s.db.SubscribeCommits()
+}
+
+// ApplyCommitBatch installs a replicated batch as this store's next
+// committed state (follower role). Batches must apply in feed order.
+func (s *Store) ApplyCommitBatch(b kvstore.CommitBatch) error {
+	return s.db.ApplyCommitBatch(b)
+}
+
+// CommitLSN is the sequence number of the last replicated flush cut
+// (leader role): the epoch floor a read-your-writes reader compares
+// against a replica's AppliedLSN.
+func (s *Store) CommitLSN() uint64 { return s.db.CommitLSN() }
+
+// AppliedLSN is the last batch LSN this store applied as a follower.
+func (s *Store) AppliedLSN() uint64 { return s.db.AppliedLSN() }
