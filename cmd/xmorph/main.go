@@ -8,6 +8,7 @@
 //	xmorph -store data.db shred name doc.xml
 //	xmorph -store data.db docs
 //	xmorph -store data.db run name 'MORPH author [ name book [ title ] ]'
+//	xmorph -store data.db update name 'insert <note>x</note> into dblp.article'
 //	xmorph -store data.db check name 'MUTATE name [ author ]'
 //	xmorph -store data.db shape name
 //	xmorph run-file doc.xml 'MORPH author [ name ]'
@@ -83,6 +84,9 @@ commands:
   shape <name>              print a document's adorned shape
   run <name> <guard>        run a query guard against a stored document
   drop <name>               remove a shredded document
+  update <name> <script>    apply an edit script in place (@file reads it
+                            from a file): insert <xml> into|before|after
+                            <path> ; delete <path> ; replace <path> with <xml>
   check <name> <guard>      type-check a guard without rendering
   run-file <file.xml> <guard>   one-shot: parse, transform, print
   explain <guard>           print the guard's algebra tree
@@ -312,10 +316,36 @@ func dispatch(o options, args []string) error {
 			return err
 		}
 		defer eng.Close()
-		if err := eng.Drop(ctx, args[1]); err != nil {
+		if err := eng.Drop(ctx, args[1], root); err != nil {
 			return err
 		}
 		fmt.Printf("dropped %q\n", args[1])
+		return nil
+
+	case "update":
+		if len(args) != 3 {
+			return usagef("usage: update <name> <script | @file>")
+		}
+		script := args[2]
+		if strings.HasPrefix(script, "@") {
+			raw, err := os.ReadFile(script[1:])
+			if err != nil {
+				return err
+			}
+			script = string(raw)
+		}
+		eng, err := open()
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		info, err := eng.Update(ctx, args[1], script, root)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("updated %q: %d ops, +%d/-%d nodes, %d pages written, shape %s\n",
+			info.Name, info.Ops, info.NodesInserted, info.NodesDeleted,
+			info.PagesWritten, info.Delta)
 		return nil
 
 	case "check":
@@ -371,7 +401,7 @@ func dispatch(o options, args []string) error {
 			return err
 		}
 		defer eng.Close()
-		res, err := eng.Query(ctx, args[1], args[2], args[3], root)
+		res, err := eng.Query(ctx, args[1], args[2], args[3], engine.QueryOpts{Span: root})
 		if err != nil {
 			return err
 		}

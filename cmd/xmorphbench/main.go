@@ -28,12 +28,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, cluster, serve, stream, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, fig14, fig15, fig16, shred, ablation, hotpath, concurrency, cluster, serve, stream, update, all")
 	factors := flag.String("factors", "", "comma-separated XMark factors (default 0.01..0.05)")
 	hotFactors := flag.String("hotpath-factors", "", "comma-separated XMark factors for -exp hotpath (default 0.2,1.0)")
 	jsonOut := flag.String("json", "", "with -exp hotpath/concurrency/serve/stream: also write the report to this file (e.g. BENCH_stream.json)")
 	concFactors := flag.String("conc-factors", "", "comma-separated XMark factors for -exp concurrency (default 0.2,1.0)")
 	streamFactors := flag.String("stream-factors", "", "comma-separated XMark factors for -exp stream (default 0.2,1.0)")
+	updateFactors := flag.String("update-factors", "", "comma-separated XMark factors for -exp update (default 0.2,1.0)")
 	clients := flag.String("clients", "", "comma-separated client counts for -exp concurrency (default 1,2,4,8)")
 	concWindow := flag.Duration("conc-window", 0, "measurement window per concurrency cell (default 3s)")
 	concCache := flag.Int("conc-cache", 0, "buffer pool pages for -exp concurrency (default 4096)")
@@ -109,6 +110,13 @@ func main() {
 			fatal(err)
 		}
 		cfg.StreamFactors = fs
+	}
+	if *updateFactors != "" {
+		fs, err := parseFloats(*updateFactors)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.UpdateFactors = fs
 	}
 	if *clients != "" {
 		ns, err := parseInts(*clients)
@@ -259,6 +267,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 		}
 		fmt.Fprintf(os.Stderr, "stream suite took %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// update is opt-in (not part of "all"): its default factors shred an
+	// XMark factor-1 document three times (patch setup, baseline setup,
+	// baseline re-shred).
+	if *exp == "update" {
+		start := time.Now()
+		rows, err := bench.RunUpdate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.UpdateTable(rows))
+		if *jsonOut != "" {
+			if err := bench.UpdateReportFor(cfg, rows).WriteJSON(*jsonOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		}
+		fmt.Fprintf(os.Stderr, "update suite took %v\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	// cluster is opt-in (not part of "all"): each cell builds a full

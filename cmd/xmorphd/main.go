@@ -5,6 +5,10 @@
 //	xmorphd -store data.db -addr :8080
 //
 //	POST   /v1/docs/{name}        shred the request body (XML) as name
+//	PATCH  /v1/docs/{name}        apply an edit script in place (text body,
+//	                              or JSON {"update":"..."}): insert <xml>
+//	                              into|before|after <path> ; delete <path> ;
+//	                              replace <path> with <xml>
 //	GET    /v1/docs               list shredded documents
 //	GET    /v1/docs/{name}/shape  print a document's adorned shape
 //	DELETE /v1/docs/{name}        drop a document

@@ -5,8 +5,11 @@
 //
 // A catalog shaped like Figure 1(b) is materialized as an author-centric
 // view. A price correction (a value update) lands in every rendered copy
-// without re-rendering; adding a book (a structural update) stales the
-// view, which re-type-checks and re-renders lazily on the next access.
+// without re-rendering; adding a book (a structural update) is absorbed
+// by patching the rendered output in place — the closest relation is
+// structural, so an insert only creates pairs involving the new
+// vertices. Only edits that change what the guard compiles to fall back
+// to a lazy full re-render.
 package main
 
 import (
@@ -53,11 +56,11 @@ func main() {
 		`<book><title>Z</title><price>40</price><author><name>T</name></author></book>`); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after inserting a book the view is stale: %v\n", v.Stale())
 	out, err = v.Output()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("re-rendered lazily (renders so far: %d):\n", v.Renders())
+	fmt.Printf("after inserting a book: stale=%v renders=%d patches=%d\n",
+		v.Stale(), v.Renders(), v.Patches())
 	fmt.Println(out.XML(true))
 }

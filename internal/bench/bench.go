@@ -43,6 +43,10 @@ type Config struct {
 	// (the committed BENCH_stream.json numbers — CI smoke overrides with
 	// smaller factors).
 	StreamFactors []float64
+	// UpdateFactors are the RunUpdate scales; empty means {0.2, 1.0}
+	// (the committed BENCH_update.json numbers — CI smoke overrides with
+	// smaller factors).
+	UpdateFactors []float64
 	// ConcClients are the RunConcurrency client counts; empty means
 	// {1, 2, 4, 8}.
 	ConcClients []int

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"xmorph/internal/gen/xmark"
+	"xmorph/internal/store"
+	"xmorph/internal/update"
+)
+
+// updateScript is RunUpdate's small edit: two subtree inserts plus one
+// subtree replace, each touching an O(1) region of the document. The
+// alternative a system without dirty-subtree shredding has is a full
+// drop + re-shred, whose write volume scales with the document.
+const updateScript = `insert <category id="benchcat"><name>patched</name></category> into site.categories ;
+insert <person id="benchperson"><name>Bench Person</name><emailaddress>bench@example.com</emailaddress></person> into site.people ;
+replace site.catgraph with <catgraph><edge from="category0" to="category0"/></catgraph>`
+
+// UpdateRow is one measurement of applying updateScript to a shredded
+// XMark document, either by subtree patching (store.Update) or by the
+// drop + full re-shred baseline.
+type UpdateRow struct {
+	Factor        float64 `json:"factor"`
+	Variant       string  `json:"variant"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	PagesWritten  int64   `json:"pages_written"`
+	NodesInserted int     `json:"nodes_inserted,omitempty"`
+	NodesDeleted  int     `json:"nodes_deleted,omitempty"`
+	ShapeDelta    string  `json:"shape_delta,omitempty"`
+	// PagesRatio on a "patch" row is reshred pages / patch pages — the
+	// headline write saving of dirty-subtree shredding.
+	PagesRatio float64 `json:"pages_ratio,omitempty"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// UpdateReport is the BENCH_update.json document.
+type UpdateReport struct {
+	Generated string      `json:"generated"`
+	GoVersion string      `json:"go_version"`
+	Factors   []float64   `json:"factors"`
+	Script    string      `json:"script"`
+	Rows      []UpdateRow `json:"rows"`
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *UpdateReport) WriteJSON(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// RunUpdate measures the same small update script both ways at each
+// cfg.UpdateFactors scale:
+//
+//   - patch: store.Update applies the script by re-shredding only the
+//     dirty subtrees — pages written is the headline.
+//   - drop+reshred: the baseline without an update path — drop the
+//     document and shred the edited XML from scratch.
+//
+// Both stores start from an identical shred of the same document, and
+// the baseline shreds exactly the document the patch produced (the two
+// end states are byte-identical; the differential tests prove that, this
+// experiment prices it).
+func RunUpdate(cfg Config) ([]UpdateRow, error) {
+	dir, cleanup, err := cfg.workdir()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	ops, err := update.Parse(updateScript)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []UpdateRow
+	for _, factor := range cfg.updateFactors() {
+		doc := xmark.Generate(xmark.Config{Factor: factor, Seed: cfg.Seed})
+		xml := doc.XML(false)
+
+		// --- patch: dirty-subtree shredding --------------------------------
+		pathA := filepath.Join(dir, fmt.Sprintf("upd-%g-patch.db", factor))
+		os.Remove(pathA)
+		os.Remove(pathA + ".wal")
+		stA, err := store.Open(pathA, store.WithCachePages(cfg.CachePages), store.WithDurability(cfg.Durability))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := stA.Shred("d", strings.NewReader(xml), nil); err != nil {
+			stA.Close()
+			return nil, err
+		}
+		before := stA.Stats()
+		var info *store.UpdateInfo
+		ns, _, err := measure(1, func() error {
+			info, err = stA.Update("d", ops, nil)
+			return err
+		})
+		if err != nil {
+			stA.Close()
+			return nil, err
+		}
+		patchPages := stA.Stats().BlocksWritten - before.BlocksWritten
+		// The baseline must shred exactly the patched end state.
+		sdoc, err := stA.Doc("d")
+		if err != nil {
+			stA.Close()
+			return nil, err
+		}
+		edited, err := sdoc.Reconstruct()
+		if err != nil {
+			stA.Close()
+			return nil, err
+		}
+		editedXML := edited.XML(false)
+		if err := stA.Close(); err != nil {
+			return nil, err
+		}
+		os.Remove(pathA)
+		os.Remove(pathA + ".wal")
+		patchRow := UpdateRow{
+			Factor: factor, Variant: "patch",
+			NsPerOp: ns, PagesWritten: patchPages,
+			NodesInserted: info.NodesInserted, NodesDeleted: info.NodesDeleted,
+			ShapeDelta: info.Delta.Kind.String(),
+			Note:       fmt.Sprintf("%d statements, %d-node document", len(ops), doc.Size()),
+		}
+
+		// --- drop + full re-shred baseline ---------------------------------
+		pathB := filepath.Join(dir, fmt.Sprintf("upd-%g-reshred.db", factor))
+		os.Remove(pathB)
+		os.Remove(pathB + ".wal")
+		stB, err := store.Open(pathB, store.WithCachePages(cfg.CachePages), store.WithDurability(cfg.Durability))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := stB.Shred("d", strings.NewReader(xml), nil); err != nil {
+			stB.Close()
+			return nil, err
+		}
+		before = stB.Stats()
+		ns, _, err = measure(1, func() error {
+			if err := stB.Drop("d"); err != nil {
+				return err
+			}
+			_, err := stB.Shred("d", strings.NewReader(editedXML), nil)
+			return err
+		})
+		if err != nil {
+			stB.Close()
+			return nil, err
+		}
+		reshredPages := stB.Stats().BlocksWritten - before.BlocksWritten
+		if err := stB.Close(); err != nil {
+			return nil, err
+		}
+		os.Remove(pathB)
+		os.Remove(pathB + ".wal")
+
+		if patchPages > 0 {
+			patchRow.PagesRatio = float64(reshredPages) / float64(patchPages)
+		}
+		rows = append(rows, patchRow, UpdateRow{
+			Factor: factor, Variant: "drop+reshred",
+			NsPerOp: ns, PagesWritten: reshredPages,
+			Note: fmt.Sprintf("%d bytes edited xml", len(editedXML)),
+		})
+	}
+	return rows, nil
+}
+
+// updateFactors returns cfg.UpdateFactors or the default two scales.
+func (c *Config) updateFactors() []float64 {
+	if len(c.UpdateFactors) > 0 {
+		return c.UpdateFactors
+	}
+	return []float64{0.2, 1.0}
+}
+
+// UpdateReportFor wraps rows into the JSON report document.
+func UpdateReportFor(cfg Config, rows []UpdateRow) *UpdateReport {
+	return &UpdateReport{
+		Generated: "xmorphbench -exp update -json",
+		GoVersion: runtime.Version(),
+		Factors:   cfg.updateFactors(),
+		Script:    updateScript,
+		Rows:      rows,
+	}
+}
+
+// UpdateTable renders the rows for stdout.
+func UpdateTable(rows []UpdateRow) string {
+	t := &Table{
+		Title:   "Incremental update (dirty-subtree patch vs drop + re-shred)",
+		Columns: []string{"factor", "variant", "ms/op", "pg-write", "ins", "del", "delta", "pg-ratio", "note"},
+	}
+	for _, r := range rows {
+		ratio := ""
+		if r.PagesRatio > 0 {
+			ratio = f1(r.PagesRatio) + "x"
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", r.Factor), r.Variant, f2(r.NsPerOp / 1e6),
+			fmt.Sprintf("%d", r.PagesWritten),
+			fmt.Sprintf("%d", r.NodesInserted), fmt.Sprintf("%d", r.NodesDeleted),
+			r.ShapeDelta, ratio, r.Note,
+		})
+	}
+	return t.String()
+}

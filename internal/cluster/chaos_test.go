@@ -64,7 +64,7 @@ func applyOp(b engine.Backend, op chaosOp, retry bool) error {
 			return nil
 		}
 	case "drop":
-		err = b.Drop(ctx, docName(op.doc))
+		err = b.Drop(ctx, docName(op.doc), nil)
 		if retry && errors.Is(err, engine.ErrNotFound) {
 			return nil
 		}

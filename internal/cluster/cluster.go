@@ -272,16 +272,33 @@ func (c *Cluster) Shred(ctx context.Context, name string, r io.Reader, sp *obs.S
 }
 
 // Drop routes to the owning shard's leader and advances the floor.
-func (c *Cluster) Drop(ctx context.Context, name string) error {
+func (c *Cluster) Drop(ctx context.Context, name string, sp *obs.Span) error {
 	s := c.shardFor(name)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	s.requests.Inc()
-	if err := s.leader.Drop(ctx, name); err != nil {
+	if err := s.leader.Drop(ctx, name, sp); err != nil {
 		return err
 	}
 	s.advanceFloor()
 	return nil
+}
+
+// Update routes the edit script to the owning shard's leader — the only
+// writer — and advances the read-your-writes floor past the update's
+// commit, so a follow-up read through a replica waits for the patched
+// subtrees to replicate.
+func (c *Cluster) Update(ctx context.Context, name, script string, sp *obs.Span) (*engine.UpdateInfo, error) {
+	s := c.shardFor(name)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.requests.Inc()
+	info, err := s.leader.Update(ctx, name, script, sp)
+	if err != nil {
+		return nil, err
+	}
+	s.advanceFloor()
+	return info, nil
 }
 
 // Docs scatter/gathers the listing across every shard (each through its
@@ -332,12 +349,12 @@ func (c *Cluster) Run(ctx context.Context, name, guardSrc string, opts engine.Ru
 }
 
 // Query routes the guarded query to the owning shard's reader pick.
-func (c *Cluster) Query(ctx context.Context, name, guardSrc, query string, sp *obs.Span) (*engine.QueryResult, error) {
+func (c *Cluster) Query(ctx context.Context, name, guardSrc, query string, opts engine.QueryOpts) (*engine.QueryResult, error) {
 	s := c.shardFor(name)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	s.requests.Inc()
-	return s.reader(c).Query(ctx, name, guardSrc, query, sp)
+	return s.reader(c).Query(ctx, name, guardSrc, query, opts)
 }
 
 // Sync flushes every shard leader.

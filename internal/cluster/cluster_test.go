@@ -118,11 +118,11 @@ func assertVerbsMatch(t *testing.T, c *Cluster, ctl *engine.Engine, name string)
 
 	// Query.
 	q := fmt.Sprintf(`for $a in doc(%q)//author return string($a/name)`, name)
-	cq, err := c.Query(ctx, name, diffGuard, q, nil)
+	cq, err := c.Query(ctx, name, diffGuard, q, engine.QueryOpts{})
 	if err != nil {
 		t.Fatalf("cluster query %s: %v", name, err)
 	}
-	eq, err := ctl.Query(ctx, name, diffGuard, q, nil)
+	eq, err := ctl.Query(ctx, name, diffGuard, q, engine.QueryOpts{})
 	if err != nil {
 		t.Fatalf("control query %s: %v", name, err)
 	}
@@ -168,10 +168,10 @@ func TestClusterDifferentialOracle(t *testing.T) {
 
 	// Drops mirror too, and the dropped names 404 identically.
 	for _, i := range []int{2, 7, 11} {
-		if err := c.Drop(ctx, docName(i)); err != nil {
+		if err := c.Drop(ctx, docName(i), nil); err != nil {
 			t.Fatalf("cluster drop: %v", err)
 		}
-		if err := ctl.Drop(ctx, docName(i)); err != nil {
+		if err := ctl.Drop(ctx, docName(i), nil); err != nil {
 			t.Fatalf("control drop: %v", err)
 		}
 	}
@@ -198,6 +198,52 @@ func TestClusterDifferentialOracle(t *testing.T) {
 	}
 	if _, err := c.Shape(ctx, "nope", nil); err == nil {
 		t.Fatal("shape of unknown doc succeeded on cluster")
+	}
+}
+
+// TestClusterUpdateDifferential: in-place updates routed through a
+// 2-shard cluster (with replicas, so the read-your-writes floor is live)
+// must leave every verb byte-identical to a single-engine control
+// running the same edit scripts — and to a drop + re-shred of the edited
+// document, via the control engine's own differential guarantee.
+func TestClusterUpdateDifferential(t *testing.T) {
+	ctx := context.Background()
+	c := newTestCluster(t, 2, 1)
+	ctl := engine.OpenMemory()
+	defer ctl.Close()
+
+	const docs = 6
+	for i := 0; i < docs; i++ {
+		shredBoth(t, c, ctl, i)
+	}
+	scripts := []string{
+		`insert <author><name>Z</name></author> into data.book`,
+		`replace data.book.title with <title>patched</title>`,
+		`insert <note>n</note> before data.book.author ; delete data.book.note`,
+	}
+	for i := 0; i < docs; i++ {
+		for _, script := range scripts {
+			ci, err := c.Update(ctx, docName(i), script, nil)
+			if err != nil {
+				t.Fatalf("cluster update %s %q: %v", docName(i), script, err)
+			}
+			ei, err := ctl.Update(ctx, docName(i), script, nil)
+			if err != nil {
+				t.Fatalf("control update %s %q: %v", docName(i), script, err)
+			}
+			if ci.NodesInserted != ei.NodesInserted || ci.NodesDeleted != ei.NodesDeleted ||
+				ci.Delta.Kind != ei.Delta.Kind {
+				t.Fatalf("update info diverges for %s: %+v vs %+v", docName(i), ci, ei)
+			}
+			// Immediately after the write: the floor must route replica
+			// reads correctly (stale replicas fall through to the leader).
+			assertVerbsMatch(t, c, ctl, docName(i))
+		}
+	}
+
+	// Update on a missing document errors on both sides.
+	if _, err := c.Update(ctx, "nope", `delete a.b`, nil); err == nil {
+		t.Fatal("cluster update of unknown doc succeeded")
 	}
 }
 

@@ -79,7 +79,7 @@ func TestClusterReplicaLagAndEpochFloor(t *testing.T) {
 	}
 	// Replace one document: a stale replica still holds the old bytes,
 	// so serving it post-floor would be visible as stale content.
-	if err := c.Drop(ctx, docName(0)); err != nil {
+	if err := c.Drop(ctx, docName(0), nil); err != nil {
 		t.Fatal(err)
 	}
 	v2 := `<data><book><title>V2</title><author><name>Fresh</name></author></book></data>`

@@ -22,13 +22,16 @@ type Backend interface {
 	// Shape loads a document's adorned shape.
 	Shape(ctx context.Context, name string, sp *obs.Span) (*Shape, error)
 	// Drop removes a shredded document.
-	Drop(ctx context.Context, name string) error
+	Drop(ctx context.Context, name string, sp *obs.Span) error
+	// Update applies an edit script to a stored document in place,
+	// re-shredding only the dirty subtrees.
+	Update(ctx context.Context, name, script string, sp *obs.Span) (*UpdateInfo, error)
 	// Check compiles and loss-checks a guard against a document's shape.
 	Check(ctx context.Context, name, guardSrc string, sp *obs.Span) (*Checked, error)
 	// Run renders a guarded transformation (optionally streaming).
 	Run(ctx context.Context, name, guardSrc string, opts RunOpts) (*RunResult, error)
 	// Query evaluates a guarded XQuery query over the transformation.
-	Query(ctx context.Context, name, guardSrc, query string, sp *obs.Span) (*QueryResult, error)
+	Query(ctx context.Context, name, guardSrc, query string, opts QueryOpts) (*QueryResult, error)
 	// Stats reports storage counters (aggregated across shards for a
 	// cluster). Refreshing backend-specific gauges may piggyback on it.
 	Stats() kvstore.Stats

@@ -9,9 +9,13 @@ import (
 )
 
 // guardCache is a small LRU of compiled guards keyed by (document shred
-// version, guard text). Shred versions are never reused — drop + re-shred
-// assigns a fresh one — so a re-shredded document's stale compilations
-// can never be served; they simply age out. Checked values are immutable
+// version, shape hash, guard text). Shred versions are never reused —
+// drop + re-shred assigns a fresh one — so a re-shredded document's stale
+// compilations can never be served; they simply age out. The shape hash
+// makes the key update-aware: an in-place Update that changes the adorned
+// shape moves the hash (stale compilations age out the same way), while a
+// shape-preserving update keeps every cached guard warm — no re-compile
+// for edits the type system cannot observe. Checked values are immutable
 // after compilation, so one entry may serve many goroutines at once.
 type guardCache struct {
 	mu           sync.Mutex
@@ -22,8 +26,9 @@ type guardCache struct {
 }
 
 type cacheKey struct {
-	version uint32
-	guard   string
+	version   uint32
+	shapeHash uint64
+	guard     string
 }
 
 type cacheEntry struct {
@@ -44,10 +49,10 @@ func newGuardCache(capacity int) *guardCache {
 	}
 }
 
-func (c *guardCache) get(version uint32, guard string) (*Checked, plan.Decision) {
+func (c *guardCache) get(version uint32, shapeHash uint64, guard string) (*Checked, plan.Decision) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[cacheKey{version, guard}]
+	el, ok := c.entries[cacheKey{version, shapeHash, guard}]
 	if !ok {
 		c.misses.Add(1)
 		metricCacheMisses.Inc()
@@ -60,13 +65,13 @@ func (c *guardCache) get(version uint32, guard string) (*Checked, plan.Decision)
 	return ent.checked, ent.verdict
 }
 
-func (c *guardCache) put(version uint32, guard string, checked *Checked, verdict plan.Decision) {
+func (c *guardCache) put(version uint32, shapeHash uint64, guard string, checked *Checked, verdict plan.Decision) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := cacheKey{version, guard}
+	key := cacheKey{version, shapeHash, guard}
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		ent := el.Value.(*cacheEntry)

@@ -5,8 +5,9 @@
 // context.Context and an optional *obs.Span through every stage —
 // cancellation is checked at stage boundaries, tracing is free when the
 // span is nil — and keeps a compiled-guard cache keyed by (guard text,
-// document shred version), so repeated queries skip the compile phase
-// until the document is re-shredded.
+// document shred version, shape hash), so repeated queries skip the
+// compile phase until the document is re-shredded or an in-place Update
+// changes its adorned shape.
 package engine
 
 import (
@@ -24,6 +25,7 @@ import (
 	"xmorph/internal/shape"
 	"xmorph/internal/store"
 	"xmorph/internal/stream"
+	"xmorph/internal/update"
 	"xmorph/internal/xmltree"
 )
 
@@ -34,8 +36,9 @@ type (
 	Checked = core.Checked
 	// ShredInfo summarizes a shredded document.
 	ShredInfo = store.ShredInfo
-	// QueryResult carries a guarded query's answer plus projection stats.
-	QueryResult = logical.Result
+	// UpdateInfo summarizes an in-place document update, including the
+	// shape delta the edit script induced.
+	UpdateInfo = store.UpdateInfo
 	// Shape is a document's adorned shape.
 	Shape = shape.Shape
 )
@@ -63,6 +66,14 @@ var (
 	metricStreamRuns      = obs.Default.Counter("engine_stream_runs_total")
 	metricStreamFallbacks = obs.Default.Counter("engine_stream_fallbacks_total")
 	metricStreamNodes     = obs.Default.Counter("engine_stream_nodes_total")
+
+	// Update metrics: edit scripts applied, nodes they touched, and how
+	// many changed the document's adorned shape (each of those moves the
+	// shape hash and cold-starts the guard cache for that document).
+	metricUpdates            = obs.Default.Counter("engine_updates_total")
+	metricUpdateNodesIns     = obs.Default.Counter("engine_update_nodes_inserted_total")
+	metricUpdateNodesDel     = obs.Default.Counter("engine_update_nodes_deleted_total")
+	metricUpdateShapeChanges = obs.Default.Counter("engine_update_shape_changes_total")
 )
 
 // Option configures an Engine at Open time; the configuration is
@@ -228,7 +239,9 @@ func setPageIO(sp *obs.Span, before, after kvstore.Stats) {
 
 // Drop removes a shredded document and every cached guard compiled
 // against it (the version key never recurs, so eviction is implicit).
-func (e *Engine) Drop(ctx context.Context, name string) error {
+// Under a non-nil span it opens a "drop" child annotated with the pages
+// the removal read and wrote.
+func (e *Engine) Drop(ctx context.Context, name string, sp *obs.Span) error {
 	if err := ctxErr(ctx); err != nil {
 		return err
 	}
@@ -237,7 +250,47 @@ func (e *Engine) Drop(ctx context.Context, name string) error {
 	} else if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return e.st.Drop(name)
+	dsp := sp.Child("drop")
+	before := e.st.Stats()
+	err := e.st.Drop(name)
+	after := e.st.Stats()
+	setPageIO(dsp, before, after)
+	dsp.Set("pages-written", after.BlocksWritten-before.BlocksWritten)
+	dsp.End()
+	return err
+}
+
+// Update applies an edit script (the update language: insert / delete /
+// replace over rooted type paths) to the stored document name, in place —
+// only the dirty subtrees are re-shredded, inside one group-committed
+// batch. The returned UpdateInfo carries the shape delta; a changed shape
+// moves the document's shape hash, so cached guards compiled against the
+// old shape stop matching, while shape-preserving edits keep them warm.
+// Script syntax errors surface as *update.SyntaxError.
+func (e *Engine) Update(ctx context.Context, name, script string, sp *obs.Span) (*UpdateInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	ops, err := update.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok, err := e.st.DocVersion(name); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	info, err := e.st.Update(name, ops, sp)
+	if err != nil {
+		return nil, err
+	}
+	metricUpdates.Inc()
+	metricUpdateNodesIns.Add(int64(info.NodesInserted))
+	metricUpdateNodesDel.Add(int64(info.NodesDeleted))
+	if info.Delta.Kind != update.Unchanged {
+		metricUpdateShapeChanges.Inc()
+	}
+	return info, nil
 }
 
 // Check compiles guardSrc against name's adorned shape and enforces the
@@ -255,9 +308,10 @@ func (e *Engine) Check(ctx context.Context, name, guardSrc string, sp *obs.Span)
 }
 
 // compileIn runs the compile phase against one store view, so the shred
-// version it caches under and the shape it compiles against come from
-// the same committed epoch (a re-shred landing mid-compile cannot pair
-// the new version with the old shape, or vice versa).
+// version it caches under, the shape hash, and the shape it compiles
+// against all come from the same committed epoch (a re-shred or update
+// landing mid-compile cannot pair the new version with the old shape, or
+// vice versa).
 // It also returns the cached streamability verdict, classified once per
 // compilation and annotated on the span as "plan".
 func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc string, sp *obs.Span) (*Checked, plan.Decision, bool, error) {
@@ -271,7 +325,22 @@ func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc st
 	if !ok {
 		return nil, plan.Decision{}, false, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	if checked, verdict := e.cache.get(ver, guardSrc); checked != nil {
+	// The shape hash is the update-aware half of the cache key: one small
+	// point read. Documents shredded before hashes were recorded fall back
+	// to hashing the decoded shape (costs the shape load even on a hit —
+	// still far cheaper than recompiling the guard).
+	hash, hashOK, err := v.ShapeHash(name)
+	if err != nil {
+		return nil, plan.Decision{}, false, err
+	}
+	var sh *Shape
+	if !hashOK {
+		if sh, err = v.Shape(name); err != nil {
+			return nil, plan.Decision{}, false, err
+		}
+		hash = store.HashShape(sh)
+	}
+	if checked, verdict := e.cache.get(ver, hash, guardSrc); checked != nil {
 		csp := sp.Child("compile")
 		csp.Set("cached", 1)
 		csp.End()
@@ -279,13 +348,15 @@ func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc st
 		return checked, verdict, true, nil
 	}
 
-	ssp := sp.Child("load-shape")
-	before := e.st.Stats()
-	sh, err := v.Shape(name)
-	setPageIO(ssp, before, e.st.Stats())
-	ssp.End()
-	if err != nil {
-		return nil, plan.Decision{}, false, err
+	if sh == nil {
+		ssp := sp.Child("load-shape")
+		before := e.st.Stats()
+		sh, err = v.Shape(name)
+		setPageIO(ssp, before, e.st.Stats())
+		ssp.End()
+		if err != nil {
+			return nil, plan.Decision{}, false, err
+		}
 	}
 	checked, err := core.Check(guardSrc, sh, sp)
 	if err != nil {
@@ -293,7 +364,7 @@ func (e *Engine) compileIn(ctx context.Context, v *store.View, name, guardSrc st
 	}
 	verdict := plan.Classify(checked.Plan.ComposedTarget())
 	sp.SetStr("plan", verdict.String())
-	e.cache.put(ver, guardSrc, checked, verdict)
+	e.cache.put(ver, hash, guardSrc, checked, verdict)
 	return checked, verdict, false, nil
 }
 
@@ -438,33 +509,58 @@ func (e *Engine) Run(ctx context.Context, name, guardSrc string, opts RunOpts) (
 	return res, nil
 }
 
+// QueryOpts tunes a single Query call, mirroring RunOpts.
+type QueryOpts struct {
+	// Span receives the pipeline trace; nil is untraced and free.
+	Span *obs.Span
+	// Exec is an execution hint: ExecStream demands a guard the planner
+	// classifies streamable and fails with ErrNotStreamable otherwise
+	// (the projection evaluation itself always runs the join-backed
+	// path — the hint is a guard-shape assertion, not a code path).
+	Exec ExecMode
+}
+
+// QueryResult is a guarded query's answer plus the same provenance a Run
+// reports: the projection stats from the logical evaluator, the compile
+// cache outcome, the page I/O, and the planner's verdict.
+type QueryResult struct {
+	*logical.Result
+	// CacheHit reports whether the compile phase was served from the
+	// compiled-guard cache.
+	CacheHit bool
+	// PagesRead counts store pages read across the whole call.
+	PagesRead int64
+	// Plan is the streamability verdict cached with the compiled guard.
+	Plan plan.Decision
+	// Exec names the execution path that produced the answer (always
+	// "store": projections render through the join-backed path).
+	Exec string
+}
+
 // Query evaluates an XQuery query over guardSrc's output for the stored
 // document name, rendering only the projection the query's paths can
-// reach (the paper's architecture #3). The span traces load-shape,
+// reach (the paper's architecture #3). The compile phase is served from
+// the shape-aware guard cache; the span in opts traces compile,
 // load-doc, and the prune/render/query pipeline.
-func (e *Engine) Query(ctx context.Context, name, guardSrc, query string, sp *obs.Span) (*QueryResult, error) {
-	if err := ctxErr(ctx); err != nil {
-		return nil, err
-	}
+func (e *Engine) Query(ctx context.Context, name, guardSrc, query string, opts QueryOpts) (*QueryResult, error) {
+	sp := opts.Span
+	pagesBefore := e.st.Stats().BlocksRead
 	// One view per query: shape, document, and evaluation all read the
 	// same committed epoch, without waiting behind concurrent shreds.
 	v := e.st.View()
 	defer v.Close()
-	if _, ok, err := v.DocVersion(name); err != nil {
-		return nil, err
-	} else if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	ssp := sp.Child("load-shape")
-	before := e.st.Stats()
-	sh, err := v.Shape(name)
-	setPageIO(ssp, before, e.st.Stats())
-	ssp.End()
+	checked, verdict, hit, err := e.compileIn(ctx, v, name, guardSrc, sp)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Exec == ExecStream && !verdict.Streamable {
+		return nil, fmt.Errorf("%w: %s", ErrNotStreamable, verdict.Reason)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	dsp := sp.Child("load-doc")
-	before = e.st.Stats()
+	before := e.st.Stats()
 	doc, err := v.Doc(name)
 	setPageIO(dsp, before, e.st.Stats())
 	dsp.End()
@@ -474,7 +570,24 @@ func (e *Engine) Query(ctx context.Context, name, guardSrc, query string, sp *ob
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	return logical.EvaluateSource(query, guardSrc, name, sh, doc, sp)
+	res, err := logical.EvaluateChecked(query, checked, name, doc, sp)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{
+		Result:    res,
+		CacheHit:  hit,
+		PagesRead: e.st.Stats().BlocksRead - pagesBefore,
+		Plan:      verdict,
+		Exec:      "store",
+	}, nil
+}
+
+// QueryWithSpan is the pre-QueryOpts form.
+//
+// Deprecated: use Query with QueryOpts{Span: sp}.
+func (e *Engine) QueryWithSpan(ctx context.Context, name, guardSrc, query string, sp *obs.Span) (*QueryResult, error) {
+	return e.Query(ctx, name, guardSrc, query, QueryOpts{Span: sp})
 }
 
 // ctxErr reports a cancelled or expired context; a nil context never

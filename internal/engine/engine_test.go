@@ -102,7 +102,7 @@ func TestGuardCacheHitsAndReshredInvalidation(t *testing.T) {
 
 	// Re-shredding under the same name gets a fresh version: the cached
 	// compilation against the old shape must not be served.
-	if err := eng.Drop(ctx, "books"); err != nil {
+	if err := eng.Drop(ctx, "books", nil); err != nil {
 		t.Fatal(err)
 	}
 	reshaped := `<data><book><title>Z</title><isbn>9</isbn><author><name>W</name></author></book></data>`
@@ -135,7 +135,7 @@ func TestEngineSentinelErrors(t *testing.T) {
 	if _, err := eng.Shred(ctx, "books", strings.NewReader(sampleXML), nil); !errors.Is(err, ErrExists) {
 		t.Errorf("double shred: %v, want ErrExists", err)
 	}
-	if err := eng.Drop(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+	if err := eng.Drop(ctx, "missing", nil); !errors.Is(err, ErrNotFound) {
 		t.Errorf("drop missing: %v, want ErrNotFound", err)
 	}
 	if _, err := eng.Shape(ctx, "missing", nil); !errors.Is(err, ErrNotFound) {
@@ -154,7 +154,7 @@ func TestEngineHonorsContext(t *testing.T) {
 	}
 	cancelled, stop := context.WithCancel(context.Background())
 	stop()
-	if _, err := eng.Query(cancelled, "books", sampleGuard, `for $a in doc("books")//author return $a`, nil); !errors.Is(err, context.Canceled) {
+	if _, err := eng.Query(cancelled, "books", sampleGuard, `for $a in doc("books")//author return $a`, QueryOpts{}); !errors.Is(err, context.Canceled) {
 		t.Errorf("query under cancelled context: %v", err)
 	}
 }
@@ -165,7 +165,7 @@ func TestEngineQuery(t *testing.T) {
 	shredSample(t, eng, "books")
 
 	res, err := eng.Query(ctx, "books", sampleGuard,
-		`for $a in doc("books")//author where $a/title = "X" return string($a/name)`, nil)
+		`for $a in doc("books")//author where $a/title = "X" return string($a/name)`, QueryOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,17 +219,17 @@ func TestGuardCacheLRUEviction(t *testing.T) {
 	c := newGuardCache(2)
 	a, b, d := &Checked{}, &Checked{}, &Checked{}
 	streamable := plan.Decision{Streamable: true, Scans: 3}
-	c.put(1, "a", a, streamable)
-	c.put(1, "b", b, plan.Decision{})
-	if got, v := c.get(1, "a"); got != a || v != streamable {
+	c.put(1, 7, "a", a, streamable)
+	c.put(1, 7, "b", b, plan.Decision{})
+	if got, v := c.get(1, 7, "a"); got != a || v != streamable {
 		t.Fatalf("a evicted too early or verdict lost: %+v", v)
 	}
-	c.put(1, "d", d, plan.Decision{}) // evicts b (least recently used)
-	if got, _ := c.get(1, "b"); got != nil {
+	c.put(1, 7, "d", d, plan.Decision{}) // evicts b (least recently used)
+	if got, _ := c.get(1, 7, "b"); got != nil {
 		t.Error("b survived past capacity")
 	}
-	ga, _ := c.get(1, "a")
-	gd, _ := c.get(1, "d")
+	ga, _ := c.get(1, 7, "a")
+	gd, _ := c.get(1, 7, "d")
 	if ga != a || gd != d {
 		t.Error("a or d missing after eviction")
 	}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"xmorph/internal/loss"
 	"xmorph/internal/obs"
 	"xmorph/internal/semantics"
+	"xmorph/internal/update"
 )
 
 // Server exposes a Backend — a single Engine or a sharded Cluster —
@@ -108,11 +110,7 @@ func NewServer(eng Backend, cfg ServerConfig) *Server {
 		log:        cfg.AccessLog,
 		slowThresh: cfg.SlowQueryThreshold,
 	}
-	s.mux.Handle("POST /v1/docs/{name}", s.limited("shred", s.handleShred))
-	s.mux.Handle("DELETE /v1/docs/{name}", s.limited("drop", s.handleDrop))
-	s.mux.Handle("GET /v1/docs", s.instrumented("docs", s.handleDocs))
-	s.mux.Handle("GET /v1/docs/{name}/shape", s.limited("shape", s.handleShape))
-	s.mux.Handle("POST /v1/query", s.limited("query", s.handleQuery))
+	s.registerV1(s.mux)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
@@ -129,6 +127,49 @@ func NewServer(eng Backend, cfg ServerConfig) *Server {
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Route is one row of the versioned API surface: the HTTP method and
+// ServeMux pattern it answers on, the short name its metrics and access
+// logs use, and whether it sits behind the admission semaphore.
+type Route struct {
+	Method  string
+	Pattern string
+	Name    string
+	Limited bool
+	handler http.HandlerFunc
+}
+
+// v1Routes is the whole /v1 surface as data: adding an endpoint is one
+// row here, and tests enumerate the same table the mux is built from.
+func (s *Server) v1Routes() []Route {
+	return []Route{
+		{"POST", "/v1/docs/{name}", "shred", true, s.handleShred},
+		{"PATCH", "/v1/docs/{name}", "update", true, s.handleUpdate},
+		{"DELETE", "/v1/docs/{name}", "drop", true, s.handleDrop},
+		{"GET", "/v1/docs", "docs", false, s.handleDocs},
+		{"GET", "/v1/docs/{name}/shape", "shape", true, s.handleShape},
+		{"POST", "/v1/query", "query", true, s.handleQuery},
+	}
+}
+
+// registerV1 installs the versioned API routes on mux, wrapping each
+// handler in the instrumentation middleware and — for Limited rows —
+// the admission semaphore.
+func (s *Server) registerV1(mux *http.ServeMux) {
+	for _, rt := range s.v1Routes() {
+		var h http.Handler
+		if rt.Limited {
+			h = s.limited(rt.Name, rt.handler)
+		} else {
+			h = s.instrumented(rt.Name, rt.handler)
+		}
+		mux.Handle(rt.Method+" "+rt.Pattern, h)
+	}
+}
+
+// Routes returns the versioned API surface (method, pattern, name,
+// admission class) so tests and documentation can enumerate it.
+func (s *Server) Routes() []Route { return s.v1Routes() }
 
 var (
 	metricThrottled = obs.Default.Counter("xmorphd_throttled_total")
@@ -286,6 +327,7 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func httpStatus(err error) int {
 	var (
 		syn  *guard.SyntaxError
+		upd  *update.SyntaxError
 		typ  *semantics.TypeError
 		cast *loss.CastError
 		big  *http.MaxBytesError
@@ -299,7 +341,7 @@ func httpStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.As(err, &big):
 		return http.StatusRequestEntityTooLarge
-	case errors.As(err, &syn), errors.As(err, &typ), errors.As(err, &cast):
+	case errors.As(err, &syn), errors.As(err, &upd), errors.As(err, &typ), errors.As(err, &cast):
 		return http.StatusBadRequest
 	default:
 		// Remaining pipeline failures are driven by request content
@@ -325,11 +367,63 @@ func (s *Server) handleShred(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if err := s.eng.Drop(r.Context(), name); err != nil {
+	if err := s.eng.Drop(r.Context(), name, spanFrom(r.Context())); err != nil {
 		writeError(w, httpStatus(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// updateRequest is the PATCH /v1/docs/{name} body when sent as JSON;
+// a text/plain body is the bare edit script.
+type updateRequest struct {
+	Update string `json:"update"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	var script string
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "json") {
+		var req updateRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, httpStatus(err), fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		script = req.Update
+	} else {
+		raw, err := io.ReadAll(body)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		script = string(raw)
+	}
+	if strings.TrimSpace(script) == "" {
+		writeError(w, http.StatusBadRequest, errors.New("empty update script"))
+		return
+	}
+	info, err := s.eng.Update(r.Context(), name, script, spanFrom(r.Context()))
+	if err != nil {
+		writeError(w, httpStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"name":           info.Name,
+		"ops":            info.Ops,
+		"nodes_inserted": info.NodesInserted,
+		"nodes_deleted":  info.NodesDeleted,
+		"pages_written":  info.PagesWritten,
+		"shape_delta": map[string]any{
+			"kind":           info.Delta.Kind.String(),
+			"types_added":    info.Delta.TypesAdded,
+			"types_removed":  info.Delta.TypesRemoved,
+			"edges_narrowed": info.Delta.EdgesNarrowed,
+			"edges_widened":  info.Delta.EdgesWidened,
+			"reordered":      info.Delta.Reordered,
+		},
+	})
 }
 
 func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
@@ -435,7 +529,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	explain := r.URL.Query().Get("explain") == "1"
 
 	if req.Query != "" {
-		res, err := s.eng.Query(ctx, req.Doc, req.Guard, req.Query, sp)
+		res, err := s.eng.Query(ctx, req.Doc, req.Guard, req.Query, QueryOpts{Span: sp})
 		if err != nil {
 			writeError(w, httpStatus(err), err)
 			return
@@ -448,6 +542,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			TotalTypes:    res.TotalTypes,
 			Streamable:    res.Streamable,
 			PlanReason:    res.PlanReason,
+			Exec:          res.Exec,
+			CacheHit:      res.CacheHit,
+			PagesRead:     res.PagesRead,
 		}
 		if explain {
 			explainInto(&resp, tr)

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerRouteTable: the versioned API surface is enumerable as data,
+// every row is actually routed, and PATCH (the update verb) is one row.
+func TestServerRouteTable(t *testing.T) {
+	_, srv, ts := newTestServer(t, ServerConfig{})
+	routes := srv.Routes()
+	want := map[string]bool{
+		"POST /v1/docs/{name}":      true,
+		"PATCH /v1/docs/{name}":     true,
+		"DELETE /v1/docs/{name}":    true,
+		"GET /v1/docs":              true,
+		"GET /v1/docs/{name}/shape": true,
+		"POST /v1/query":            true,
+	}
+	if len(routes) != len(want) {
+		t.Fatalf("route table has %d rows, want %d", len(routes), len(want))
+	}
+	for _, rt := range routes {
+		key := rt.Method + " " + rt.Pattern
+		if !want[key] {
+			t.Errorf("unexpected route %s", key)
+		}
+		delete(want, key)
+		if rt.Name == "" {
+			t.Errorf("route %s has no metrics name", key)
+		}
+	}
+	for key := range want {
+		t.Errorf("route %s missing from table", key)
+	}
+
+	// Every row answers through the mux (404 from the mux would mean an
+	// unrouted row; these all exist, so any status != 404/405 is routed).
+	shredHTTP(t, ts.URL, "books")
+	probes := []struct {
+		method, path string
+		body         string
+	}{
+		{"PATCH", "/v1/docs/books", `insert <x>1</x> into data.book`},
+		{"DELETE", "/v1/docs/books", ""},
+		{"GET", "/v1/docs", ""},
+	}
+	for _, p := range probes {
+		req, err := http.NewRequest(p.method, ts.URL+p.path, strings.NewReader(p.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed {
+			t.Errorf("%s %s not routed: status %d", p.method, p.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerUpdateEndpoint drives PATCH /v1/docs/{name} end to end:
+// plain-text and JSON bodies, the shape-delta report, the visible effect
+// on a follow-up query, and the error statuses.
+func TestServerUpdateEndpoint(t *testing.T) {
+	_, _, ts := newTestServer(t, ServerConfig{})
+	shredHTTP(t, ts.URL, "books")
+
+	patch := func(name, contentType, body string) (*http.Response, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPatch, ts.URL+"/v1/docs/"+name, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		raw, _ := io.ReadAll(resp.Body)
+		json.Unmarshal(raw, &out)
+		return resp, out
+	}
+
+	// Plain-text script.
+	resp, out := patch("books", "text/plain", `insert <isbn>9</isbn> into data.book`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text patch status %d: %v", resp.StatusCode, out)
+	}
+	if out["nodes_inserted"].(float64) != 2 || out["ops"].(float64) != 1 {
+		t.Errorf("patch report = %v", out)
+	}
+	delta, _ := out["shape_delta"].(map[string]any)
+	if delta == nil || delta["kind"] != "widened" {
+		t.Errorf("shape_delta = %v, want widened", out["shape_delta"])
+	}
+
+	// JSON script: shape-preserving replace.
+	resp, out = patch("books", "application/json",
+		`{"update":"replace data.book.isbn with <isbn>10</isbn>"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json patch status %d: %v", resp.StatusCode, out)
+	}
+	if delta, _ := out["shape_delta"].(map[string]any); delta == nil || delta["kind"] != "unchanged" {
+		t.Errorf("replace shape_delta = %v, want unchanged", out["shape_delta"])
+	}
+
+	// The edit is query-visible.
+	qresp, data := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"doc": "books", "guard": "MORPH book [ isbn ]",
+		"query": `for $i in doc("books")//isbn return string($i)`,
+	})
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", qresp.StatusCode, data)
+	}
+	var qr struct {
+		Answer string `json:"answer"`
+	}
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(qr.Answer, "10") != 2 {
+		t.Errorf("query after patch answered %q, want two 10s", qr.Answer)
+	}
+
+	// Errors: bad script 400 with offset, missing doc 404, empty body 400.
+	resp, out = patch("books", "text/plain", `mangle data.book`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad script status %d", resp.StatusCode)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "offset") {
+		t.Errorf("bad-script error carries no position: %v", out)
+	}
+	if resp, _ = patch("nosuch", "text/plain", `delete a.b`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing doc status %d", resp.StatusCode)
+	}
+	if resp, _ = patch("books", "text/plain", "   "); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty script status %d", resp.StatusCode)
+	}
+}

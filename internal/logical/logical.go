@@ -61,6 +61,13 @@ func EvaluateSource(query, guardSrc, docName string, sh *shape.Shape, doc render
 	if err != nil {
 		return nil, err
 	}
+	return EvaluateChecked(query, checked, docName, doc, parent)
+}
+
+// EvaluateChecked is EvaluateSource with the guard already compiled —
+// the seam that lets the engine facade serve the compile phase from its
+// shape-aware guard cache and still run the pruned-projection pipeline.
+func EvaluateChecked(query string, checked *core.Checked, docName string, doc render.Source, parent *obs.Span) (*Result, error) {
 	tgt := checked.Plan.ComposedTarget()
 	total := countTypes(tgt)
 	verdict := plan.Classify(tgt)

@@ -36,6 +36,20 @@ type Source interface {
 // on it. The span's lifetime belongs to the caller (Render neither
 // creates children nor ends it); a nil sp adds no allocations.
 func Render(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, error) {
+	return render(doc, tgt, sp, nil)
+}
+
+// RenderAnnotated is Render plus a provenance map from every output node
+// (wrappers and fill elements included) to the target type that emitted
+// it. The view layer uses the annotation to patch a materialized output
+// in place when the source changes.
+func RenderAnnotated(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document, map[*xmltree.Node]*semantics.TNode, error) {
+	prov := map[*xmltree.Node]*semantics.TNode{}
+	out, err := render(doc, tgt, sp, prov)
+	return out, prov, err
+}
+
+func render(doc Source, tgt *semantics.Target, sp *obs.Span, prov map[*xmltree.Node]*semantics.TNode) (*xmltree.Document, error) {
 	var rec *closest.Recorder
 	if sp != nil {
 		rec = &closest.Recorder{}
@@ -45,6 +59,7 @@ func Render(doc Source, tgt *semantics.Target, sp *obs.Span) (*xmltree.Document,
 		b:     xmltree.NewBuilder(),
 		joins: map[joinKey]*closest.Grouped{},
 		rec:   rec,
+		prov:  prov,
 	}
 	emitted := false
 	for _, root := range tgt.Roots {
@@ -99,6 +114,16 @@ type renderer struct {
 	joins map[joinKey]*closest.Grouped
 	// rec accumulates join statistics for tracing; nil when untraced.
 	rec *closest.Recorder
+	// prov, when non-nil, records the target type behind each emitted
+	// node (RenderAnnotated).
+	prov map[*xmltree.Node]*semantics.TNode
+}
+
+// mark records provenance for the node just emitted.
+func (r *renderer) mark(tn *semantics.TNode) {
+	if r.prov != nil {
+		r.prov[r.b.Last()] = tn
+	}
 }
 
 // closestOf returns the child-type nodes closest to v, from the cached
@@ -142,10 +167,12 @@ func (r *renderer) emitNode(tn *semantics.TNode, v *xmltree.Node) {
 	if v.Attr && len(tn.Kids) == 0 && r.b.Open() {
 		r.b.Attr(tn.Name, v.Value)
 		r.b.Last().Src = v
+		r.mark(tn)
 		return
 	}
 	r.b.Elem(tn.Name)
 	r.b.Last().Src = v
+	r.mark(tn)
 	if v.Value != "" {
 		r.b.Text(v.Value)
 	}
@@ -179,6 +206,7 @@ func (r *renderer) emitWrapper(tn *semantics.TNode, v *xmltree.Node) {
 	first := firstSourced(tn)
 	if first == nil {
 		r.b.Elem(tn.Name)
+		r.mark(tn)
 		r.emitFillKids(tn)
 		r.b.End()
 		return
@@ -188,6 +216,7 @@ func (r *renderer) emitWrapper(tn *semantics.TNode, v *xmltree.Node) {
 			continue
 		}
 		r.b.Elem(tn.Name)
+		r.mark(tn)
 		r.emitNode(first, w)
 		r.emitSiblingsOf(tn, first, w)
 		r.b.End()
@@ -201,6 +230,7 @@ func (r *renderer) emitWrapperRoot(tn *semantics.TNode) bool {
 	first := firstSourced(tn)
 	if first == nil {
 		r.b.Elem(tn.Name)
+		r.mark(tn)
 		r.emitFillKids(tn)
 		r.b.End()
 		return true
@@ -211,6 +241,7 @@ func (r *renderer) emitWrapperRoot(tn *semantics.TNode) bool {
 			continue
 		}
 		r.b.Elem(tn.Name)
+		r.mark(tn)
 		r.emitNode(first, w)
 		r.emitSiblingsOf(tn, first, w)
 		r.b.End()
@@ -245,6 +276,7 @@ func (r *renderer) emitFillKids(tn *semantics.TNode) {
 	for _, kid := range tn.Kids {
 		if kid.Source == "" {
 			r.b.Elem(kid.Name)
+			r.mark(kid)
 			r.emitFillKids(kid)
 			r.b.End()
 		}

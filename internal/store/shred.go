@@ -51,8 +51,14 @@ func (s *Store) Shred(name string, r io.Reader, parent *obs.Span) (*ShredInfo, e
 	if err := s.putBlob(blobKey('T', id), []byte(strings.Join(sh.typeOrder, "\n"))); err != nil {
 		return nil, err
 	}
-	// Adorned shape.
-	if err := s.putBlob(blobKey('S', id), []byte(encodeShape(sh.shape()))); err != nil {
+	// Adorned shape, plus its hash for shape-aware guard caches.
+	enc := encodeShape(sh.shape())
+	if err := s.putBlob(blobKey('S', id), []byte(enc)); err != nil {
+		return nil, err
+	}
+	hashBuf := make([]byte, 8)
+	binary.BigEndian.PutUint64(hashBuf, hashShapeEnc(enc))
+	if err := s.db.Put(blobKey('H', id), hashBuf); err != nil {
 		return nil, err
 	}
 	// Registry entry last: a crash mid-shred leaves no visible document.

@@ -11,6 +11,7 @@
 //	'D' name                     -> docID (u32)
 //	'S' docID chunk              -> adorned shape blob
 //	'T' docID chunk              -> type registry blob ("\n"-joined paths)
+//	'H' docID                    -> shape hash (u64, FNV-1a of the 'S' blob)
 //	'N' docID typeID dewey chunk -> node text value
 //
 // A node's key embeds its Dewey number as a sequence of u32 components;
@@ -604,7 +605,7 @@ func (s *Store) Drop(name string) error {
 	nodesPrefix := make([]byte, 5)
 	nodesPrefix[0] = 'N'
 	binary.BigEndian.PutUint32(nodesPrefix[1:], id)
-	for _, p := range [][]byte{blobKey('S', id), blobKey('T', id), nodesPrefix} {
+	for _, p := range [][]byte{blobKey('S', id), blobKey('T', id), blobKey('H', id), nodesPrefix} {
 		if err := collect(p); err != nil {
 			return err
 		}

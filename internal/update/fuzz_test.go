@@ -1,0 +1,41 @@
+package update
+
+import "testing"
+
+// FuzzUpdateParse asserts that any input either fails to parse or
+// round-trips: Parse → Format → Parse yields the same statements, and a
+// second Format is a fixpoint.
+func FuzzUpdateParse(f *testing.F) {
+	f.Add("delete dblp.article.author")
+	f.Add("insert <note/> after a.b")
+	f.Add("insert <a x=\"1\">t</a> into r ; delete r.a")
+	f.Add("replace a.b with <b><c/></b>")
+	f.Add("insert <c>semi; colon</c> before a.b ;")
+	f.Add("DELETE a.@id")
+	f.Fuzz(func(t *testing.T, src string) {
+		ops, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(ops) == 0 {
+			t.Fatalf("Parse(%q) returned no ops and no error", src)
+		}
+		printed := Format(ops)
+		ops2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("Parse(Format(Parse(%q))) failed: %v\nprinted: %q", src, err, printed)
+		}
+		if len(ops) != len(ops2) {
+			t.Fatalf("round trip changed op count: %d -> %d\nsrc: %q\nprinted: %q",
+				len(ops), len(ops2), src, printed)
+		}
+		for i := range ops {
+			if ops[i] != ops2[i] {
+				t.Fatalf("round trip changed op %d: %+v -> %+v\nsrc: %q", i, ops[i], ops2[i], src)
+			}
+		}
+		if again := Format(ops2); again != printed {
+			t.Fatalf("Format is not a fixpoint:\n%q\n%q", printed, again)
+		}
+	})
+}

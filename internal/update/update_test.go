@@ -1,0 +1,195 @@
+package update
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xmorph/internal/shape"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []Op
+	}{
+		{
+			"delete dblp.article.author",
+			[]Op{{Kind: Delete, Path: "dblp.article.author"}},
+		},
+		{
+			"insert <author><name>Kim</name></author> into dblp.article",
+			[]Op{{Kind: Insert, Path: "dblp.article", Pos: Into,
+				XML: "<author><name>Kim</name></author>"}},
+		},
+		{
+			"INSERT <note/> BEFORE dblp.article.title",
+			[]Op{{Kind: Insert, Path: "dblp.article.title", Pos: Before, XML: "<note/>"}},
+		},
+		{
+			"insert <note x=\"1\"/> after dblp.article.title",
+			[]Op{{Kind: Insert, Path: "dblp.article.title", Pos: After,
+				XML: "<note x=\"1\"/>"}},
+		},
+		{
+			"replace dblp.article.year with <year>2012</year>",
+			[]Op{{Kind: Replace, Path: "dblp.article.year", XML: "<year>2012</year>"}},
+		},
+		{
+			"delete a.b ;\n insert <c>x; y</c> into a ;",
+			[]Op{
+				{Kind: Delete, Path: "a.b"},
+				{Kind: Insert, Path: "a", Pos: Into, XML: "<c>x; y</c>"},
+			},
+		},
+		{
+			"delete a.@id",
+			[]Op{{Kind: Delete, Path: "a.@id"}},
+		},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("Parse(%q) = %d ops, want %d", c.src, len(got), len(c.want))
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Parse(%q)[%d] = %+v, want %+v", c.src, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   \n",
+		"drop a.b",
+		"delete",
+		"delete @id",                // attribute cannot be the root
+		"delete a..b",               // empty segment
+		"insert <a/>",               // missing position
+		"insert <a/> sideways a.b",  // bad position keyword
+		"insert <a></b> into a",     // malformed fragment
+		"insert hello into a",       // not a fragment
+		"replace a.b with",          // missing fragment
+		"replace a.b <x/>",          // missing 'with'
+		"delete a.b extra",          // trailing junk
+		"delete a.b , delete a.c",   // wrong separator
+		"insert <a/><b/> into a.b",  // two roots: second becomes junk
+		"insert text <a/> into a.b", // text before the root element
+	}
+	for _, src := range bad {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+			continue
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("Parse(%q): error %v is not a *SyntaxError", src, err)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	src := `insert <author><name>A</name></author> into dblp.article ;
+delete dblp.article.@key ;
+replace dblp.article.title with <title>New; Title</title>`
+	ops, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Format(ops)
+	ops2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("Parse(Format(ops)): %v\n%s", err, printed)
+	}
+	if len(ops) != len(ops2) {
+		t.Fatalf("round trip: %d ops -> %d ops", len(ops), len(ops2))
+	}
+	for i := range ops {
+		if ops[i] != ops2[i] {
+			t.Errorf("round trip op %d: %+v != %+v", i, ops[i], ops2[i])
+		}
+	}
+}
+
+func mustShape(t *testing.T, build func(s *shape.Shape)) *shape.Shape {
+	t.Helper()
+	s := shape.New()
+	build(s)
+	return s
+}
+
+func TestCompare(t *testing.T) {
+	base := func(s *shape.Shape) {
+		s.AddType("a")
+		s.AddType("a.b")
+		s.AddType("a.c")
+		s.AddEdge("a", "a.b", shape.Card{Min: 1, Max: 2})
+		s.AddEdge("a", "a.c", shape.Card{Min: 0, Max: 1})
+	}
+	old := mustShape(t, base)
+
+	if d := Compare(old, mustShape(t, base)); d.Kind != Unchanged {
+		t.Errorf("identical shapes: kind = %v, want unchanged", d.Kind)
+	}
+
+	// Removing a type narrows.
+	narrow := mustShape(t, func(s *shape.Shape) {
+		s.AddType("a")
+		s.AddType("a.b")
+		s.AddEdge("a", "a.b", shape.Card{Min: 1, Max: 2})
+	})
+	if d := Compare(old, narrow); d.Kind != Narrowed || len(d.TypesRemoved) != 1 {
+		t.Errorf("type removal: %+v, want narrowed with 1 removed", d)
+	}
+
+	// Loosening a cardinality widens.
+	wide := mustShape(t, func(s *shape.Shape) {
+		base(s)
+	})
+	wide2 := mustShape(t, func(s *shape.Shape) {
+		s.AddType("a")
+		s.AddType("a.b")
+		s.AddType("a.c")
+		s.AddEdge("a", "a.b", shape.Card{Min: 0, Max: 5})
+		s.AddEdge("a", "a.c", shape.Card{Min: 0, Max: 1})
+	})
+	if d := Compare(wide, wide2); d.Kind != Widened || d.EdgesWidened != 1 {
+		t.Errorf("card loosening: %+v, want widened with 1 edge", d)
+	}
+
+	// Tighten one edge and add a type: mixed.
+	mixed := mustShape(t, func(s *shape.Shape) {
+		s.AddType("a")
+		s.AddType("a.b")
+		s.AddType("a.c")
+		s.AddType("a.d")
+		s.AddEdge("a", "a.b", shape.Card{Min: 2, Max: 2})
+		s.AddEdge("a", "a.c", shape.Card{Min: 0, Max: 1})
+		s.AddEdge("a", "a.d", shape.Card{Min: 0, Max: 1})
+	})
+	if d := Compare(old, mixed); d.Kind != Mixed {
+		t.Errorf("tighten+add: %+v, want mixed", d)
+	}
+
+	// Order-only change among surviving children: mixed via Reordered.
+	reord := mustShape(t, func(s *shape.Shape) {
+		s.AddType("a")
+		s.AddType("a.b")
+		s.AddType("a.c")
+		s.AddEdge("a", "a.c", shape.Card{Min: 0, Max: 1})
+		s.AddEdge("a", "a.b", shape.Card{Min: 1, Max: 2})
+	})
+	if d := Compare(old, reord); d.Kind != Mixed || !d.Reordered {
+		t.Errorf("reorder: %+v, want mixed/reordered", d)
+	}
+	if !strings.Contains(Compare(old, reord).String(), "reordered") {
+		t.Errorf("reorder delta String() should mention reordering")
+	}
+}

@@ -95,14 +95,16 @@ func TestValueUpdateHitsAllCopies(t *testing.T) {
 	}
 }
 
-func TestInsertSubtreeStalesAndRerenders(t *testing.T) {
+func TestInsertSubtreePatchesInPlace(t *testing.T) {
 	v := mustView(t, "MORPH author [ name title ]")
-	// Append a third book under data (dewey 1).
+	// Append a third book under data (dewey 1). The guard compiles to
+	// the same target over the grown source, so the new author emission
+	// is spliced in without a re-render.
 	if err := v.InsertSubtree(dw(t, "1"), "<book><title>Z</title><author><name>T</name></author></book>"); err != nil {
 		t.Fatal(err)
 	}
-	if !v.Stale() {
-		t.Error("structural insert must stale the view")
+	if v.Stale() {
+		t.Error("patchable insert must not stale the view")
 	}
 	out, err := v.Output()
 	if err != nil {
@@ -111,16 +113,28 @@ func TestInsertSubtreeStalesAndRerenders(t *testing.T) {
 	if !strings.Contains(out.XML(false), "<author><name>T</name><title>Z</title></author>") {
 		t.Errorf("inserted author missing: %s", out.XML(false))
 	}
-	if v.Renders() != 2 {
-		t.Errorf("renders = %d, want 2", v.Renders())
+	if v.Renders() != 1 || v.Patches() != 1 {
+		t.Errorf("renders = %d, patches = %d, want 1 render and 1 patch", v.Renders(), v.Patches())
+	}
+	// The patched output is byte-identical to a fresh transformation.
+	fresh, err := core.Transform("MORPH author [ name title ]", v.Source(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.XML(false) != fresh.Output.XML(false) {
+		t.Errorf("patched output diverged:\nview:  %s\nfresh: %s",
+			out.XML(false), fresh.Output.XML(false))
 	}
 }
 
-func TestDeleteSubtreeStales(t *testing.T) {
+func TestDeleteSubtreePatchesInPlace(t *testing.T) {
 	v := mustView(t, "MORPH author [ name title ]")
-	// Delete the second book (1.2).
+	// Delete the second book (1.2): its author emission detaches in place.
 	if err := v.DeleteSubtree(dw(t, "1.2")); err != nil {
 		t.Fatal(err)
+	}
+	if v.Stale() {
+		t.Error("patchable delete must not stale the view")
 	}
 	out, err := v.Output()
 	if err != nil {
@@ -128,6 +142,17 @@ func TestDeleteSubtreeStales(t *testing.T) {
 	}
 	if strings.Contains(out.XML(false), "U") {
 		t.Errorf("deleted author survived: %s", out.XML(false))
+	}
+	if v.Renders() != 1 || v.Patches() != 1 {
+		t.Errorf("renders = %d, patches = %d, want 1 render and 1 patch", v.Renders(), v.Patches())
+	}
+	fresh, err := core.Transform("MORPH author [ name title ]", v.Source(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.XML(false) != fresh.Output.XML(false) {
+		t.Errorf("patched output diverged:\nview:  %s\nfresh: %s",
+			out.XML(false), fresh.Output.XML(false))
 	}
 }
 

@@ -1,0 +1,79 @@
+package xmltree
+
+import "fmt"
+
+// In-place structural mutation. Graft and Remove edit the tree while
+// preserving the identity of every untouched *Node, which is what lets
+// the view layer keep provenance maps (source vertex -> rendered copies)
+// valid across structural updates. Both renumber and re-index the whole
+// document, so a mutation costs one document walk — the price of keeping
+// Dewey numbers positional (NodeAt addresses children by component).
+
+// Graft attaches frag — a detached node tree, typically the root of a
+// parsed fragment — as the last child of parent. The grafted nodes are
+// retyped and renumbered for their new position; every other node keeps
+// its identity. It returns frag, now in the tree.
+func (d *Document) Graft(parent, frag *Node) (*Node, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("xmltree: graft below nil parent")
+	}
+	if parent.Attr {
+		return nil, fmt.Errorf("xmltree: cannot graft below attribute %s", parent.Name)
+	}
+	if frag == nil {
+		return nil, fmt.Errorf("xmltree: graft of nil fragment")
+	}
+	if frag.Parent != nil {
+		return nil, fmt.Errorf("xmltree: fragment %s is already attached", frag.Name)
+	}
+	frag.Parent = parent
+	parent.Children = append(parent.Children, frag)
+	d.Reindex()
+	return frag, nil
+}
+
+// Remove detaches n, with its whole subtree, from the document. The root
+// of a tree cannot be removed.
+func (d *Document) Remove(n *Node) error {
+	if n == nil {
+		return fmt.Errorf("xmltree: remove of nil node")
+	}
+	if n.Parent == nil {
+		return fmt.Errorf("xmltree: cannot remove a root")
+	}
+	p := n.Parent
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	n.Parent = nil
+	d.Reindex()
+	return nil
+}
+
+// Reindex recomputes every node's Dewey number and type path from its
+// tree position — the same assignment parsing produces — and rebuilds
+// the document-order and per-type indexes. Callers that splice Children
+// or Roots directly must Reindex before using NodeAt, Nodes, or
+// NodesOfType again.
+func (d *Document) Reindex() {
+	for i, r := range d.Roots {
+		r.Parent = nil
+		r.Dewey = Dewey{i + 1}
+		r.Type = r.Name
+		renumber(r)
+	}
+	d.index()
+}
+
+// renumber reassigns Dewey numbers and type paths below n.
+func renumber(n *Node) {
+	for i, c := range n.Children {
+		c.Parent = n
+		c.Dewey = n.Dewey.Child(i + 1)
+		c.Type = n.Type + TypeSep + c.Name
+		renumber(c)
+	}
+}

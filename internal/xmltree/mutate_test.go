@@ -1,0 +1,106 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraftRenumbersAndReindexes(t *testing.T) {
+	d := MustParse(`<data><book><title>X</title></book></data>`)
+	frag := MustParse(`<book><title>Y</title></book>`)
+	root := d.Roots[0]
+	title := root.Children[0].Children[0]
+	if _, err := d.Graft(root, frag.Roots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.XML(false); got != `<data><book><title>X</title></book><book><title>Y</title></book></data>` {
+		t.Errorf("grafted doc: %s", got)
+	}
+	// The grafted subtree is renumbered and retyped for its position.
+	nb, err := ParseDewey("1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.NodeAt(nb)
+	if n == nil {
+		t.Fatal("no node at 1.2 after graft")
+	}
+	if n.Type != "data.book" || n.Children[0].Type != "data.book.title" {
+		t.Errorf("grafted types = %s / %s", n.Type, n.Children[0].Type)
+	}
+	if len(d.NodesOfType("data.book")) != 2 || len(d.NodesOfType("data.book.title")) != 2 {
+		t.Error("type index not rebuilt after graft")
+	}
+	// Untouched nodes keep their identity.
+	if d.Roots[0] != root || root.Children[0].Children[0] != title {
+		t.Error("graft must preserve node identity outside the fragment")
+	}
+}
+
+func TestGraftErrors(t *testing.T) {
+	d := MustParse(`<data a="1"><x/></data>`)
+	frag := MustParse(`<y/>`).Roots[0]
+	if _, err := d.Graft(nil, frag); err == nil {
+		t.Error("graft below nil parent accepted")
+	}
+	var attr *Node
+	for _, c := range d.Roots[0].Children {
+		if c.Attr {
+			attr = c
+		}
+	}
+	if _, err := d.Graft(attr, frag); err == nil {
+		t.Error("graft below attribute accepted")
+	}
+	if _, err := d.Graft(d.Roots[0], nil); err == nil {
+		t.Error("graft of nil fragment accepted")
+	}
+	if _, err := d.Graft(d.Roots[0], d.Roots[0].Children[0]); err == nil {
+		t.Error("graft of an attached node accepted")
+	}
+}
+
+func TestRemoveClosesDeweyGaps(t *testing.T) {
+	d := MustParse(`<data><a>1</a><b>2</b><c>3</c></data>`)
+	b := d.Roots[0].Children[1]
+	if err := d.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.XML(false); got != `<data><a>1</a><c>3</c></data>` {
+		t.Errorf("after remove: %s", got)
+	}
+	// Dewey numbers stay positional: c moved from 1.3 to 1.2.
+	at, _ := ParseDewey("1.2")
+	n := d.NodeAt(at)
+	if n == nil {
+		t.Fatal("no node at 1.2 after remove")
+	}
+	if n.Name != "c" {
+		t.Errorf("node at 1.2 after remove = %s, want c", n.Name)
+	}
+	if len(d.NodesOfType("data.b")) != 0 {
+		t.Error("removed type still indexed")
+	}
+	if err := d.Remove(d.Roots[0]); err == nil {
+		t.Error("root remove accepted")
+	}
+	if err := d.Remove(nil); err == nil {
+		t.Error("nil remove accepted")
+	}
+}
+
+func TestReindexAfterManualSplice(t *testing.T) {
+	d := MustParse(`<data><a/><b/></data>`)
+	root := d.Roots[0]
+	// Swap the children by hand, then Reindex.
+	root.Children[0], root.Children[1] = root.Children[1], root.Children[0]
+	d.Reindex()
+	if !strings.HasPrefix(d.XML(false), `<data><b/><a/>`) {
+		t.Errorf("after splice: %s", d.XML(false))
+	}
+	at, _ := ParseDewey("1.1")
+	n := d.NodeAt(at)
+	if n == nil || n.Name != "b" {
+		t.Errorf("node at 1.1 = %s, want b", n.Name)
+	}
+}
